@@ -1,0 +1,20 @@
+"""Benchmark reporting: print paper-vs-ours tables and persist them.
+
+Every experiment benchmark calls :func:`report`, which echoes the table to
+stdout (visible with ``pytest -s``) and writes it under
+``benchmarks/results/`` so EXPERIMENTS.md can reference a stable artefact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Print and persist one experiment's result block."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,48 @@
+"""Figure 3 — distributions of pumped coins vs rank cohorts.
+
+Paper findings: pumped coins' market cap and Alexa rank resemble the
+top-1001..2000 cohort (mid-caps, not the head); Reddit/Twitter footprints
+resemble the top-1..1000 cohort (socially loud); ~60.1% re-pump rate.
+"""
+
+from benchmarks._reporting import report
+from benchmarks.conftest import run_once
+from repro.analysis import coin_level_study
+from repro.utils import format_table
+
+
+def test_figure3_coin_distributions(benchmark, world, collection):
+    study = run_once(
+        benchmark, lambda: coin_level_study(world, collection.samples)
+    )
+    rows = []
+    for feature, groups in study.summaries.items():
+        for group, summary in groups.items():
+            rows.append([feature, group, summary.q25, summary.median,
+                         summary.q75])
+    table = format_table(
+        ["Feature", "Group", "log q25", "log median", "log q75"], rows,
+        title="Figure 3: pumped vs cohort distributions (log scale)",
+    )
+    table += f"\nre-pump rate: {study.repump_rate:.3f} (paper: 0.601)"
+    for feature in study.summaries:
+        table += f"\nclosest cohort for {feature}: {study.closest_cohort(feature)}"
+    report("figure3_coin_distributions", table)
+
+    caps = study.summaries["market_cap"]
+    cohorts = sorted(
+        (k for k in caps if k.startswith("top_")),
+        key=lambda k: int(k.split("_")[1]),
+    )
+    head, second = cohorts[0], cohorts[1]
+    # Mid-cap targeting: pumped caps sit below the head cohort ...
+    assert caps["pumped"].median < caps[head].median
+    # ... and the closest cohort is not the head one.
+    assert study.closest_cohort("market_cap") != head
+    # Social indices: pumped coins look closer to the head cohort than the
+    # cap-matched cohort (they are socially loud for their size).
+    reddit = study.summaries["reddit_subscribers"]
+    assert abs(reddit["pumped"].median - reddit[head].median) < \
+        abs(reddit["pumped"].median - reddit[cohorts[-1]].median)
+    # Re-pump rate near the paper's 60%.
+    assert 0.35 < study.repump_rate < 0.9

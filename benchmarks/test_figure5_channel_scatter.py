@@ -1,0 +1,33 @@
+"""Figure 5 — per-channel scatter of pumped-coin statistics.
+
+Paper: coins pumped by one channel cluster tightly (homogeneity) while
+different channels occupy different ranges (heterogeneity), for market
+cap, Alexa rank and Reddit subscribers alike.
+"""
+
+from benchmarks._reporting import report
+from benchmarks.conftest import run_once
+from repro.analysis import SCATTER_FEATURES, channel_level_study
+from repro.utils import format_table
+
+
+def test_figure5_channel_scatter(benchmark, world, collection):
+    study = run_once(
+        benchmark,
+        lambda: channel_level_study(world, collection.samples, min_history=4),
+    )
+    rows = [
+        [feature, study.scatters[feature].homogeneity_ratio,
+         len(study.scatters[feature].values)]
+        for feature in SCATTER_FEATURES
+    ]
+    table = format_table(
+        ["Feature", "within/global spread", "points"], rows,
+        title="Figure 5: intra-channel homogeneity (ratio < 1 = homogeneous)",
+    )
+    table += f"\nchannels plotted: {study.n_channels}"
+    report("figure5_channel_scatter", table)
+
+    assert study.n_channels >= 5
+    for feature in SCATTER_FEATURES:
+        assert study.is_homogeneous(feature, threshold=0.95), feature

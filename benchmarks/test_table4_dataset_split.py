@@ -1,0 +1,46 @@
+"""Table 4 — target-coin dataset splits.
+
+Paper: 648/100/200 positives (68.4%/10.5%/21.1%), positive rate ≈0.48%,
+temporal boundaries, varying negative counts across splits.
+"""
+
+from benchmarks._reporting import report
+from benchmarks.conftest import run_once
+from repro.utils import format_table
+
+PAPER = {
+    "train": {"positives": 648, "total": 107_548},
+    "validation": {"positives": 100, "total": 24_766},
+    "test": {"positives": 200, "total": 64_299},
+    "total": {"positives": 948, "total": 196_613},
+}
+
+
+def test_table4_dataset_split(benchmark, collection):
+    table4 = run_once(benchmark, collection.dataset.table4)
+    rows = []
+    for split in ("train", "validation", "test", "total"):
+        ours = table4[split]
+        rows.append([
+            split, PAPER[split]["positives"], ours["positives"],
+            PAPER[split]["total"], ours["total"],
+            f"{100 * ours['positives'] / max(ours['total'], 1):.2f}%",
+        ])
+    table = format_table(
+        ["Split", "Pos(paper)", "Pos", "Total(paper)", "Total", "PosRate"],
+        rows, title="Table 4: dataset split",
+    )
+    cold = collection.dataset.cold_start_stats()
+    table += (
+        f"\ncold-start: {cold['cold_positives']} of {cold['test_positives']} "
+        f"test positives never pumped in training"
+    )
+    report("table4_dataset_split", table)
+
+    total_pos = table4["total"]["positives"]
+    assert table4["train"]["positives"] / total_pos > 0.55
+    assert 0.05 < table4["validation"]["positives"] / total_pos < 0.25
+    assert 0.1 < table4["test"]["positives"] / total_pos < 0.35
+    # Positives are a sub-1.5% minority, as in the paper.
+    assert table4["total"]["positives"] / table4["total"]["total"] < 0.03
+    assert cold["cold_positives"] > 0

@@ -1,0 +1,49 @@
+"""Table 7 — BTC price forecasting dataset statistics.
+
+Paper: 2,799,669 messages / 229,595 BTC messages / 88,512 positive /
+54,175 negative / 15,856 train / 3,964 test.  Shape: BTC subset is a
+fraction of all messages; positives outnumber negatives (crypto chatter
+skews optimistic); train ≈ 4x test.
+"""
+
+import pytest
+
+from benchmarks._reporting import report
+from benchmarks.conftest import run_once
+from repro.forecasting import BTCForecastDataset, aggregate_hourly_sentiment
+from repro.utils import format_table
+
+PAPER = {
+    "messages": 2_799_669,
+    "btc_messages": 229_595,
+    "positive_messages": 88_512,
+    "negative_messages": 54_175,
+    "train_samples": 15_856,
+    "test_samples": 3_964,
+}
+
+
+@pytest.fixture(scope="session")
+def forecast_sentiment(world):
+    return aggregate_hourly_sentiment(world, world.config.forecast_hours,
+                                      per_hour=6.0)
+
+
+@pytest.fixture(scope="session")
+def forecast_dataset_48(world, forecast_sentiment):
+    return BTCForecastDataset.build(world, span=48,
+                                    sentiment=forecast_sentiment)
+
+
+def test_table7_btc_dataset(benchmark, forecast_dataset_48):
+    table7 = run_once(benchmark, forecast_dataset_48.table7)
+    rows = [[key, PAPER[key], table7[key]] for key in PAPER]
+    table = format_table(["Quantity", "Paper", "Ours"], rows,
+                         title="Table 7: BTC forecasting dataset")
+    report("table7_btc_dataset", table)
+
+    assert table7["btc_messages"] <= table7["messages"]
+    assert table7["btc_messages"] > 0.3 * table7["messages"] * 0.1
+    assert table7["positive_messages"] + table7["negative_messages"] <= \
+        table7["messages"]
+    assert table7["train_samples"] > 2 * table7["test_samples"]

@@ -1,0 +1,50 @@
+"""Sentiment-enhanced BTC price forecasting (§7, Table 8-lite).
+
+Aggregates hourly sentiment from a simulated Telegram trading-group
+stream, then compares a GRU and SNN with and without sentiment features.
+
+    python examples/price_forecasting.py
+"""
+
+from repro.forecasting import (
+    BTCForecastDataset,
+    aggregate_hourly_sentiment,
+    run_forecasting_experiment,
+)
+from repro.simulation import SyntheticWorld
+from repro.utils import ReproConfig, format_table
+
+
+def main() -> None:
+    config = ReproConfig.tiny()
+    world = SyntheticWorld.generate(config)
+    # More history than the tiny default: sentiment needs enough hours to
+    # show its forecasting value within a short demo run.
+    n_hours = 2600
+    sentiment = aggregate_hourly_sentiment(world, n_hours, per_hour=6.0)
+    dataset = BTCForecastDataset.build(world, span=24, n_hours=n_hours,
+                                       sentiment=sentiment)
+    print("Table 7 (dataset statistics):", dataset.table7())
+
+    experiment = run_forecasting_experiment(
+        world, span=24, model_names=("gru", "snn"), epochs=8, dataset=dataset,
+    )
+    rows = []
+    for name in experiment.mae_price:
+        rows.append([
+            name.upper(),
+            round(experiment.mae_price[name], 2),
+            round(experiment.mae_price_telegram[name], 2),
+            round(experiment.improvement(name), 2),
+            round(experiment.cost[name], 3),
+        ])
+    print(format_table(
+        ["Model", "MAE(P)", "MAE(P+T)", "Impr", "Cost s/50 batches"], rows,
+        title="\nTable 8 (lite): 24h-span BTC forecasting",
+    ))
+    print("\nSentiment features improve MAE when Impr > 0; SNN trains an "
+          "order of magnitude faster than recurrent models.")
+
+
+if __name__ == "__main__":
+    main()

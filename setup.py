@@ -1,0 +1,10 @@
+"""Thin setup shim.
+
+The offline sandbox lacks the ``wheel`` package, so PEP 517 editable builds
+fail; this file lets ``pip install -e . --no-build-isolation --no-use-pep517``
+perform a legacy editable install.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

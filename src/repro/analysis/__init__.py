@@ -1,0 +1,48 @@
+"""repro.analysis — the §4 observational studies and figure data."""
+
+from repro.analysis.coin_level import (
+    CoinLevelStudy,
+    DistributionSummary,
+    cohort_edges,
+    coin_level_study,
+)
+from repro.analysis.event_level import (
+    EventStudy,
+    WINDOW_XS,
+    event_study,
+    exchange_distribution,
+    volume_onset_hour,
+)
+from repro.analysis.channel_level import (
+    ChannelLevelStudy,
+    ChannelScatter,
+    SCATTER_FEATURES,
+    channel_level_study,
+)
+from repro.analysis.semantic import STRATEGIES, SemanticStudy, semantic_study
+from repro.analysis.stats import (
+    BootstrapInterval,
+    bootstrap_hr,
+    mae_bootstrap,
+    paired_bootstrap_winrate,
+)
+from repro.analysis.attention_viz import (
+    FeaturePattern,
+    classify_patterns,
+    dominant_period,
+    periodicity_spectrum,
+    render_heatmap,
+)
+
+__all__ = [
+    "coin_level_study", "CoinLevelStudy", "DistributionSummary", "cohort_edges",
+    "event_study", "EventStudy", "exchange_distribution", "volume_onset_hour",
+    "WINDOW_XS",
+    "channel_level_study", "ChannelLevelStudy", "ChannelScatter",
+    "SCATTER_FEATURES",
+    "semantic_study", "SemanticStudy", "STRATEGIES",
+    "BootstrapInterval", "bootstrap_hr", "paired_bootstrap_winrate",
+    "mae_bootstrap",
+    "classify_patterns", "FeaturePattern", "periodicity_spectrum",
+    "dominant_period", "render_heatmap",
+]

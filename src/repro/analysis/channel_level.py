@@ -1,0 +1,77 @@
+"""Channel-level analysis (§4.3, Figure 5, Q3: do strategies differ?).
+
+Scatter data of pumped-coin statistics by channel, and a homogeneity index:
+the ratio of mean within-channel spread to the global spread — below 1.0
+means intra-channel homogeneity + inter-channel heterogeneity (finding A3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.sessions import PnDSample
+from repro.simulation.world import SyntheticWorld
+
+SCATTER_FEATURES = ("market_cap", "alexa_rank", "reddit_subscribers")
+
+
+@dataclass
+class ChannelScatter:
+    """Figure 5's data for one feature."""
+
+    feature: str
+    channel_index: np.ndarray   # x-coordinates (dense channel index)
+    values: np.ndarray          # y-coordinates (log scale)
+    homogeneity_ratio: float    # mean within-channel std / global std
+
+
+@dataclass
+class ChannelLevelStudy:
+    scatters: dict[str, ChannelScatter]
+    n_channels: int
+
+    def is_homogeneous(self, feature: str, threshold: float = 0.9) -> bool:
+        return self.scatters[feature].homogeneity_ratio < threshold
+
+
+def channel_level_study(world: SyntheticWorld, samples: Sequence[PnDSample],
+                        min_history: int = 4) -> ChannelLevelStudy:
+    """Build Figure 5 scatter data from extracted samples."""
+    if not samples:
+        raise ValueError("no samples to analyse")
+    universe = world.coins
+    arrays = {
+        "market_cap": universe.market_cap,
+        "alexa_rank": universe.alexa_rank,
+        "reddit_subscribers": universe.reddit_subscribers,
+    }
+    by_channel: dict[int, list[int]] = {}
+    for sample in samples:
+        by_channel.setdefault(sample.channel_id, []).append(sample.coin_id)
+    eligible = {
+        cid: coins for cid, coins in by_channel.items() if len(coins) >= min_history
+    }
+    if not eligible:
+        raise ValueError("no channel has enough pump history")
+    channel_order = sorted(eligible)
+    scatters = {}
+    for feature, values in arrays.items():
+        xs: list[int] = []
+        ys: list[float] = []
+        within: list[float] = []
+        for index, cid in enumerate(channel_order):
+            logs = np.log(values[np.array(eligible[cid])])
+            xs.extend([index] * len(logs))
+            ys.extend(logs.tolist())
+            within.append(float(logs.std()))
+        global_std = float(np.std(ys))
+        scatters[feature] = ChannelScatter(
+            feature=feature,
+            channel_index=np.array(xs),
+            values=np.array(ys),
+            homogeneity_ratio=float(np.mean(within)) / max(global_std, 1e-12),
+        )
+    return ChannelLevelStudy(scatters=scatters, n_channels=len(channel_order))

@@ -1,0 +1,98 @@
+"""Statistical tooling: bootstrap confidence intervals for ranking metrics.
+
+HR@k on a few dozen test events quantizes heavily, so EXPERIMENTS.md
+reports bootstrap intervals alongside point estimates, and model
+comparisons use paired bootstrap win-rates rather than raw differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml import hit_ratio_at_k
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """Point estimate with a percentile bootstrap interval."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_hr(rank_lists: Sequence[np.ndarray], k: int,
+                 n_resamples: int = 1000, confidence: float = 0.95,
+                 seed: int = 0) -> BootstrapInterval:
+    """Percentile bootstrap CI of HR@k over ranking lists."""
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if not len(rank_lists):
+        raise ValueError("no rank lists given")
+    rng = np.random.default_rng(seed)
+    point = hit_ratio_at_k(rank_lists, ks=[k])[k]
+    n = len(rank_lists)
+    samples = np.empty(n_resamples)
+    for b in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        samples[b] = hit_ratio_at_k([rank_lists[i] for i in idx], ks=[k])[k]
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapInterval(
+        point=float(point),
+        low=float(np.quantile(samples, alpha)),
+        high=float(np.quantile(samples, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def paired_bootstrap_winrate(rank_lists_a: Sequence[np.ndarray],
+                             rank_lists_b: Sequence[np.ndarray], k: int,
+                             n_resamples: int = 1000,
+                             seed: int = 0) -> float:
+    """P(model A's HR@k >= model B's) under paired resampling of events.
+
+    Both inputs must be aligned per event (same order, same candidates,
+    different scores).  Values near 1.0 mean A dominates; near 0.5 means
+    the comparison is noise.
+    """
+    if len(rank_lists_a) != len(rank_lists_b):
+        raise ValueError("paired comparison needs aligned rank lists")
+    if not len(rank_lists_a):
+        raise ValueError("no rank lists given")
+    rng = np.random.default_rng(seed)
+    n = len(rank_lists_a)
+    wins = 0
+    for _ in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        hr_a = hit_ratio_at_k([rank_lists_a[i] for i in idx], ks=[k])[k]
+        hr_b = hit_ratio_at_k([rank_lists_b[i] for i in idx], ks=[k])[k]
+        if hr_a >= hr_b:
+            wins += 1
+    return wins / n_resamples
+
+
+def mae_bootstrap(errors: np.ndarray, n_resamples: int = 1000,
+                  confidence: float = 0.95, seed: int = 0) -> BootstrapInterval:
+    """Bootstrap CI of the mean absolute error from per-sample errors."""
+    errors = np.abs(np.asarray(errors, dtype=float))
+    if errors.size == 0:
+        raise ValueError("no errors given")
+    rng = np.random.default_rng(seed)
+    n = len(errors)
+    samples = np.array([
+        errors[rng.integers(0, n, size=n)].mean() for _ in range(n_resamples)
+    ])
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapInterval(
+        point=float(errors.mean()),
+        low=float(np.quantile(samples, alpha)),
+        high=float(np.quantile(samples, 1.0 - alpha)),
+        confidence=confidence,
+    )

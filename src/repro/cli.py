@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``world``     — generate a synthetic world and print its summary.
+``collect``   — run the §3 data-collection pipeline (Tables 1-4 summaries).
+``analyze``   — run the §4 observational studies (Figures 3-6 numbers).
+``train``     — train a ranker and report HR@k; optionally save weights.
+``forecast``  — run the §7 BTC forecasting comparison (Table 8-lite).
+
+All commands accept ``--scale {tiny,small,paper}`` and ``--seed N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.utils import ReproConfig, format_table
+
+
+def _config(args) -> ReproConfig:
+    builders = {
+        "tiny": ReproConfig.tiny,
+        "small": ReproConfig.small,
+        "paper": ReproConfig.paper,
+    }
+    return builders[args.scale](seed=args.seed)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=("tiny", "small", "paper"),
+                        default="tiny", help="world size preset")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def cmd_world(args) -> int:
+    from repro.simulation import SyntheticWorld
+
+    world = SyntheticWorld.generate(_config(args))
+    summary = world.summary()
+    print(format_table(["quantity", "value"], list(summary.items()),
+                       title="synthetic world"))
+    return 0
+
+
+def cmd_collect(args) -> int:
+    from repro.data import collect
+    from repro.simulation import SyntheticWorld
+
+    world = SyntheticWorld.generate(_config(args))
+    result = collect(world)
+    print("exploration:", result.exploration.summary())
+    for name, report in result.detection.reports.items():
+        print(f"detector {name}: auc={report.auc:.3f} f1={report.f1:.3f}")
+    print("table2:", result.table2())
+    table4 = result.dataset.table4()
+    print(format_table(
+        ["split", "positives", "total"],
+        [[s, table4[s]["positives"], table4[s]["total"]] for s in table4],
+        title="table 4",
+    ))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis import (
+        channel_level_study,
+        coin_level_study,
+        event_study,
+        semantic_study,
+        volume_onset_hour,
+    )
+    from repro.data import collect
+    from repro.simulation import SyntheticWorld
+
+    world = SyntheticWorld.generate(_config(args))
+    samples = collect(world).samples
+    coins = coin_level_study(world, samples)
+    print(f"repump rate: {coins.repump_rate:.3f}")
+    print(f"cap cohort closest to pumped: {coins.closest_cohort('market_cap')}")
+    events = event_study(world, max_events=60)
+    print(f"peak return window: x={events.peak_window()} "
+          f"({events.window_returns_pumped[events.peak_window()]:.3f})")
+    print(f"volume onset: ~{volume_onset_hour(events):.0f}h before pump")
+    channels = channel_level_study(world, samples, min_history=3)
+    for feature, scatter in channels.scatters.items():
+        print(f"homogeneity[{feature}]: {scatter.homogeneity_ratio:.3f}")
+    semantics = semantic_study(world, samples, n_pairs=300)
+    for strategy in ("same_channel", "pumped_set", "all_coins"):
+        print(f"semantic sim[{strategy}]: {semantics.mean(strategy):.3f}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.core import (
+        Trainer,
+        evaluate_scores,
+        make_model,
+        predict_scores,
+        snn_config_for,
+    )
+    from repro.data import collect
+    from repro.features import FeatureAssembler
+    from repro.simulation import SyntheticWorld
+
+    world = SyntheticWorld.generate(_config(args))
+    assembled = FeatureAssembler(world, collect(world).dataset).assemble()
+    model = make_model(args.model, snn_config_for(assembled), seed=args.seed)
+    trainer = Trainer(epochs=args.epochs, seed=args.seed)
+    trainer.fit(model, assembled.train, assembled.validation)
+    hr = evaluate_scores(assembled.test, predict_scores(model, assembled.test))
+    print(format_table(
+        ["metric", "value"], [[f"HR@{k}", f"{v:.3f}"] for k, v in hr.items()],
+        title=f"{args.model} on the test split",
+    ))
+    if args.save:
+        from repro.nn.serialize import save_module
+
+        save_module(model, args.save)
+        print(f"weights saved to {args.save}")
+    return 0
+
+
+def cmd_forecast(args) -> int:
+    from repro.forecasting import BTCForecastDataset, run_forecasting_experiment
+    from repro.simulation import SyntheticWorld
+
+    world = SyntheticWorld.generate(_config(args))
+    dataset = BTCForecastDataset.build(world, span=args.span)
+    experiment = run_forecasting_experiment(
+        world, span=args.span, model_names=tuple(args.models.split(",")),
+        epochs=args.epochs, dataset=dataset,
+    )
+    rows = [
+        [name, round(experiment.mae_price[name], 2),
+         round(experiment.mae_price_telegram[name], 2),
+         round(experiment.improvement(name), 2),
+         round(experiment.cost[name], 3)]
+        for name in experiment.mae_price
+    ]
+    print(format_table(["model", "MAE(P)", "MAE(P+T)", "impr", "cost"], rows,
+                       title=f"BTC forecasting, span={args.span}h"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_world = sub.add_parser("world", help="generate and summarize a world")
+    _add_common(p_world)
+    p_world.set_defaults(fn=cmd_world)
+
+    p_collect = sub.add_parser("collect", help="run the data pipeline")
+    _add_common(p_collect)
+    p_collect.set_defaults(fn=cmd_collect)
+
+    p_analyze = sub.add_parser("analyze", help="run the §4 studies")
+    _add_common(p_analyze)
+    p_analyze.set_defaults(fn=cmd_analyze)
+
+    p_train = sub.add_parser("train", help="train a target-coin ranker")
+    _add_common(p_train)
+    p_train.add_argument("--model", default="snn",
+                         choices=("lr", "rf", "dnn", "lstm", "bilstm", "gru",
+                                  "bigru", "tcn", "snn"))
+    p_train.add_argument("--epochs", type=int, default=8)
+    p_train.add_argument("--save", default="", help="path to save weights (.npz)")
+    p_train.set_defaults(fn=cmd_train)
+
+    p_forecast = sub.add_parser("forecast", help="run the §7 comparison")
+    _add_common(p_forecast)
+    p_forecast.add_argument("--span", type=int, default=48, choices=(12, 24, 48, 96))
+    p_forecast.add_argument("--models", default="gru,snn")
+    p_forecast.add_argument("--epochs", type=int, default=5)
+    p_forecast.set_defaults(fn=cmd_forecast)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""repro.core — the paper's contribution: SNN and the target-coin task."""
+
+from repro.core.snn import SNN, Batch, SNNConfig
+from repro.core.baselines import (
+    ALL_MODEL_NAMES,
+    CLASSIC_MODEL_NAMES,
+    DEEP_MODEL_NAMES,
+    ClassicRanker,
+    DNNRanker,
+    RNNRanker,
+    TCNRanker,
+    make_model,
+)
+from repro.core.train import Trainer, TrainResult, make_batch, predict_scores
+from repro.core.evaluate import (
+    HR_KS,
+    evaluate_model,
+    evaluate_scores,
+    format_hr_table,
+    random_ranker_baseline,
+    ranking_metric,
+)
+from repro.core.coldstart import (
+    CoinIdOnlyModel,
+    EmbeddingNormStudy,
+    embedding_l1_norms,
+    train_coin_embeddings,
+)
+from repro.core.experiment import (
+    EMBEDDING_VARIANTS,
+    ExperimentOutcome,
+    run_coin_embedding_experiment,
+    run_target_coin_experiment,
+    snn_config_for,
+)
+from repro.core.predictor import CoinScore, Ranking, TargetCoinPredictor
+from repro.core.ensemble import ScoreEnsemble, rank_normalize
+from repro.core.tuning import SearchResult, TrialResult, grid_search, random_search
+from repro.core.transfer import (
+    AugmentedClassicRanker,
+    SequenceFeatureExtractor,
+    run_transfer_experiment,
+)
+
+__all__ = [
+    "SNN", "SNNConfig", "Batch",
+    "make_model", "DNNRanker", "RNNRanker", "TCNRanker", "ClassicRanker",
+    "ALL_MODEL_NAMES", "DEEP_MODEL_NAMES", "CLASSIC_MODEL_NAMES",
+    "Trainer", "TrainResult", "make_batch", "predict_scores",
+    "HR_KS", "evaluate_model", "evaluate_scores", "ranking_metric",
+    "random_ranker_baseline", "format_hr_table",
+    "train_coin_embeddings", "CoinIdOnlyModel", "embedding_l1_norms",
+    "EmbeddingNormStudy",
+    "run_target_coin_experiment", "run_coin_embedding_experiment",
+    "ExperimentOutcome", "EMBEDDING_VARIANTS", "snn_config_for",
+    "TargetCoinPredictor", "Ranking", "CoinScore",
+    "SequenceFeatureExtractor", "AugmentedClassicRanker",
+    "run_transfer_experiment",
+    "ScoreEnsemble", "rank_normalize",
+    "grid_search", "random_search", "SearchResult", "TrialResult",
+]

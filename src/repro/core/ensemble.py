@@ -1,0 +1,68 @@
+"""Score-level ensembling of heterogeneous rankers.
+
+A light extension the paper's §6.2 discussion invites: SNN's sequence-aware
+scores and RF's tabular scores make different mistakes, so a rank-averaged
+blend is often stronger than either.  Scores are combined on (normalized)
+ranks rather than raw probabilities to sidestep calibration differences.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.features.assembler import AssembledSplit
+
+
+def rank_normalize(scores: np.ndarray) -> np.ndarray:
+    """Map scores to (0, 1] by normalized ascending rank (ties averaged)."""
+    scores = np.asarray(scores, dtype=float)
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores))
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # Average ties so identical scores get identical ranks.
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i: j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks / len(scores)
+
+
+class ScoreEnsemble:
+    """Weighted rank-average of several models' scores.
+
+    Rank normalization happens *within each ranking list* so events with
+    different candidate counts contribute comparably.
+    """
+
+    def __init__(self, weights: Sequence[float] | None = None):
+        self.weights = None if weights is None else np.asarray(weights, float)
+
+    def combine(self, split: AssembledSplit,
+                score_sets: Sequence[np.ndarray]) -> np.ndarray:
+        """Blend score vectors (one per model) into ensemble scores."""
+        if not score_sets:
+            raise ValueError("at least one score vector is required")
+        n = len(split)
+        for scores in score_sets:
+            if len(scores) != n:
+                raise ValueError("score vectors must align with the split")
+        weights = (
+            np.ones(len(score_sets)) if self.weights is None else self.weights
+        )
+        if len(weights) != len(score_sets):
+            raise ValueError("one weight per score vector is required")
+        blended = np.zeros(n)
+        for list_id in np.unique(split.list_id):
+            mask = split.list_id == list_id
+            acc = np.zeros(mask.sum())
+            for weight, scores in zip(weights, score_sets):
+                acc += weight * rank_normalize(np.asarray(scores)[mask])
+            blended[mask] = acc / weights.sum()
+        return blended

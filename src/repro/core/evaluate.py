@@ -1,0 +1,58 @@
+"""Ranking evaluation — HR@k over per-event candidate lists (§6.1).
+
+For each pump event the positive coin is ranked against all its negatives
+by predicted pump probability; HR@k is the fraction of events whose true
+coin lands in the top k.  ``k in (1, 3, 5, 10, 20, 30)`` as in Tables 5-6.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.features.assembler import AssembledSplit
+from repro.ml import hit_ratio_at_k
+from repro.nn import Module
+
+HR_KS = (1, 3, 5, 10, 20, 30)
+
+
+def evaluate_scores(split: AssembledSplit, scores: np.ndarray,
+                    ks: Sequence[int] = HR_KS) -> dict[int, float]:
+    """HR@k of precomputed scores on a split."""
+    if len(scores) != len(split):
+        raise ValueError("scores and split must align")
+    return hit_ratio_at_k(split.ranking_lists(scores), ks)
+
+
+def evaluate_model(model: Module, split: AssembledSplit,
+                   ks: Sequence[int] = HR_KS) -> dict[int, float]:
+    """HR@k of a deep ranker on a split."""
+    from repro.core.train import predict_scores
+
+    return evaluate_scores(split, predict_scores(model, split), ks)
+
+
+def ranking_metric(model: Module, split: AssembledSplit, k: int = 10) -> float:
+    """Single scalar used for model selection during training."""
+    return evaluate_model(model, split, ks=(k,))[k]
+
+
+def random_ranker_baseline(split: AssembledSplit, ks: Sequence[int] = HR_KS,
+                           seed: int = 0) -> dict[int, float]:
+    """Expected HR@k of uniformly random scores (the null model)."""
+    rng = np.random.default_rng(seed)
+    return evaluate_scores(split, rng.random(len(split)), ks)
+
+
+def format_hr_table(results: Mapping[str, Mapping[int, float]],
+                    ks: Sequence[int] = HR_KS) -> str:
+    """Render a Table 5 / Table 6 style text table."""
+    from repro.utils import format_table
+
+    headers = ["Metric"] + list(results.keys())
+    rows = []
+    for k in ks:
+        rows.append([f"HR@{k}"] + [results[name][k] for name in results])
+    return format_table(headers, rows)

@@ -1,0 +1,178 @@
+"""TargetCoinPredictor — the deployment-facing API of the paper's intro.
+
+Given a pump announcement (channel, exchange, scheduled time), rank *every
+eligible coin listed on that exchange* by pump probability one hour before
+the pump — "real-time efficiency to ensure the timeliness" (§1).
+
+The predictor wraps a trained ranker with the feature assembly it was
+trained on, so scoring a new announcement is a single call:
+
+>>> predictor = TargetCoinPredictor(world, dataset, model)      # doctest: +SKIP
+>>> ranking = predictor.rank(channel_id, exchange_id=0, pump_time=t)  # doctest: +SKIP
+>>> ranking.top(5)                                              # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.snn import Batch
+from repro.core.train import predict_scores
+from repro.data.dataset import TargetCoinDataset
+from repro.features.assembler import FeatureAssembler
+from repro.features.coin import coin_feature_matrix
+from repro.features.market_windows import market_feature_matrix
+from repro.features.sequence import encode_history
+from repro.ml.scaling import StandardScaler
+from repro.nn import Module, no_grad
+from repro.simulation.coins import PAIR_SYMBOLS
+from repro.simulation.world import SyntheticWorld
+
+
+@dataclass(frozen=True)
+class CoinScore:
+    """One candidate coin's predicted pump probability."""
+
+    coin_id: int
+    symbol: str
+    probability: float
+
+
+@dataclass
+class Ranking:
+    """Scored candidates of one announcement, sorted by probability."""
+
+    channel_id: int
+    exchange_id: int
+    pump_time: float
+    scores: list[CoinScore]
+
+    def top(self, k: int) -> list[CoinScore]:
+        return self.scores[:k]
+
+    def rank_of(self, coin_id: int) -> int:
+        """1-based rank of a coin, or -1 if not a candidate."""
+        for i, score in enumerate(self.scores):
+            if score.coin_id == coin_id:
+                return i + 1
+        return -1
+
+
+class TargetCoinPredictor:
+    """Rank listed coins for an announced pump event.
+
+    Parameters
+    ----------
+    world:
+        The market/universe oracle used to compute features.
+    dataset:
+        The extracted P&D dataset (provides per-channel pump histories and
+        split statistics for feature standardization).
+    model:
+        A trained deep ranker (SNN or any Table 5 competitor).
+    assembler:
+        The fitted :class:`FeatureAssembler`; rebuilt if omitted.
+    """
+
+    def __init__(self, world: SyntheticWorld, dataset: TargetCoinDataset,
+                 model: Module, assembler: FeatureAssembler | None = None):
+        self.world = world
+        self.dataset = dataset
+        self.model = model
+        self.assembler = assembler or FeatureAssembler(world, dataset)
+        self._channel_index = self.assembler.channel_index
+        self._subscribers = self.assembler.subscribers
+        self._numeric_scaler = StandardScaler()
+        self._seq_scaler = StandardScaler()
+        self._fit_scalers()
+
+    def _fit_scalers(self) -> None:
+        """Fit feature scalers on raw train-split features."""
+        train_rows = [e for e in self.dataset.examples if e.split == "train"]
+        if not train_rows:
+            raise ValueError("dataset has no training rows")
+        rng = np.random.default_rng(0)
+        sample = rng.choice(len(train_rows), size=min(2000, len(train_rows)),
+                            replace=False)
+        numeric_blocks = []
+        seq_blocks = []
+        seen_lists: set[int] = set()
+        for idx in sample:
+            example = train_rows[int(idx)]
+            coins = np.array([example.coin_id])
+            block = self._raw_numeric(example.channel_id, coins, example.time)
+            numeric_blocks.append(block)
+            if example.list_id not in seen_lists:
+                seen_lists.add(example.list_id)
+                history = self.dataset.history_before(
+                    example.channel_id, example.time,
+                    self.assembler.sequence_length,
+                )
+                seq = encode_history(self.world.market, history,
+                                     self.assembler.sequence_length)
+                if seq.mask.sum():
+                    seq_blocks.append(seq.numeric[seq.mask > 0])
+        self._numeric_scaler.fit(np.vstack(numeric_blocks))
+        if seq_blocks:
+            self._seq_scaler.fit(np.vstack(seq_blocks))
+        else:
+            from repro.features.sequence import SEQUENCE_NUMERIC_NAMES
+
+            self._seq_scaler.fit(np.zeros((2, len(SEQUENCE_NUMERIC_NAMES))))
+
+    def _raw_numeric(self, channel_id: int, coins: np.ndarray,
+                     time: float) -> np.ndarray:
+        market = self.world.market
+        channel_feature = np.log(self._subscribers.get(channel_id, 1000) + 1.0)
+        return np.concatenate([
+            np.full((len(coins), 1), channel_feature),
+            coin_feature_matrix(market, coins, time),
+            market_feature_matrix(market, coins, time),
+        ], axis=1)
+
+    def candidates(self, exchange_id: int, pump_time: float) -> np.ndarray:
+        """Eligible coins: listed on the exchange, not a pairing major."""
+        listed = self.world.coins.listed_coins(exchange_id, pump_time)
+        return listed[listed >= len(PAIR_SYMBOLS)]
+
+    def rank(self, channel_id: int, exchange_id: int,
+             pump_time: float) -> Ranking:
+        """Score every candidate coin for one announced pump."""
+        if channel_id not in self._channel_index:
+            raise KeyError(f"channel {channel_id} unseen during training")
+        coins = self.candidates(exchange_id, pump_time)
+        if len(coins) == 0:
+            raise ValueError("no eligible coins listed at this time")
+        numeric = self._numeric_scaler.transform(
+            self._raw_numeric(channel_id, coins, pump_time)
+        )
+        history = self.dataset.history_before(
+            channel_id, pump_time, self.assembler.sequence_length
+        )
+        seq = encode_history(self.world.market, history,
+                             self.assembler.sequence_length)
+        seq_numeric = self._seq_scaler.transform(seq.numeric) * seq.mask[:, None]
+        n = len(coins)
+        batch = Batch(
+            channel_idx=np.full(n, self._channel_index[channel_id]),
+            coin_idx=coins,
+            numeric=numeric,
+            seq_coin_idx=np.tile(seq.coin_ids, (n, 1)),
+            seq_numeric=np.tile(seq_numeric, (n, 1, 1)),
+            seq_mask=np.tile(seq.mask, (n, 1)),
+            label=np.zeros(n),
+        )
+        self.model.eval()
+        with no_grad():
+            logits = self.model(batch).numpy()
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        order = np.argsort(-probs)
+        scores = [
+            CoinScore(int(coins[i]), self.world.coins.symbols[int(coins[i])],
+                      float(probs[i]))
+            for i in order
+        ]
+        return Ranking(channel_id=channel_id, exchange_id=exchange_id,
+                       pump_time=pump_time, scores=scores)

@@ -1,0 +1,114 @@
+"""Hyper-parameter search for the deep rankers.
+
+A deterministic grid/random search over :class:`Trainer` and
+:class:`SNNConfig` knobs, selecting by validation HR@k.  Useful for
+adopters retuning on their own extracted datasets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.baselines import make_model
+from repro.core.evaluate import evaluate_scores
+from repro.core.experiment import snn_config_for
+from repro.core.train import Trainer, predict_scores
+from repro.features.assembler import AssembledDataset
+
+TRAINER_KEYS = frozenset({"lr", "epochs", "batch_size", "pos_weight", "grad_clip"})
+MODEL_KEYS = frozenset({
+    "channel_emb_dim", "coin_emb_dim", "attention_channels", "hidden_dims",
+    "dropout",
+})
+
+
+@dataclass
+class TrialResult:
+    """One evaluated configuration."""
+
+    params: dict
+    validation_hr: float
+    test_hr: dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class SearchResult:
+    """All trials plus the selected best configuration."""
+
+    trials: list[TrialResult] = field(default_factory=list)
+    best: TrialResult | None = None
+
+
+def _split_params(params: Mapping) -> tuple[dict, dict]:
+    trainer_kwargs, model_kwargs = {}, {}
+    for key, value in params.items():
+        if key in TRAINER_KEYS:
+            trainer_kwargs[key] = value
+        elif key in MODEL_KEYS:
+            model_kwargs[key] = value
+        else:
+            raise KeyError(f"unknown hyper-parameter {key!r}")
+    return trainer_kwargs, model_kwargs
+
+
+def grid_search(assembled: AssembledDataset, grid: Mapping[str, Sequence],
+                model_name: str = "snn", select_k: int = 10,
+                seed: int = 0, evaluate_test: bool = False) -> SearchResult:
+    """Exhaustive search over the cartesian product of ``grid``.
+
+    ``grid`` maps hyper-parameter names (Trainer or SNNConfig fields) to
+    candidate values; selection maximizes validation HR@``select_k``.
+    """
+    if not grid:
+        raise ValueError("empty grid")
+    keys = sorted(grid)
+    result = SearchResult()
+    for values in itertools.product(*(grid[k] for k in keys)):
+        params = dict(zip(keys, values))
+        trainer_kwargs, model_kwargs = _split_params(params)
+        config = snn_config_for(assembled, **model_kwargs)
+        model = make_model(model_name, config, seed=seed)
+        trainer = Trainer(seed=seed, **trainer_kwargs)
+        trainer.fit(model, assembled.train, assembled.validation)
+        val_scores = predict_scores(model, assembled.validation)
+        val_hr = evaluate_scores(assembled.validation, val_scores,
+                                 ks=(select_k,))[select_k]
+        trial = TrialResult(params=params, validation_hr=float(val_hr))
+        if evaluate_test:
+            trial.test_hr = evaluate_scores(
+                assembled.test, predict_scores(model, assembled.test)
+            )
+        result.trials.append(trial)
+        if result.best is None or trial.validation_hr > result.best.validation_hr:
+            result.best = trial
+    return result
+
+
+def random_search(assembled: AssembledDataset, space: Mapping[str, Sequence],
+                  n_trials: int, model_name: str = "snn", select_k: int = 10,
+                  seed: int = 0) -> SearchResult:
+    """Random search: each trial samples one value per hyper-parameter."""
+    if n_trials < 1:
+        raise ValueError("n_trials must be positive")
+    rng = np.random.default_rng(seed)
+    keys = sorted(space)
+    result = SearchResult()
+    for trial_idx in range(n_trials):
+        params = {k: space[k][int(rng.integers(len(space[k])))] for k in keys}
+        trainer_kwargs, model_kwargs = _split_params(params)
+        config = snn_config_for(assembled, **model_kwargs)
+        model = make_model(model_name, config, seed=seed + trial_idx)
+        trainer = Trainer(seed=seed + trial_idx, **trainer_kwargs)
+        trainer.fit(model, assembled.train, assembled.validation)
+        val_scores = predict_scores(model, assembled.validation)
+        val_hr = evaluate_scores(assembled.validation, val_scores,
+                                 ks=(select_k,))[select_k]
+        trial = TrialResult(params=params, validation_hr=float(val_hr))
+        result.trials.append(trial)
+        if result.best is None or trial.validation_hr > result.best.validation_hr:
+            result.best = trial
+    return result

@@ -1,0 +1,65 @@
+"""repro.data — the data-collection pipeline of §3 (Figure 2, left)."""
+
+from repro.data.exploration import (
+    ChannelExplorer,
+    ExplorationResult,
+    extract_invite_links,
+)
+from repro.data.detection import (
+    DETECTION_THRESHOLD,
+    DetectionOutcome,
+    PumpMessageDetector,
+    run_detection_pipeline,
+)
+from repro.data.sessions import (
+    SESSION_GAP_HOURS,
+    PnDSample,
+    Session,
+    dataset_statistics,
+    extract_sample,
+    extract_samples,
+    parse_release_symbol,
+    sessionize,
+)
+from repro.data.dataset import (
+    SPLIT_NAMES,
+    TargetCoinDataset,
+    TargetCoinExample,
+)
+from repro.data.pipeline import CollectionResult, collect
+from repro.data.updater import DatasetUpdater, UpdateResult
+from repro.data.market_resolution import (
+    ImageResolution,
+    find_image_release_sessions,
+    recover_image_samples,
+    resolve_image_release,
+)
+
+__all__ = [
+    "ChannelExplorer",
+    "ExplorationResult",
+    "extract_invite_links",
+    "PumpMessageDetector",
+    "DetectionOutcome",
+    "run_detection_pipeline",
+    "DETECTION_THRESHOLD",
+    "Session",
+    "sessionize",
+    "SESSION_GAP_HOURS",
+    "PnDSample",
+    "extract_sample",
+    "extract_samples",
+    "parse_release_symbol",
+    "dataset_statistics",
+    "TargetCoinDataset",
+    "TargetCoinExample",
+    "SPLIT_NAMES",
+    "CollectionResult",
+    "collect",
+    "DatasetUpdater",
+    "UpdateResult",
+    "ImageResolution",
+    "find_image_release_sessions",
+    "resolve_image_release",
+    "recover_image_samples",
+]

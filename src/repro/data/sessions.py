@@ -1,0 +1,164 @@
+"""Sessionization and P&D sample extraction (§3.2, Tables 2-3).
+
+Detected pump messages of one channel are grouped into **sessions** — runs
+of messages whose inter-arrival gap never exceeds 24 hours.  A session is
+the minimum unit in which a channel can hold one P&D; from each session we
+try to extract the quintuple
+
+    (channel_id, target coin, exchange, pairing coin, timestamp)
+
+by parsing the coin release, the announcement's exchange and pair.  Sessions
+whose coin cannot be resolved (e.g. OCR-proof image releases) yield no
+sample — this is why the paper finds 1,335 samples in 2,006 sessions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.simulation.messages import Message
+
+SESSION_GAP_HOURS = 24.0
+
+_RELEASE_RE = re.compile(r"^(?:Coin:\s*)?([A-Z]{2,6})$")
+_EXCHANGE_RE = re.compile(r"pump on ([A-Za-z]+)")
+_PAIR_RE = re.compile(r"Pair:\s*([A-Z]{2,6})")
+
+
+@dataclass(frozen=True)
+class PnDSample:
+    """The extracted quintuple of one channel's participation in one P&D."""
+
+    channel_id: int
+    coin_id: int
+    exchange_id: int
+    pair: str
+    time: float  # fractional hours; release-message timestamp
+
+    def quintuple(self, symbols: Sequence[str],
+                  exchange_names: Sequence[str]) -> tuple:
+        """Human-readable row as in Table 3."""
+        return (
+            self.channel_id,
+            symbols[self.coin_id],
+            exchange_names[self.exchange_id % len(exchange_names)],
+            self.pair,
+            self.time,
+        )
+
+
+@dataclass
+class Session:
+    """A maximal 24h-gap run of one channel's detected pump messages."""
+
+    channel_id: int
+    messages: list[Message]
+
+    @property
+    def start(self) -> float:
+        return self.messages[0].time
+
+    @property
+    def end(self) -> float:
+        return self.messages[-1].time
+
+
+def sessionize(messages: Sequence[Message],
+               gap_hours: float = SESSION_GAP_HOURS) -> list[Session]:
+    """Group detected messages into per-channel sessions.
+
+    Messages may arrive unsorted and mixed across channels.
+    """
+    if gap_hours <= 0:
+        raise ValueError("gap_hours must be positive")
+    by_channel: dict[int, list[Message]] = {}
+    for message in messages:
+        by_channel.setdefault(message.channel_id, []).append(message)
+    sessions: list[Session] = []
+    for channel_id, channel_messages in by_channel.items():
+        channel_messages.sort(key=lambda m: m.time)
+        current: list[Message] = []
+        for message in channel_messages:
+            if current and message.time - current[-1].time > gap_hours:
+                sessions.append(Session(channel_id, current))
+                current = []
+            current.append(message)
+        if current:
+            sessions.append(Session(channel_id, current))
+    sessions.sort(key=lambda s: s.start)
+    return sessions
+
+
+def parse_release_symbol(text: str, known_symbols: Mapping[str, int]) -> int | None:
+    """Coin id of a release-style message, or None if unresolvable."""
+    match = _RELEASE_RE.match(text.strip())
+    if not match:
+        return None
+    return known_symbols.get(match.group(1))
+
+
+def extract_sample(session: Session, known_symbols: Mapping[str, int],
+                   exchange_ids: Mapping[str, int]) -> PnDSample | None:
+    """Resolve one session into a P&D sample, if possible.
+
+    The *last* resolvable release message in the session fixes the coin and
+    timestamp (channels sometimes repost the symbol); exchange and pair come
+    from the announcement/countdown texts, defaulting to Binance/BTC —
+    the paper's dominant combination — when unparseable.
+    """
+    coin_id = None
+    release_time = None
+    for message in session.messages:
+        parsed = parse_release_symbol(message.text, known_symbols)
+        if parsed is not None:
+            coin_id = parsed
+            release_time = message.time
+    if coin_id is None:
+        return None
+    exchange_id = 0
+    pair = "BTC"
+    for message in session.messages:
+        ex_match = _EXCHANGE_RE.search(message.text)
+        if ex_match:
+            exchange_id = exchange_ids.get(ex_match.group(1), exchange_id)
+        pair_match = _PAIR_RE.search(message.text)
+        if pair_match:
+            pair = pair_match.group(1)
+    return PnDSample(
+        channel_id=session.channel_id,
+        coin_id=int(coin_id),
+        exchange_id=int(exchange_id),
+        pair=pair,
+        time=float(release_time),
+    )
+
+
+def extract_samples(sessions: Sequence[Session], symbols: Sequence[str],
+                    exchange_names: Sequence[str]) -> list[PnDSample]:
+    """Extract every resolvable P&D sample, chronologically sorted."""
+    known_symbols = {s: i for i, s in enumerate(symbols)}
+    exchange_ids = {name: i for i, name in enumerate(exchange_names)}
+    samples = []
+    for session in sessions:
+        sample = extract_sample(session, known_symbols, exchange_ids)
+        if sample is not None:
+            samples.append(sample)
+    samples.sort(key=lambda s: s.time)
+    return samples
+
+
+def dataset_statistics(samples: Sequence[PnDSample]) -> dict[str, int]:
+    """Table-2 style counts over extracted samples."""
+    events: set[tuple[int, int]] = set()
+    for sample in samples:
+        # Samples of one coordinated event share coin and (rounded) hour.
+        events.add((sample.coin_id, int(round(sample.time))))
+    return {
+        "samples": len(samples),
+        "events": len(events),
+        "channels": len({s.channel_id for s in samples}),
+        "coins": len({s.coin_id for s in samples}),
+        "exchanges": len({s.exchange_id for s in samples}),
+    }

@@ -1,0 +1,183 @@
+"""FeatureAssembler — model-ready tensors for the target-coin task.
+
+Assembles, for every example of a :class:`~repro.data.dataset.TargetCoinDataset`:
+
+* ``channel_idx`` — dense channel index (embedding input);
+* ``coin_idx`` — candidate coin id (embedding input, PAD-aware);
+* ``numeric`` — channel + coin-stable + market-movement features,
+  standardized with train-split statistics only;
+* ``seq_coin_idx`` / ``seq_numeric`` / ``seq_mask`` — the channel's encoded
+  pump history (identical across the candidates of one ranking list, so it
+  is computed once per list);
+* ``label``, ``list_id``, ``split``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import TargetCoinDataset, TargetCoinExample
+from repro.features.coin import COIN_FEATURE_NAMES, coin_feature_matrix
+from repro.features.market_windows import MARKET_FEATURE_NAMES, market_feature_matrix
+from repro.features.sequence import (
+    N_SEQUENCE_FEATURES,
+    SEQUENCE_NUMERIC_NAMES,
+    encode_history,
+    pad_coin_id,
+)
+from repro.ml.scaling import StandardScaler
+from repro.simulation.world import SyntheticWorld
+
+CHANNEL_FEATURE_NAMES = ("log_subscribers",)
+
+NUMERIC_FEATURE_NAMES = CHANNEL_FEATURE_NAMES + COIN_FEATURE_NAMES + MARKET_FEATURE_NAMES
+
+
+@dataclass
+class AssembledSplit:
+    """Arrays of one split, aligned row-by-row."""
+
+    channel_idx: np.ndarray    # (B,)
+    coin_idx: np.ndarray       # (B,)
+    numeric: np.ndarray        # (B, D)
+    seq_coin_idx: np.ndarray   # (B, N)
+    seq_numeric: np.ndarray    # (B, N, K-1)
+    seq_mask: np.ndarray       # (B, N)
+    label: np.ndarray          # (B,)
+    list_id: np.ndarray        # (B,)
+
+    def __len__(self) -> int:
+        return len(self.label)
+
+    def ranking_lists(self, scores: np.ndarray) -> list[np.ndarray]:
+        """Group (score, label) pairs by list for HR@k evaluation."""
+        out = []
+        for list_id in np.unique(self.list_id):
+            mask = self.list_id == list_id
+            out.append(np.stack([scores[mask], self.label[mask]], axis=1))
+        return out
+
+
+@dataclass
+class AssembledDataset:
+    """All three splits plus vocabulary sizes for embedding layers."""
+
+    train: AssembledSplit
+    validation: AssembledSplit
+    test: AssembledSplit
+    n_channels: int
+    n_coin_ids: int       # includes the PAD id
+    sequence_length: int
+    channel_index: dict[int, int] = field(default_factory=dict)
+
+    def split(self, name: str) -> AssembledSplit:
+        if name not in ("train", "validation", "test"):
+            raise ValueError(f"unknown split {name!r}")
+        return getattr(self, name)
+
+
+class FeatureAssembler:
+    """Build :class:`AssembledDataset` from a world + extracted dataset."""
+
+    def __init__(self, world: SyntheticWorld, dataset: TargetCoinDataset):
+        self.world = world
+        self.dataset = dataset
+        self.sequence_length = world.config.sequence_length
+        # Channel vocabulary: every channel appearing anywhere in the data.
+        channel_ids = sorted({e.channel_id for e in dataset.examples})
+        self.channel_index = {cid: i for i, cid in enumerate(channel_ids)}
+        self.subscribers = {
+            c.channel_id: c.subscribers for c in world.channels.pump_channels
+        }
+
+    # -- assembly -------------------------------------------------------------
+
+    def assemble(self) -> AssembledDataset:
+        examples = self.dataset.examples
+        market = self.world.market
+        n = len(examples)
+        n_numeric = len(NUMERIC_FEATURE_NAMES)
+        channel_idx = np.zeros(n, dtype=np.int64)
+        coin_idx = np.zeros(n, dtype=np.int64)
+        numeric = np.zeros((n, n_numeric))
+        seq_len = self.sequence_length
+        seq_coin_idx = np.zeros((n, seq_len), dtype=np.int64)
+        seq_numeric = np.zeros((n, seq_len, len(SEQUENCE_NUMERIC_NAMES)))
+        seq_mask = np.zeros((n, seq_len))
+        label = np.array([e.label for e in examples], dtype=np.float64)
+        list_id = np.array([e.list_id for e in examples], dtype=np.int64)
+        split_name = np.array([e.split for e in examples])
+
+        # Group rows by ranking list: one market/sequence computation per list.
+        order = np.argsort(list_id, kind="mergesort")
+        start = 0
+        while start < n:
+            stop = start
+            current = list_id[order[start]]
+            while stop < n and list_id[order[stop]] == current:
+                stop += 1
+            rows = order[start:stop]
+            self._fill_list(rows, examples, market, channel_idx, coin_idx,
+                            numeric, seq_coin_idx, seq_numeric, seq_mask)
+            start = stop
+
+        # Standardize numerics (and sequence numerics) on train stats only.
+        train_mask = split_name == "train"
+        scaler = StandardScaler().fit(numeric[train_mask])
+        numeric = scaler.transform(numeric)
+        flat = seq_numeric.reshape(-1, seq_numeric.shape[-1])
+        seq_scaler = StandardScaler().fit(
+            seq_numeric[train_mask].reshape(-1, seq_numeric.shape[-1])
+        )
+        seq_numeric = seq_scaler.transform(flat).reshape(seq_numeric.shape)
+        seq_numeric *= seq_mask[:, :, None]  # keep PAD rows at exact zero
+
+        def build(mask: np.ndarray) -> AssembledSplit:
+            return AssembledSplit(
+                channel_idx=channel_idx[mask],
+                coin_idx=coin_idx[mask],
+                numeric=numeric[mask],
+                seq_coin_idx=seq_coin_idx[mask],
+                seq_numeric=seq_numeric[mask],
+                seq_mask=seq_mask[mask],
+                label=label[mask],
+                list_id=list_id[mask],
+            )
+
+        return AssembledDataset(
+            train=build(train_mask),
+            validation=build(split_name == "validation"),
+            test=build(split_name == "test"),
+            n_channels=len(self.channel_index),
+            n_coin_ids=pad_coin_id(self.world.coins.n_coins) + 1,
+            sequence_length=seq_len,
+            channel_index=dict(self.channel_index),
+        )
+
+    def _fill_list(self, rows: np.ndarray, examples: list[TargetCoinExample],
+                   market, channel_idx, coin_idx, numeric,
+                   seq_coin_idx, seq_numeric, seq_mask) -> None:
+        """Fill feature rows for one ranking list (shared channel + time)."""
+        first = examples[rows[0]]
+        time = first.time
+        channel_id = first.channel_id
+        coins = np.array([examples[r].coin_id for r in rows], dtype=np.int64)
+
+        channel_feature = np.log(self.subscribers.get(channel_id, 1000) + 1.0)
+        coin_features = coin_feature_matrix(market, coins, time)
+        movement = market_feature_matrix(market, coins, time)
+        block = np.concatenate(
+            [np.full((len(rows), 1), channel_feature), coin_features, movement],
+            axis=1,
+        )
+        history = self.dataset.history_before(channel_id, time, self.sequence_length)
+        sequence = encode_history(market, history, self.sequence_length)
+        for i, r in enumerate(rows):
+            channel_idx[r] = self.channel_index[channel_id]
+            coin_idx[r] = coins[i]
+            numeric[r] = block[i]
+            seq_coin_idx[r] = sequence.coin_ids
+            seq_numeric[r] = sequence.numeric
+            seq_mask[r] = sequence.mask

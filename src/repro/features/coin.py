@@ -1,0 +1,50 @@
+"""Stable coin features (§5.1): the CoinGecko-style statistics.
+
+The paper collects market cap, price, volume, Alexa rank, Twitter followers
+and Reddit subscribers *three days prior* to the pump event, because those
+values are stable before the P&D machinery starts moving the market.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.market import MarketSimulator
+
+STABLE_LEAD_HOURS = 72  # "three days prior to the pump event"
+
+COIN_FEATURE_NAMES = (
+    "log_market_cap",
+    "log_alexa_rank",
+    "log_reddit_subscribers",
+    "log_twitter_followers",
+    "log_price_3d",
+    "log_volume_3d",
+)
+
+
+def coin_feature_matrix(market: MarketSimulator, coin_ids: np.ndarray,
+                        time: float) -> np.ndarray:
+    """Stable statistics for candidate coins at a pump time.
+
+    Returns ``(len(coin_ids), len(COIN_FEATURE_NAMES))``; price and volume
+    are taken 72 hours before ``time`` so pre-pump movement cannot leak in.
+    """
+    coin_ids = np.asarray(coin_ids, dtype=np.int64)
+    universe = market.universe
+    stable_hour = time - STABLE_LEAD_HOURS
+    log_price = market.log_close(coin_ids, np.full(len(coin_ids), stable_hour))
+    log_volume = np.log(
+        market.hourly_volume(coin_ids, np.full(len(coin_ids), stable_hour)) + 1e-12
+    )
+    return np.stack(
+        [
+            np.log(universe.market_cap[coin_ids]),
+            np.log(universe.alexa_rank[coin_ids]),
+            np.log(universe.reddit_subscribers[coin_ids] + 1.0),
+            np.log(universe.twitter_followers[coin_ids] + 1.0),
+            log_price,
+            log_volume,
+        ],
+        axis=1,
+    )

@@ -1,0 +1,42 @@
+"""Market-movement features (§5.1): the pre-pump precursor signals.
+
+For each candidate coin the paper computes price/return/volume/trade-count
+statistics inside windows ``(x+1, 1]`` hours before the scheduled pump time
+for ``x in (1, 3, 6, 12, 24, 48, 60, 72)`` — exactly the windows Figure 4(c)
+shows to be informative (insiders accumulate from ~60h out).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.market import MarketSimulator
+
+WINDOW_HOURS = (1, 3, 6, 12, 24, 48, 60, 72)
+
+MARKET_FEATURE_NAMES = tuple(
+    f"return_{x}h" for x in WINDOW_HOURS
+) + tuple(
+    f"log_volume_ratio_{x}h" for x in (1, 3, 6, 12, 24)
+) + ("log_trade_count_24h",)
+
+
+def market_feature_matrix(market: MarketSimulator, coin_ids: np.ndarray,
+                          time: float) -> np.ndarray:
+    """Pre-pump movement features for candidates at a pump time.
+
+    Volume ratios compare each short window to the 72h window, capturing
+    *abnormal* recent activity rather than absolute (cap-driven) levels.
+    """
+    coin_ids = np.asarray(coin_ids, dtype=np.int64)
+    columns = [
+        market.window_return(coin_ids, time, x) for x in WINDOW_HOURS
+    ]
+    base_volume = market.window_volume(coin_ids, time, 72)
+    for x in (1, 3, 6, 12, 24):
+        ratio = market.window_volume(coin_ids, time, x) / np.maximum(
+            base_volume, 1e-12
+        )
+        columns.append(np.log(ratio + 1e-9))
+    columns.append(np.log(market.window_trade_count(coin_ids, time, 24) + 1.0))
+    return np.stack(columns, axis=1)

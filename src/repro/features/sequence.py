@@ -1,0 +1,62 @@
+"""Pump-history sequence features (§5.1, "sequence" group).
+
+Pumped coins are grouped by channel and ordered chronologically; each
+position carries the coin's id plus its stable statistics.  Position 1 is
+the temporally **closest** pump (matching Figure 10's ``P1``); sequences
+shorter than ``length`` are left-padded with a dedicated PAD coin id and
+zero numerics, with a mask distinguishing real positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.sessions import PnDSample
+from repro.features.coin import COIN_FEATURE_NAMES, coin_feature_matrix
+from repro.simulation.market import MarketSimulator
+
+SEQUENCE_NUMERIC_NAMES = COIN_FEATURE_NAMES  # per-position numeric features
+N_SEQUENCE_FEATURES = 1 + len(SEQUENCE_NUMERIC_NAMES)  # + coin_id
+
+
+@dataclass(frozen=True)
+class SequenceFeatures:
+    """Fixed-length encoded pump history of one channel at one time."""
+
+    coin_ids: np.ndarray   # (N,) int; PAD id where mask == 0
+    numeric: np.ndarray    # (N, K-1) float
+    mask: np.ndarray       # (N,) float; 1 for real positions
+
+
+def pad_coin_id(n_coins: int) -> int:
+    """The reserved PAD id (one past the last real coin)."""
+    return n_coins
+
+
+def encode_history(market: MarketSimulator, history: Sequence[PnDSample],
+                   length: int) -> SequenceFeatures:
+    """Encode a channel's pump history, newest first.
+
+    ``history`` must be chronological (oldest first); the most recent pump
+    lands at position 0 of the output, mirroring the paper's ``P1``.
+    """
+    if length < 1:
+        raise ValueError("sequence length must be positive")
+    n_coins = market.universe.n_coins
+    coin_ids = np.full(length, pad_coin_id(n_coins), dtype=np.int64)
+    numeric = np.zeros((length, len(SEQUENCE_NUMERIC_NAMES)))
+    mask = np.zeros(length)
+    recent = list(history)[-length:][::-1]  # newest first
+    if recent:
+        ids = np.array([s.coin_id for s in recent], dtype=np.int64)
+        coin_ids[: len(recent)] = ids
+        mask[: len(recent)] = 1.0
+        # Stable stats are evaluated at each pump's own time.
+        for i, sample in enumerate(recent):
+            numeric[i] = coin_feature_matrix(
+                market, np.array([sample.coin_id]), sample.time
+            )[0]
+    return SequenceFeatures(coin_ids=coin_ids, numeric=numeric, mask=mask)

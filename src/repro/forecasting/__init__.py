@@ -1,0 +1,39 @@
+"""repro.forecasting — §7 generalizability task: BTC price forecasting."""
+
+from repro.forecasting.dataset import (
+    BTCForecastDataset,
+    ForecastSplit,
+    HourlySentiment,
+    SENTIMENT_FEATURE_NAMES,
+    SEQUENCE_FEATURE_NAMES,
+    aggregate_hourly_sentiment,
+)
+from repro.forecasting.models import (
+    FORECAST_MODEL_NAMES,
+    SNNForecaster,
+    SequenceRegressor,
+    make_forecaster,
+)
+from repro.forecasting.train import (
+    ForecastExperiment,
+    ForecastRunResult,
+    run_forecasting_experiment,
+    train_forecaster,
+)
+
+__all__ = [
+    "BTCForecastDataset",
+    "ForecastSplit",
+    "HourlySentiment",
+    "aggregate_hourly_sentiment",
+    "SENTIMENT_FEATURE_NAMES",
+    "SEQUENCE_FEATURE_NAMES",
+    "SNNForecaster",
+    "SequenceRegressor",
+    "make_forecaster",
+    "FORECAST_MODEL_NAMES",
+    "train_forecaster",
+    "run_forecasting_experiment",
+    "ForecastExperiment",
+    "ForecastRunResult",
+]

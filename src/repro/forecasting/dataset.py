@@ -1,0 +1,176 @@
+"""Sentiment-enhanced BTC price forecasting dataset (§7, Table 7).
+
+Pipeline: collect a dense BTC chat stream, score each message with the
+sentiment analyser, aggregate statistics per hour (avg_score,
+neg_avg_score, neg_num, pos_avg_score, pos_num, message_num), align with
+hourly BTC prices, and emit 200-hour sequences labelled with the average
+price over the next 48 or 96 hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulation.world import SyntheticWorld
+from repro.text import SentimentAnalyzer
+
+SENTIMENT_FEATURE_NAMES = (
+    "avg_score", "neg_num", "pos_num", "message_num",
+    "neg_avg_score", "pos_avg_score",
+)
+# Feature layout per hour: price first (paper's F1 = hour_price).
+SEQUENCE_FEATURE_NAMES = ("hour_price",) + SENTIMENT_FEATURE_NAMES
+
+
+@dataclass
+class HourlySentiment:
+    """Per-hour aggregated sentiment statistics + corpus counts."""
+
+    features: np.ndarray       # (hours, 6) in SENTIMENT_FEATURE_NAMES order
+    n_messages: int
+    n_btc_messages: int
+    n_positive: int
+    n_negative: int
+
+
+def aggregate_hourly_sentiment(world: SyntheticWorld, n_hours: int,
+                               per_hour: float = 4.0) -> HourlySentiment:
+    """Generate the BTC chat stream and aggregate per-hour features."""
+    stream = world.message_generator().generate_btc_stream(0, n_hours,
+                                                           per_hour=per_hour)
+    analyzer = SentimentAnalyzer()
+    features = np.zeros((n_hours, len(SENTIMENT_FEATURE_NAMES)))
+    sums = np.zeros((n_hours, 3))  # total score, pos score, neg score
+    counts = np.zeros((n_hours, 3), dtype=int)  # messages, pos, neg
+    n_btc = 0
+    for message in stream:
+        hour = int(message.time)
+        if hour >= n_hours:
+            continue
+        text_lower = message.text.lower()
+        is_btc = "btc" in text_lower or "bitcoin" in text_lower
+        if is_btc:
+            n_btc += 1
+        scores = analyzer.score(message.text)
+        counts[hour, 0] += 1
+        sums[hour, 0] += scores.compound
+        if scores.compound > 0.05:
+            counts[hour, 1] += 1
+            sums[hour, 1] += scores.compound
+        elif scores.compound < -0.05:
+            counts[hour, 2] += 1
+            sums[hour, 2] += scores.compound
+    nonzero = np.maximum(counts[:, 0], 1)
+    features[:, 0] = sums[:, 0] / nonzero                           # avg_score
+    features[:, 1] = counts[:, 2]                                   # neg_num
+    features[:, 2] = counts[:, 1]                                   # pos_num
+    features[:, 3] = counts[:, 0]                                   # message_num
+    features[:, 4] = sums[:, 2] / np.maximum(counts[:, 2], 1)       # neg_avg
+    features[:, 5] = sums[:, 1] / np.maximum(counts[:, 1], 1)       # pos_avg
+    return HourlySentiment(
+        features=features,
+        n_messages=len(stream),
+        n_btc_messages=n_btc,
+        n_positive=int(counts[:, 1].sum()),
+        n_negative=int(counts[:, 2].sum()),
+    )
+
+
+@dataclass
+class ForecastSplit:
+    """Sliding-window samples of one split."""
+
+    sequences: np.ndarray   # (B, seq_len, K) — standardized features
+    labels: np.ndarray      # (B,) — normalized future average price
+    base_price: np.ndarray  # (B,) — price at prediction time (for de-norm)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+@dataclass
+class BTCForecastDataset:
+    """Train/test splits for one prediction span (48h or 96h)."""
+
+    train: ForecastSplit
+    test: ForecastSplit
+    span: int
+    seq_len: int
+    sentiment: HourlySentiment
+    price_scale: float       # mean BTC price, used to report MAE in price units
+
+    @classmethod
+    def build(cls, world: SyntheticWorld, span: int = 48,
+              seq_len: int | None = None, n_hours: int | None = None,
+              train_fraction: float = 0.8, stride: int = 2,
+              sentiment: HourlySentiment | None = None) -> "BTCForecastDataset":
+        """Assemble sequences; ``span`` is the label horizon in hours.
+
+        The label is BTC's *average* price over the next ``span`` hours
+        ("predicting the price in the future 1 hour is considered too easy"),
+        normalized as a relative change versus the current price.
+        """
+        if span < 1:
+            raise ValueError("span must be positive")
+        config = world.config
+        seq_len = seq_len or config.forecast_seq_len
+        n_hours = n_hours or config.forecast_hours
+        if sentiment is None:
+            sentiment = aggregate_hourly_sentiment(world, n_hours)
+        hours = np.arange(n_hours, dtype=float)
+        price = world.market.close_price(np.zeros(n_hours, dtype=int), hours)
+        # Future average via cumulative sums: label[t] = mean(price[t+1..t+span]).
+        csum = np.concatenate([[0.0], np.cumsum(price)])
+        anchors = np.arange(seq_len - 1, n_hours - span, stride)
+        future_avg = (csum[anchors + span + 1] - csum[anchors + 1]) / span
+        base = price[anchors]
+        labels = future_avg / base - 1.0
+
+        # Per-hour feature matrix: relative log price + sentiment stats.
+        log_rel_price = np.log(price / price.mean())
+        matrix = np.column_stack([log_rel_price, sentiment.features])
+
+        # Standardize feature columns with train statistics.
+        n_train = int(train_fraction * len(anchors))
+        train_hours_end = anchors[n_train - 1] + 1 if n_train else seq_len
+        mean = matrix[:train_hours_end].mean(axis=0)
+        std = matrix[:train_hours_end].std(axis=0)
+        std[std == 0] = 1.0
+        matrix = (matrix - mean) / std
+
+        windows = np.lib.stride_tricks.sliding_window_view(
+            matrix, (seq_len, matrix.shape[1])
+        )[:, 0]
+        sequences = windows[anchors - (seq_len - 1)]
+        # Newest-last inside the window; flip so position 0 is newest (P1),
+        # consistent with the target-coin task's convention.
+        sequences = sequences[:, ::-1, :].copy()
+
+        def split(sl: slice) -> ForecastSplit:
+            return ForecastSplit(
+                sequences=sequences[sl],
+                labels=labels[sl],
+                base_price=base[sl],
+            )
+
+        return cls(
+            train=split(slice(0, n_train)),
+            test=split(slice(n_train, len(anchors))),
+            span=span,
+            seq_len=seq_len,
+            sentiment=sentiment,
+            price_scale=float(price.mean()),
+        )
+
+    def table7(self) -> dict[str, int]:
+        """Corpus statistics in the shape of the paper's Table 7."""
+        return {
+            "messages": self.sentiment.n_messages,
+            "btc_messages": self.sentiment.n_btc_messages,
+            "positive_messages": self.sentiment.n_positive,
+            "negative_messages": self.sentiment.n_negative,
+            "train_samples": len(self.train),
+            "test_samples": len(self.test),
+        }

@@ -1,0 +1,73 @@
+"""Forecasting models (§7.1): SNN and the sequential competitors.
+
+In this task SNN "solely takes the sequence features as input": positional
+attention over the 200-hour window with per-feature channel counts (16 for
+``hour_price``, 2 for each sentiment feature), then an MLP regression head.
+Competitors swap the attention for LSTM/BiLSTM/GRU/BiGRU encoders (hidden
+32) or a TCN (depth 5, kernel 8 — enough receptive field for 200 steps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import MLP, TCN, Module, PositionalAttention, Tensor, make_rnn
+
+FORECAST_MODEL_NAMES = ("lstm", "bilstm", "gru", "bigru", "tcn", "snn")
+
+PRICE_CHANNELS = 16    # paper: "the channel number to 16 for hour_price"
+OTHER_CHANNELS = 2     # "for other features, the channel numbers are set to 2"
+RNN_HIDDEN = 32
+TCN_DEPTH = 5
+TCN_KERNEL = 8
+TCN_CHANNELS = 16
+
+
+class SNNForecaster(Module):
+    """Positional-attention regressor over ``(B, T, K)`` sequences."""
+
+    def __init__(self, seq_len: int, n_features: int, rng: np.random.Generator):
+        super().__init__()
+        channels = [PRICE_CHANNELS] + [OTHER_CHANNELS] * (n_features - 1)
+        self.attention = PositionalAttention(seq_len, n_features,
+                                             channels=channels, rng=rng)
+        self.head = MLP([self.attention.output_dim, 64, 1], rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.attention(x)).reshape(len(x))
+
+    def attention_heatmap(self) -> np.ndarray:
+        """(total_heads, T) attention weights for Figure 10(b)/(c)."""
+        return self.attention.attention_weights()
+
+
+class SequenceRegressor(Module):
+    """RNN/TCN encoder + regression head."""
+
+    def __init__(self, encoder: Module, rng: np.random.Generator):
+        super().__init__()
+        self.encoder = encoder
+        self.head = MLP([encoder.output_dim, 64, 1], rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        # Sequences are stored newest-first; read oldest-first so the final
+        # state corresponds to the most recent hour.
+        return self.head(self.encoder(x.flip(axis=1))).reshape(len(x))
+
+
+def make_forecaster(name: str, seq_len: int, n_features: int,
+                    seed: int = 0) -> Module:
+    """Factory for the Table 8 competitors."""
+    rng = np.random.default_rng(seed)
+    name = name.lower()
+    if name == "snn":
+        return SNNForecaster(seq_len, n_features, rng)
+    if name in ("lstm", "bilstm", "gru", "bigru"):
+        return SequenceRegressor(make_rnn(name, n_features, RNN_HIDDEN, rng), rng)
+    if name == "tcn":
+        return SequenceRegressor(
+            TCN(n_features, channels=TCN_CHANNELS, depth=TCN_DEPTH,
+                kernel_size=TCN_KERNEL, rng=rng),
+            rng,
+        )
+    raise ValueError(f"unknown forecaster {name!r}; choose from {FORECAST_MODEL_NAMES}")

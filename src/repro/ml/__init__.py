@@ -1,0 +1,48 @@
+"""repro.ml — classic machine learning built from first principles.
+
+Provides the hand-crafted-feature baselines (logistic regression, random
+forest), the TF-IDF representation used by pump-message detection, mean
+encoding for categorical features, scalers, and every evaluation metric the
+paper reports.
+"""
+
+from repro.ml.logistic import LogisticRegression
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tfidf import TfidfVectorizer
+from repro.ml.encoding import MeanEncoder
+from repro.ml.scaling import MinMaxScaler, StandardScaler
+from repro.ml.metrics import (
+    BinaryClassificationReport,
+    accuracy,
+    classification_report,
+    hit_ratio_at_k,
+    mean_absolute_error,
+    roc_auc,
+)
+from repro.ml.ranking import (
+    mean_rank,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    ranking_report,
+)
+
+__all__ = [
+    "LogisticRegression",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "TfidfVectorizer",
+    "MeanEncoder",
+    "StandardScaler",
+    "MinMaxScaler",
+    "BinaryClassificationReport",
+    "accuracy",
+    "classification_report",
+    "hit_ratio_at_k",
+    "mean_absolute_error",
+    "roc_auc",
+    "mean_reciprocal_rank",
+    "mean_rank",
+    "ndcg_at_k",
+    "ranking_report",
+]

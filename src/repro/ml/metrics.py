@@ -1,0 +1,144 @@
+"""Evaluation metrics used across the paper.
+
+* Table 1 — ROC-AUC, precision, recall, F1 (pump message detection).
+* Table 5/6 — HR@k over per-event ranking lists (target coin prediction).
+* Table 8 — MAE (BTC price forecasting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def _validate_binary(y_true: np.ndarray) -> np.ndarray:
+    y_true = np.asarray(y_true)
+    if not np.isin(y_true, (0, 1)).all():
+        raise ValueError("labels must be binary 0/1")
+    return y_true.astype(float)
+
+
+def roc_auc(y_true, y_score) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Ties in scores receive average ranks, matching the standard definition.
+    """
+    y_true = _validate_binary(y_true)
+    y_score = np.asarray(y_score, dtype=float)
+    n_pos = int(y_true.sum())
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc requires both classes present")
+    order = np.argsort(y_score, kind="mergesort")
+    ranks = np.empty(len(y_score), dtype=float)
+    ranks[order] = np.arange(1, len(y_score) + 1)
+    # Average ranks over ties.
+    sorted_scores = y_score[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            avg = (i + j) / 2.0 + 1.0
+            ranks[order[i: j + 1]] = avg
+        i = j + 1
+    rank_sum = ranks[y_true == 1].sum()
+    u = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+@dataclass(frozen=True)
+class BinaryClassificationReport:
+    """Precision/recall/F1 at a decision threshold plus AUC."""
+
+    auc: float
+    precision: float
+    recall: float
+    f1: float
+    threshold: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+
+def classification_report(y_true, y_score, threshold: float = 0.5) -> BinaryClassificationReport:
+    """Compute the Table-1 style metric bundle at a probability threshold.
+
+    The paper evaluates the pump-message detector at a deliberately low
+    threshold of 0.2 to maximize recall.
+    """
+    y_true = _validate_binary(y_true)
+    y_score = np.asarray(y_score, dtype=float)
+    pred = (y_score >= threshold).astype(float)
+    tp = int(((pred == 1) & (y_true == 1)).sum())
+    fp = int(((pred == 1) & (y_true == 0)).sum())
+    fn = int(((pred == 0) & (y_true == 1)).sum())
+    tn = int(((pred == 0) & (y_true == 0)).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return BinaryClassificationReport(
+        auc=roc_auc(y_true, y_score),
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        threshold=threshold,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        true_negatives=tn,
+    )
+
+
+def hit_ratio_at_k(rank_lists: Sequence[np.ndarray], ks: Sequence[int]) -> dict[int, float]:
+    """HR@k averaged over ranking lists.
+
+    Each element of ``rank_lists`` is a 2-column array ``(score, is_positive)``
+    for one pump event: the positive (pumped) coin plus its negatives.  For
+    each k, HR@k is the fraction of events whose positive lands in the top-k
+    by score (ties broken pessimistically — a tied positive counts as ranked
+    below tied negatives, so results never benefit from degenerate constant
+    scores).
+    """
+    ks = sorted(set(int(k) for k in ks))
+    hits = {k: 0 for k in ks}
+    total = 0
+    for arr in rank_lists:
+        arr = np.asarray(arr, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("each rank list must be (n, 2): score, is_positive")
+        labels = arr[:, 1]
+        if labels.sum() < 1:
+            raise ValueError("each rank list needs at least one positive")
+        scores = arr[:, 0]
+        pos_score = scores[labels == 1].max()
+        # Pessimistic rank: strictly higher scores + ties all outrank it.
+        n_better = int((scores[labels == 0] >= pos_score).sum())
+        rank = n_better + 1
+        total += 1
+        for k in ks:
+            if rank <= k:
+                hits[k] += 1
+    if total == 0:
+        raise ValueError("no rank lists given")
+    return {k: hits[k] / total for k in ks}
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """MAE; the objective and metric of the forecasting task (§7)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    return float(np.abs(y_true - y_pred).mean())
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Plain accuracy for 0/1 predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    return float((y_true == y_pred).mean())

@@ -1,0 +1,68 @@
+"""Additional ranking metrics beyond the paper's HR@k.
+
+MRR, mean rank and NDCG@k over the same per-event ranking lists; useful
+for finer-grained model comparison (the paper's HR@k quantizes heavily on
+small test sets).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _positive_rank(arr: np.ndarray) -> int:
+    """Pessimistic 1-based rank of the positive in one (score, label) list."""
+    arr = np.asarray(arr, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("each rank list must be (n, 2): score, is_positive")
+    labels = arr[:, 1]
+    if labels.sum() < 1:
+        raise ValueError("each rank list needs at least one positive")
+    scores = arr[:, 0]
+    pos_score = scores[labels == 1].max()
+    return int((scores[labels == 0] >= pos_score).sum()) + 1
+
+
+def mean_reciprocal_rank(rank_lists: Sequence[np.ndarray]) -> float:
+    """MRR of the positive coin across events."""
+    if not len(rank_lists):
+        raise ValueError("no rank lists given")
+    return float(np.mean([1.0 / _positive_rank(arr) for arr in rank_lists]))
+
+
+def mean_rank(rank_lists: Sequence[np.ndarray]) -> float:
+    """Average 1-based rank of the positive coin."""
+    if not len(rank_lists):
+        raise ValueError("no rank lists given")
+    return float(np.mean([_positive_rank(arr) for arr in rank_lists]))
+
+
+def ndcg_at_k(rank_lists: Sequence[np.ndarray], k: int) -> float:
+    """NDCG@k with binary relevance (one positive per list).
+
+    With a single relevant item the ideal DCG is 1, so NDCG@k reduces to
+    ``1 / log2(1 + rank)`` when the positive ranks within k, else 0.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if not len(rank_lists):
+        raise ValueError("no rank lists given")
+    gains = []
+    for arr in rank_lists:
+        rank = _positive_rank(arr)
+        gains.append(1.0 / np.log2(1.0 + rank) if rank <= k else 0.0)
+    return float(np.mean(gains))
+
+
+def ranking_report(rank_lists: Sequence[np.ndarray],
+                   ks: Sequence[int] = (1, 5, 10)) -> dict[str, float]:
+    """Bundle of MRR, mean rank and NDCG@k."""
+    report = {
+        "mrr": mean_reciprocal_rank(rank_lists),
+        "mean_rank": mean_rank(rank_lists),
+    }
+    for k in ks:
+        report[f"ndcg@{k}"] = ndcg_at_k(rank_lists, k)
+    return report

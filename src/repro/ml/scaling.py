@@ -1,0 +1,62 @@
+"""Feature scaling: standardization and min-max, fitted on training data only."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Column-wise zero-mean unit-variance scaling; constant columns pass through."""
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, x) -> "StandardScaler":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0] = 1.0
+        self.std_ = std
+        return self
+
+    def transform(self, x) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return (np.asarray(x, dtype=float) - self.mean_) / self.std_
+
+    def fit_transform(self, x) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return np.asarray(x, dtype=float) * self.std_ + self.mean_
+
+
+class MinMaxScaler:
+    """Column-wise scaling to [0, 1]; constant columns map to 0."""
+
+    def __init__(self):
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, x) -> "MinMaxScaler":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        self.min_ = x.min(axis=0)
+        rng = x.max(axis=0) - self.min_
+        rng[rng == 0] = 1.0
+        self.range_ = rng
+        return self
+
+    def transform(self, x) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return (np.asarray(x, dtype=float) - self.min_) / self.range_
+
+    def fit_transform(self, x) -> np.ndarray:
+        return self.fit(x).transform(x)

@@ -1,0 +1,170 @@
+"""CART decision tree classifier (gini impurity), the unit of the forest.
+
+Implemented with vectorized per-feature threshold scans: at each node, for
+every candidate feature we sort the feature column once and evaluate every
+split point from cumulative class counts, so node-splitting cost is
+``O(features * n log n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """Tree node; leaves carry class probabilities."""
+
+    prediction: np.ndarray  # P(class 0), P(class 1)
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split_for_feature(values: np.ndarray, y: np.ndarray):
+    """Return (gini, threshold) of the best binary split on one feature.
+
+    ``y`` must be 0/1.  Returns ``None`` when the feature is constant.
+    """
+    order = np.argsort(values, kind="mergesort")
+    v = values[order]
+    labels = y[order]
+    n = len(y)
+    # Candidate boundaries: positions where the sorted value changes.
+    change = np.nonzero(v[1:] != v[:-1])[0]
+    if len(change) == 0:
+        return None
+    left_count = change + 1.0
+    right_count = n - left_count
+    left_pos = np.cumsum(labels)[change]
+    total_pos = labels.sum()
+    right_pos = total_pos - left_pos
+    p_left = left_pos / left_count
+    p_right = right_pos / right_count
+    gini_left = 1.0 - p_left**2 - (1 - p_left) ** 2
+    gini_right = 1.0 - p_right**2 - (1 - p_right) ** 2
+    weighted = (left_count * gini_left + right_count * gini_right) / n
+    best = int(np.argmin(weighted))
+    threshold = 0.5 * (v[change[best]] + v[change[best] + 1])
+    return float(weighted[best]), float(threshold)
+
+
+class DecisionTreeClassifier:
+    """Binary CART with optional per-node feature subsampling.
+
+    ``max_features`` follows the usual conventions: ``None`` (all),
+    ``"sqrt"``, or an int.
+    """
+
+    def __init__(self, max_depth: int = 12, min_samples_split: int = 2,
+                 min_samples_leaf: int = 1, max_features=None,
+                 rng: np.random.Generator | None = None):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = max(2, min_samples_split)
+        self.min_samples_leaf = max(1, min_samples_leaf)
+        self.max_features = max_features
+        self._rng = rng or np.random.default_rng(0)
+        self._root: _Node | None = None
+        self.n_features_: int = 0
+        self.n_nodes_: int = 0
+
+    def _n_candidate_features(self, d: int) -> int:
+        if self.max_features is None:
+            return d
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        return min(d, int(self.max_features))
+
+    def _leaf(self, y: np.ndarray) -> _Node:
+        p1 = float(y.mean()) if len(y) else 0.0
+        self.n_nodes_ += 1
+        return _Node(prediction=np.array([1.0 - p1, p1]))
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or y.min() == y.max()
+        ):
+            return self._leaf(y)
+        d = x.shape[1]
+        k = self._n_candidate_features(d)
+        candidates = (
+            np.arange(d) if k == d else self._rng.choice(d, size=k, replace=False)
+        )
+        best_gini = np.inf
+        best_feature = -1
+        best_threshold = 0.0
+        for feature in candidates:
+            result = _best_split_for_feature(x[:, feature], y)
+            if result is None:
+                continue
+            gini, threshold = result
+            if gini < best_gini:
+                best_gini, best_feature, best_threshold = gini, int(feature), threshold
+        if best_feature < 0:
+            return self._leaf(y)
+        mask = x[:, best_feature] <= best_threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return self._leaf(y)
+        node = self._leaf(y)  # carries the fallback prediction
+        node.feature = best_feature
+        node.threshold = best_threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def fit(self, x, y) -> "DecisionTreeClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        if not np.isin(y, (0, 1)).all():
+            raise ValueError("labels must be binary 0/1")
+        self.n_features_ = x.shape[1]
+        self.n_nodes_ = 0
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def predict_proba(self, x) -> np.ndarray:
+        """Vectorized routing of rows down the tree; returns P(y=1)."""
+        if self._root is None:
+            raise RuntimeError("model is not fitted")
+        x = np.asarray(x, dtype=float)
+        out = np.empty(len(x))
+        # Iterative partition routing: keep (node, row_indices) work items.
+        stack = [(self._root, np.arange(len(x)))]
+        while stack:
+            node, idx = stack.pop()
+            if len(idx) == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.prediction[1]
+                continue
+            mask = x[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out
+
+    def predict(self, x, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(x) >= threshold).astype(int)
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("model is not fitted")
+        return walk(self._root)

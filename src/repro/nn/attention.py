@@ -1,0 +1,115 @@
+"""Positional attention — the core module of the paper's SNN (§5.2).
+
+For a sequence of ``N`` entities each with ``K`` features, every feature
+``j`` owns ``C_j`` independent attention heads ("channels").  A head is a
+vector of ``N`` zero-initialized learnable logits ``a_j``, optionally passed
+through a mapping function ``f`` (an MLP), then softmax-normalized **across
+positions**:
+
+    alpha_j = softmax(f(a_j))            (paper eqs. 3-4)
+    h_j^c   = sum_i alpha_{i,j}^c F_{i,j}  (paper eq. 5)
+
+The attended sums of all heads of all features are concatenated into the
+sequence representation ``h_s`` (eq. 6).  Because the logits are *per
+position and per feature*, the module captures skip-correlation in a single
+layer (paper advantage D1) and keeps features from interfering (D2); the
+computation is one broadcasted multiply-sum, ``O(N * K * C)`` (D3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class PositionalAttention(Module):
+    """Per-feature, per-position multi-channel attention pooling.
+
+    Parameters
+    ----------
+    seq_len:
+        Number of positions ``N`` (position 1 = temporally closest).
+    num_features:
+        Number of per-entity features ``K``.
+    channels:
+        Either a single int (same head count for every feature) or a list of
+        length ``K`` with per-feature head counts — the paper sets larger
+        counts for non-skip-correlated features such as ``hour_price``.
+    mapping_hidden:
+        If positive, logits pass through a shared two-layer MLP ``f`` of this
+        hidden width before the softmax (the adjustable mapping of eq. 3).
+    """
+
+    def __init__(self, seq_len: int, num_features: int,
+                 channels: int | list[int] = 8,
+                 rng: np.random.Generator | None = None,
+                 mapping_hidden: int = 0):
+        super().__init__()
+        if seq_len < 1 or num_features < 1:
+            raise ValueError("seq_len and num_features must be positive")
+        if isinstance(channels, int):
+            channels = [channels] * num_features
+        if len(channels) != num_features:
+            raise ValueError("one channel count per feature is required")
+        if any(c < 1 for c in channels):
+            raise ValueError("channel counts must be positive")
+        self.seq_len = seq_len
+        self.num_features = num_features
+        self.channels = list(channels)
+        self.output_dim = int(sum(channels))
+        # All heads share one logits matrix of shape (total_heads, N); the
+        # row blocks are assigned to features in order.
+        self.logits = Parameter(init.zeros((self.output_dim, seq_len)))
+        rng = rng or np.random.default_rng(0)
+        if mapping_hidden > 0:
+            self.map_in = Linear(seq_len, mapping_hidden, rng)
+            self.map_out = Linear(mapping_hidden, seq_len, rng)
+        else:
+            self.map_in = None
+            self.map_out = None
+        # Row index -> feature index, used to gather feature columns.
+        feature_of_head = np.repeat(np.arange(num_features), self.channels)
+        self._feature_of_head = feature_of_head
+
+    def attention_weights(self) -> np.ndarray:
+        """Return the softmax attention matrix ``(total_heads, N)``.
+
+        This is what Figure 10 visualizes.
+        """
+        logits = self.logits
+        if self.map_in is not None:
+            logits = self.map_out(self.map_in(logits).tanh())
+        return logits.softmax(axis=-1).data.copy()
+
+    def attention_by_feature(self) -> list[np.ndarray]:
+        """Attention matrices grouped per feature, each ``(C_j, N)``."""
+        weights = self.attention_weights()
+        out = []
+        offset = 0
+        for count in self.channels:
+            out.append(weights[offset: offset + count])
+            offset += count
+        return out
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        """Encode ``(batch, N, K)`` sequences into ``(batch, sum(C_j))``."""
+        if sequence.ndim != 3:
+            raise ValueError("expected (batch, seq_len, num_features)")
+        _, n, k = sequence.shape
+        if n != self.seq_len or k != self.num_features:
+            raise ValueError(
+                f"expected (*, {self.seq_len}, {self.num_features}), got {sequence.shape}"
+            )
+        logits = self.logits
+        if self.map_in is not None:
+            logits = self.map_out(self.map_in(logits).tanh())
+        alpha = logits.softmax(axis=-1)  # (H, N)
+        # Gather each head's feature column: (B, N, K) -> (B, N, H)
+        columns = sequence[:, :, self._feature_of_head]
+        # Attended sum over positions: (B, N, H) * (H, N)^T -> (B, H)
+        weighted = columns * alpha.transpose(1, 0)
+        return weighted.sum(axis=1)

@@ -1,0 +1,56 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used by the test-suite to verify every op against central finite
+differences; exported publicly because it is handy when extending the
+framework with new operations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[..., Tensor], inputs: Sequence[np.ndarray],
+                       index: int, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    base = [np.asarray(arr, dtype=np.float64).copy() for arr in inputs]
+    target = base[index]
+    grad = np.zeros_like(target)
+    it = np.nditer(target, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = target[idx]
+        target[idx] = original + eps
+        plus = float(fn(*[Tensor(a) for a in base]).data.sum())
+        target[idx] = original - eps
+        minus = float(fn(*[Tensor(a) for a in base]).data.sum())
+        target[idx] = original
+        grad[idx] = (plus - minus) / (2.0 * eps)
+        it.iternext()
+    return grad
+
+
+def gradcheck(fn: Callable[..., Tensor], inputs: Sequence[np.ndarray],
+              atol: float = 1e-5, rtol: float = 1e-4, eps: float = 1e-6) -> bool:
+    """Compare autograd gradients of ``sum(fn(*inputs))`` to finite differences.
+
+    Raises ``AssertionError`` with a diagnostic on mismatch; returns ``True``
+    when every input's gradient matches.
+    """
+    tensors = [Tensor(np.asarray(a, dtype=np.float64), requires_grad=True) for a in inputs]
+    out = fn(*tensors)
+    out.sum().backward()
+    for i, tensor in enumerate(tensors):
+        expected = numerical_gradient(fn, inputs, i, eps=eps)
+        actual = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(actual - expected))
+            raise AssertionError(
+                f"gradient mismatch on input {i}: max abs err {worst:.3e}\n"
+                f"autograd:\n{actual}\nnumeric:\n{expected}"
+            )
+    return True

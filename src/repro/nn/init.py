@@ -1,0 +1,34 @@
+"""Weight initialization helpers.
+
+All initializers take an explicit :class:`numpy.random.Generator`, keeping
+model construction deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                   shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    shape = shape or (fan_in, fan_out)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(rng: np.random.Generator, fan_in: int,
+                    shape: tuple[int, ...]) -> np.ndarray:
+    """He/Kaiming uniform initialization for ReLU networks."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.01) -> np.ndarray:
+    """Small-variance normal initialization (used for embeddings)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialization (biases, positional attention logits)."""
+    return np.zeros(shape)

@@ -1,0 +1,123 @@
+"""Core feed-forward layers: Linear, Embedding, Dropout, activations, MLP."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, embedding_lookup
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` for inputs of shape ``(..., in_features)``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform(rng, in_features, out_features))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    ``frozen=True`` keeps the table fixed (used when semantic word embeddings
+    replace end-to-end trained coin-id embeddings in the cold-start fix).
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator,
+                 frozen: bool = False):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(init.normal(rng, (num_embeddings, dim), std=0.05))
+        if frozen:
+            self.weight.requires_grad = False
+
+    @classmethod
+    def from_pretrained(cls, vectors: np.ndarray, frozen: bool = True) -> "Embedding":
+        """Build an embedding initialized from a pre-trained matrix."""
+        rng = np.random.default_rng(0)
+        module = cls(vectors.shape[0], vectors.shape[1], rng, frozen=frozen)
+        module.weight.data = np.asarray(vectors, dtype=np.float64).copy()
+        return module
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings})"
+            )
+        return embedding_lookup(self.weight, indices)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode.
+
+    The mask generator is owned by the layer so runs are reproducible.
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep) / keep
+        return x * Tensor(mask)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class MLP(Module):
+    """Stack of Linear+ReLU layers with a linear head.
+
+    ``dims`` gives layer widths including input and output, e.g.
+    ``MLP([128, 64, 32, 1], rng)`` builds two hidden layers and a scalar head.
+    """
+
+    def __init__(self, dims: list[int], rng: np.random.Generator,
+                 dropout: float = 0.0):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        self.linears = [Linear(a, b, rng) for a, b in zip(dims[:-1], dims[1:])]
+        self.dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**32))) \
+            if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.linears) - 1
+        for i, linear in enumerate(self.linears):
+            x = linear(x)
+            if i != last:
+                x = x.relu()
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        return x

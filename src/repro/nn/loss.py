@@ -1,0 +1,45 @@
+"""Loss functions: binary cross-entropy with logits (eq. 8), MAE (eq. 9), MSE."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray,
+                    pos_weight: float = 1.0) -> Tensor:
+    """Numerically stable negative log-likelihood of eq. 8.
+
+    ``targets`` is a constant 0/1 array broadcastable to ``logits``;
+    ``pos_weight`` rescales the positive class (useful at the paper's 0.5%
+    positive rate).  Gradient is ``(sigmoid(x) - z) / N`` (times weights).
+    """
+    z = np.broadcast_to(np.asarray(targets, dtype=np.float64), logits.shape)
+    x = logits.data
+    # loss_i = max(x,0) - x*z + log(1 + exp(-|x|))
+    per_example = np.maximum(x, 0.0) - x * z + np.log1p(np.exp(-np.abs(x)))
+    weights = np.where(z > 0.5, pos_weight, 1.0)
+    per_example = per_example * weights
+    value = per_example.mean()
+
+    def backward(g: np.ndarray) -> None:
+        if logits.requires_grad:
+            sig = 0.5 * (1.0 + np.tanh(0.5 * x))
+            grad = weights * (sig - z) / x.size
+            logits._deposit(g * grad)
+
+    return logits._bind((logits,), np.asarray(value), "bce_with_logits", backward)
+
+
+def mae_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean absolute error (paper eq. 9, used for price forecasting)."""
+    t = Tensor(np.asarray(targets, dtype=np.float64))
+    return (pred - t).abs().mean()
+
+
+def mse_loss(pred: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error (auxiliary; not used in the paper's tables)."""
+    t = Tensor(np.asarray(targets, dtype=np.float64))
+    diff = pred - t
+    return (diff * diff).mean()

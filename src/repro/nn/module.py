@@ -1,0 +1,134 @@
+"""Module/parameter containers in the spirit of ``torch.nn.Module``.
+
+A :class:`Module` discovers its :class:`Parameter` attributes (and those of
+child modules) recursively, which gives optimizers a flat parameter list and
+lets training code toggle train/eval mode for dropout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a learnable parameter of a module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all neural-network building blocks."""
+
+    def __init__(self):
+        self._training = True
+
+    # -- parameter discovery -------------------------------------------------
+
+    def parameters(self) -> list[Parameter]:
+        """Return all unique parameters of this module and its children."""
+        found: list[Parameter] = []
+        seen: set[int] = set()
+        for _, param in self.named_parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                found.append(param)
+        return found
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs recursively."""
+        for name, value in vars(self).items():
+            if name.startswith("_") and name != "_training":
+                continue
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{i}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant module."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- mode & gradients ----------------------------------------------------
+
+    @property
+    def training(self) -> bool:
+        return self._training
+
+    def train(self) -> "Module":
+        """Put this module and children into training mode."""
+        for module in self.modules():
+            module._training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Put this module and children into evaluation mode."""
+        for module in self.modules():
+            module._training = False
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # -- state dict (for saving/cloning in tests) -----------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy all parameters into a flat dict keyed by dotted names."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters from :meth:`state_dict` output (strict)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, values in state.items():
+            if own[name].data.shape != values.shape:
+                raise ValueError(f"shape mismatch for {name}")
+            own[name].data = values.copy()
+
+    # -- call protocol ---------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output into the next."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x

@@ -1,0 +1,156 @@
+"""Recurrent sequence encoders: LSTM, GRU and their bidirectional variants.
+
+These are the RNN competitors of Table 5 / Table 8.  Inputs are
+``(batch, time, features)`` tensors; encoders expose both per-step outputs
+and a fixed-size summary (the final hidden state, or the concatenation of
+both directions' final states for bidirectional encoders).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, concat, stack
+
+
+class LSTMCell(Module):
+    """Single LSTM step; gate order is (input, forget, cell, output)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_ih = Parameter(init.xavier_uniform(rng, input_dim, 4 * hidden_dim))
+        self.w_hh = Parameter(init.xavier_uniform(rng, hidden_dim, 4 * hidden_dim))
+        bias = np.zeros(4 * hidden_dim)
+        # Standard trick: positive forget-gate bias stabilizes early training.
+        bias[hidden_dim: 2 * hidden_dim] = 1.0
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        gates = x @ self.w_ih + h @ self.w_hh + self.bias
+        hd = self.hidden_dim
+        i = gates[:, 0 * hd: 1 * hd].sigmoid()
+        f = gates[:, 1 * hd: 2 * hd].sigmoid()
+        g = gates[:, 2 * hd: 3 * hd].tanh()
+        o = gates[:, 3 * hd: 4 * hd].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+
+class GRUCell(Module):
+    """Single GRU step; gate order is (reset, update, candidate)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_ih = Parameter(init.xavier_uniform(rng, input_dim, 3 * hidden_dim))
+        self.w_hh = Parameter(init.xavier_uniform(rng, hidden_dim, 3 * hidden_dim))
+        self.bias = Parameter(init.zeros((3 * hidden_dim,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        hd = self.hidden_dim
+        gi = x @ self.w_ih + self.bias
+        gh = h @ self.w_hh
+        r = (gi[:, 0 * hd: 1 * hd] + gh[:, 0 * hd: 1 * hd]).sigmoid()
+        z = (gi[:, 1 * hd: 2 * hd] + gh[:, 1 * hd: 2 * hd]).sigmoid()
+        n = (gi[:, 2 * hd: 3 * hd] + r * gh[:, 2 * hd: 3 * hd]).tanh()
+        one = Tensor(np.ones_like(z.data))
+        return (one - z) * n + z * h
+
+
+class _Recurrent(Module):
+    """Shared driver that unrolls a cell over time."""
+
+    def __init__(self, cell: Module, hidden_dim: int):
+        super().__init__()
+        self.cell = cell
+        self.hidden_dim = hidden_dim
+
+    def _initial(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_dim)))
+
+    def forward(self, x: Tensor, return_sequence: bool = False):
+        raise NotImplementedError
+
+
+class LSTM(_Recurrent):
+    """Unidirectional LSTM encoder over ``(batch, time, features)``."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__(LSTMCell(input_dim, hidden_dim, rng), hidden_dim)
+        self.output_dim = hidden_dim
+
+    def forward(self, x: Tensor, return_sequence: bool = False):
+        batch, time, _ = x.shape
+        h = self._initial(batch)
+        c = self._initial(batch)
+        outputs = []
+        for t in range(time):
+            h, c = self.cell(x[:, t, :], h, c)
+            if return_sequence:
+                outputs.append(h)
+        if return_sequence:
+            return stack(outputs, axis=1)
+        return h
+
+
+class GRU(_Recurrent):
+    """Unidirectional GRU encoder over ``(batch, time, features)``."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__(GRUCell(input_dim, hidden_dim, rng), hidden_dim)
+        self.output_dim = hidden_dim
+
+    def forward(self, x: Tensor, return_sequence: bool = False):
+        batch, time, _ = x.shape
+        h = self._initial(batch)
+        outputs = []
+        for t in range(time):
+            h = self.cell(x[:, t, :], h)
+            if return_sequence:
+                outputs.append(h)
+        if return_sequence:
+            return stack(outputs, axis=1)
+        return h
+
+
+class Bidirectional(Module):
+    """Wrap two directional encoders; summary is the concat of both ends."""
+
+    def __init__(self, forward_enc: Module, backward_enc: Module):
+        super().__init__()
+        self.forward_enc = forward_enc
+        self.backward_enc = backward_enc
+        self.output_dim = forward_enc.output_dim + backward_enc.output_dim
+
+    def forward(self, x: Tensor, return_sequence: bool = False):
+        fwd = self.forward_enc(x, return_sequence=return_sequence)
+        bwd = self.backward_enc(x.flip(axis=1), return_sequence=return_sequence)
+        if return_sequence:
+            return concat([fwd, bwd.flip(axis=1)], axis=-1)
+        return concat([fwd, bwd], axis=-1)
+
+
+def make_rnn(kind: str, input_dim: int, hidden_dim: int,
+             rng: np.random.Generator) -> Module:
+    """Factory for the paper's RNN competitors.
+
+    ``kind`` is one of ``lstm``, ``bilstm``, ``gru``, ``bigru``.
+    """
+    kind = kind.lower()
+    if kind == "lstm":
+        return LSTM(input_dim, hidden_dim, rng)
+    if kind == "gru":
+        return GRU(input_dim, hidden_dim, rng)
+    if kind == "bilstm":
+        return Bidirectional(LSTM(input_dim, hidden_dim, rng),
+                             LSTM(input_dim, hidden_dim, rng))
+    if kind == "bigru":
+        return Bidirectional(GRU(input_dim, hidden_dim, rng),
+                             GRU(input_dim, hidden_dim, rng))
+    raise ValueError(f"unknown rnn kind: {kind!r}")

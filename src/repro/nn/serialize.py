@@ -1,0 +1,57 @@
+"""Model persistence: save/load module parameters as ``.npz`` archives.
+
+The archive holds one array per dotted parameter name plus a manifest; the
+loading side validates names and shapes, so version drift fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+_MANIFEST_KEY = "__manifest__"
+
+
+def save_module(module: Module, path: str | Path) -> None:
+    """Write all parameters of ``module`` to ``path`` (npz)."""
+    path = Path(path)
+    state = module.state_dict()
+    manifest = {
+        "names": sorted(state),
+        "shapes": {name: list(arr.shape) for name, arr in state.items()},
+        "n_parameters": int(module.num_parameters()),
+    }
+    arrays = dict(state)
+    arrays[_MANIFEST_KEY] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+
+
+def load_module(module: Module, path: str | Path) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    The module must already be constructed with matching architecture; name
+    or shape mismatches raise with a diagnostic.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        if _MANIFEST_KEY not in archive:
+            raise ValueError(f"{path} is not a repro model archive")
+        manifest = json.loads(bytes(archive[_MANIFEST_KEY]).decode("utf-8"))
+        state = {name: archive[name] for name in manifest["names"]}
+    module.load_state_dict(state)
+    return module
+
+
+def archive_summary(path: str | Path) -> dict:
+    """Read the manifest of a saved model without loading parameters."""
+    with np.load(Path(path)) as archive:
+        if _MANIFEST_KEY not in archive:
+            raise ValueError(f"{path} is not a repro model archive")
+        return json.loads(bytes(archive[_MANIFEST_KEY]).decode("utf-8"))

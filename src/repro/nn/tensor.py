@@ -1,0 +1,544 @@
+"""A small reverse-mode automatic differentiation engine on numpy.
+
+The paper's models (SNN, DNN, LSTM/GRU/Bi-RNNs, TCN) are normally written in
+PyTorch; this sandbox has no deep-learning framework, so we build one.  A
+:class:`Tensor` wraps a ``numpy.ndarray`` and records the operations applied
+to it; :meth:`Tensor.backward` walks the recorded graph in reverse
+topological order accumulating gradients.
+
+Only the operations the models require are implemented, but each op supports
+full numpy broadcasting and is verified against numerical gradients in
+``tests/nn/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (inference mode)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _grad_enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Remove extra leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor that records gradients.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to ``numpy.ndarray`` of floats.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "op")
+
+    # In-flight gradient table; non-None only while a backward pass runs.
+    _pending: dict | None = None
+
+    def __init__(self, data, requires_grad: bool = False, *, _parents: tuple = (), op: str = ""):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = _parents if self.requires_grad else ()
+        self.op = op
+
+    # -- basic protocol ------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag}, op={self.op!r})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a scalar tensor."""
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    # -- graph machinery -------------------------------------------------------
+
+    @staticmethod
+    def _lift(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(self, data: np.ndarray, parents: Sequence["Tensor"], op: str,
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _parents=tuple(parents) if requires else (), op=op)
+        if requires:
+            out._backward = backward
+        return out
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to ones (appropriate for scalar losses).
+        Gradients accumulate into ``.grad`` of every reachable tensor with
+        ``requires_grad=True``.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward on a tensor that does not require grad")
+        topo: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        pending: dict[int, np.ndarray] = {
+            id(self): np.ones_like(self.data)
+            if grad is None
+            else np.broadcast_to(np.asarray(grad, dtype=np.float64), self.shape).copy()
+        }
+        Tensor._pending = pending
+        try:
+            for node in reversed(topo):
+                node_grad = pending.pop(id(node), None)
+                if node_grad is None:
+                    continue
+                node._accumulate(node_grad)
+                if node._backward is not None:
+                    node._backward(node_grad)
+        finally:
+            Tensor._pending = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Accumulate a gradient contribution during backward."""
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad = self.grad + grad
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data + other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._deposit(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                other._deposit(_unbroadcast(g, other.shape))
+
+        return self._bind((self, other), out_data, "add", backward)
+
+    def __radd__(self, other) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._deposit(-g)
+
+        return self._bind((self,), out_data, "neg", backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self.__add__(-Tensor._lift(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return (-self).__add__(other)
+
+    def __mul__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data * other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._deposit(_unbroadcast(g * other.data, self.shape))
+            if other.requires_grad:
+                other._deposit(_unbroadcast(g * self.data, other.shape))
+
+        return self._bind((self, other), out_data, "mul", backward)
+
+    def __rmul__(self, other) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data / other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._deposit(_unbroadcast(g / other.data, self.shape))
+            if other.requires_grad:
+                other._deposit(_unbroadcast(-g * self.data / (other.data**2), other.shape))
+
+        return self._bind((self, other), out_data, "div", backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor._lift(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._deposit(g * exponent * self.data ** (exponent - 1))
+
+        return self._bind((self,), out_data, "pow", backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data @ other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    # (..., m) @ (m,) -> (...,): outer-product gradient.
+                    grad_self = np.multiply.outer(g, other.data)
+                    self._deposit(_unbroadcast(np.asarray(grad_self), self.shape))
+                else:
+                    g_mat = g[..., None, :] if self.data.ndim == 1 else g
+                    grad_self = g_mat @ np.swapaxes(other.data, -1, -2)
+                    if self.data.ndim == 1:
+                        grad_self = grad_self[..., 0, :]
+                    self._deposit(_unbroadcast(grad_self, self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    grad_other = np.multiply.outer(self.data, g)
+                    other._deposit(_unbroadcast(grad_other, other.shape))
+                elif other.data.ndim == 1:
+                    grad_other = np.swapaxes(self.data, -1, -2) @ g[..., None]
+                    other._deposit(_unbroadcast(grad_other[..., 0], other.shape))
+                else:
+                    grad_other = np.swapaxes(self.data, -1, -2) @ g
+                    other._deposit(_unbroadcast(grad_other, other.shape))
+
+        return self._bind((self, other), out_data, "matmul", backward)
+
+    # -- elementwise non-linearities -------------------------------------------
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._deposit(g * out_data)
+
+        return self._bind((self,), out_data, "exp", backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._deposit(g / self.data)
+
+        return self._bind((self,), out_data, "log", backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._deposit(g * (1.0 - out_data**2))
+
+        return self._bind((self,), out_data, "tanh", backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 0.5 * (1.0 + np.tanh(0.5 * self.data))
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._deposit(g * out_data * (1.0 - out_data))
+
+        return self._bind((self,), out_data, "sigmoid", backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, 0.0)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._deposit(g * mask)
+
+        return self._bind((self,), out_data, "relu", backward)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+        sign = np.sign(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._deposit(g * sign)
+
+        return self._bind((self,), out_data, "abs", backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exps = np.exp(shifted)
+        out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                inner = (g * out_data).sum(axis=axis, keepdims=True)
+                self._deposit(out_data * (g - inner))
+
+        return self._bind((self,), out_data, "softmax", backward)
+
+    # -- reductions --------------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad = np.asarray(g)
+            if axis is None:
+                grad = np.broadcast_to(grad, self.shape)
+            else:
+                if not keepdims:
+                    grad = np.expand_dims(grad, axis=axis)
+                grad = np.broadcast_to(grad, self.shape)
+            self._deposit(grad.astype(np.float64))
+
+        return self._bind((self,), out_data, "sum", backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.size if axis is None else self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # -- shape manipulation -------------------------------------------------------
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._deposit(g.reshape(original))
+
+        return self._bind((self,), out_data, "reshape", backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._deposit(g.transpose(inverse))
+
+        return self._bind((self,), out_data, "transpose", backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def flip(self, axis: int) -> "Tensor":
+        out_data = np.flip(self.data, axis=axis)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._deposit(np.flip(g, axis=axis))
+
+        return self._bind((self,), out_data, "flip", backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, key, g)
+                self._deposit(grad)
+
+        return self._bind((self,), out_data, "getitem", backward)
+
+    # -- helpers used by op constructors -----------------------------------------
+
+    def _bind(self, parents: Sequence["Tensor"], data: np.ndarray, op: str,
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        return self._make(np.asarray(data, dtype=np.float64), parents, op, backward)
+
+    def _deposit(self, grad: np.ndarray) -> None:
+        """Route a gradient contribution to this tensor.
+
+        While a backward pass is running, contributions are staged in the
+        pending table so a node's closure fires exactly once with the full
+        upstream gradient (reverse-topological order guarantees all children
+        have contributed by then).  Outside a pass — e.g. when user code calls
+        a closure manually — contributions land on ``.grad`` directly.
+        """
+        grad = np.asarray(grad, dtype=np.float64)
+        pending = Tensor._pending
+        if pending is None:
+            self._accumulate(grad)
+            return
+        key = id(self)
+        if key in pending:
+            pending[key] = pending[key] + grad
+        else:
+            pending[key] = grad
+
+
+# -- free functions ---------------------------------------------------------------
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [Tensor._lift(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                index = [slice(None)] * g.ndim
+                index[axis] = slice(start, stop)
+                tensor._deposit(g[tuple(index)])
+
+    proto = tensors[0]
+    return proto._make(out_data, tensors, "concat", backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    tensors = [Tensor._lift(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray) -> None:
+        pieces = np.split(g, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor._deposit(np.squeeze(piece, axis=axis))
+
+    proto = tensors[0]
+    return proto._make(out_data, tensors, "stack", backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` by integer ``indices`` (any shape).
+
+    The result has shape ``indices.shape + (embedding_dim,)``.  The backward
+    pass scatter-adds into the weight gradient, so repeated indices
+    accumulate correctly.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[indices]
+
+    def backward(g: np.ndarray) -> None:
+        if weight.requires_grad:
+            grad = np.zeros_like(weight.data)
+            np.add.at(grad, indices.reshape(-1), g.reshape(-1, weight.shape[1]))
+            weight._deposit(grad)
+
+    return weight._make(out_data, (weight,), "embedding", backward)
+
+
+def where_constant(mask: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Select elementwise between two tensors with a constant boolean mask."""
+    a = Tensor._lift(a)
+    b = Tensor._lift(b)
+    mask = np.asarray(mask, dtype=bool)
+    out_data = np.where(mask, a.data, b.data)
+
+    def backward(g: np.ndarray) -> None:
+        if a.requires_grad:
+            a._deposit(_unbroadcast(np.where(mask, g, 0.0), a.shape))
+        if b.requires_grad:
+            b._deposit(_unbroadcast(np.where(mask, 0.0, g), b.shape))
+
+    return a._make(out_data, (a, b), "where", backward)
+
+
+def pad_time_left(x: Tensor, amount: int) -> Tensor:
+    """Zero-pad a ``(batch, time, features)`` tensor on the left of axis 1.
+
+    Used by causal convolutions; gradient simply drops the padded region.
+    """
+    if amount < 0:
+        raise ValueError("pad amount must be non-negative")
+    if amount == 0:
+        return x
+    batch, _, features = x.shape
+    out_data = np.concatenate(
+        [np.zeros((batch, amount, features)), x.data], axis=1
+    )
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            x._deposit(g[:, amount:, :])
+
+    return x._make(out_data, (x,), "pad", backward)

@@ -1,0 +1,29 @@
+"""repro.postdetect — the P&D *post-detection* task (related work, §8).
+
+The paper contrasts its ahead-of-time target coin prediction with the
+post-detection literature (Kamps & Kleinberg 2018; La Morgia et al. 2020),
+which flags a P&D only once price/volume anomalies materialize.  This
+package implements a moving-average anomaly detector in that family and
+measures its detection delay, quantifying the paper's core motivation: by
+the time post-detection fires, the price peak has typically passed.
+"""
+
+from repro.postdetect.anomaly import (
+    AnomalyDetector,
+    AnomalyEvent,
+    DetectorConfig,
+)
+from repro.postdetect.evaluation import (
+    DelayStudy,
+    detection_delay_study,
+    evaluate_detector,
+)
+
+__all__ = [
+    "AnomalyDetector",
+    "AnomalyEvent",
+    "DetectorConfig",
+    "evaluate_detector",
+    "detection_delay_study",
+    "DelayStudy",
+]

@@ -1,0 +1,100 @@
+"""Moving-average anomaly detection over OHLCV streams (Kamps-style).
+
+The detector maintains rolling means of price and volume and raises an
+anomaly when the short-window estimate exceeds the long-window baseline by
+configurable multiples — the classic post-detection recipe.  It operates on
+minute bars, exactly the granularity at which real P&D spikes play out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.market import MarketSimulator
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Thresholds of the moving-average detector.
+
+    Defaults follow the spirit of Kamps & Kleinberg: a price spike factor
+    over a short window relative to a long baseline, with a corroborating
+    volume spike.
+    """
+
+    long_window: int = 180       # minutes of baseline history
+    short_window: int = 10       # minutes of the spike estimate
+    price_factor: float = 1.05   # short/long price ratio to alarm
+    volume_factor: float = 3.0   # short/long volume ratio to alarm
+    require_both: bool = True    # price AND volume (paper: joint anomalies)
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """A raised alarm: coin plus minute offset within the scanned window."""
+
+    coin_id: int
+    minute: int        # offset from the scan start, in minutes
+    price_ratio: float
+    volume_ratio: float
+
+
+class AnomalyDetector:
+    """Scan per-coin minute series and raise spike alarms."""
+
+    def __init__(self, market: MarketSimulator,
+                 config: DetectorConfig | None = None):
+        self.market = market
+        self.config = config or DetectorConfig()
+        if self.config.short_window >= self.config.long_window:
+            raise ValueError("short_window must be below long_window")
+
+    def _rolling_mean(self, values: np.ndarray, window: int) -> np.ndarray:
+        csum = np.concatenate([[0.0], np.cumsum(values)])
+        out = np.full(len(values), np.nan)
+        out[window - 1:] = (csum[window:] - csum[:-window]) / window
+        return out
+
+    def scan(self, coin_id: int, start_hour: float,
+             duration_minutes: int) -> list[AnomalyEvent]:
+        """Alarms over ``[start_hour, start_hour + duration_minutes)``.
+
+        The window is extended backwards by ``long_window`` minutes so the
+        baseline is warm from the first scanned minute.
+        """
+        cfg = self.config
+        warmup = cfg.long_window
+        offsets = np.arange(-warmup, duration_minutes)
+        prices = self.market.minute_close(coin_id, start_hour, offsets)
+        volumes = self.market.minute_volume(coin_id, start_hour, offsets)
+        long_price = self._rolling_mean(prices, cfg.long_window)
+        short_price = self._rolling_mean(prices, cfg.short_window)
+        long_volume = self._rolling_mean(volumes, cfg.long_window)
+        short_volume = self._rolling_mean(volumes, cfg.short_window)
+        events: list[AnomalyEvent] = []
+        for i in range(warmup, len(offsets)):
+            if np.isnan(long_price[i]):
+                continue
+            price_ratio = short_price[i] / long_price[i]
+            volume_ratio = short_volume[i] / max(long_volume[i], 1e-12)
+            price_hit = price_ratio >= cfg.price_factor
+            volume_hit = volume_ratio >= cfg.volume_factor
+            fired = (price_hit and volume_hit) if cfg.require_both else (
+                price_hit or volume_hit
+            )
+            if fired:
+                events.append(AnomalyEvent(
+                    coin_id=coin_id,
+                    minute=int(offsets[i]),
+                    price_ratio=float(price_ratio),
+                    volume_ratio=float(volume_ratio),
+                ))
+        return events
+
+    def first_alarm(self, coin_id: int, start_hour: float,
+                    duration_minutes: int) -> AnomalyEvent | None:
+        """The earliest alarm in the window, or None."""
+        events = self.scan(coin_id, start_hour, duration_minutes)
+        return events[0] if events else None

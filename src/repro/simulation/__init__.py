@@ -1,0 +1,44 @@
+"""repro.simulation — the synthetic world substrate.
+
+Replaces the paper's external data sources (Telegram, Binance klines,
+CoinGecko, PumpOlymp) with a deterministic generative model; see DESIGN.md
+§2 for the substitution rationale.
+"""
+
+from repro.simulation.coins import EXCHANGE_NAMES, PAIR_SYMBOLS, CoinUniverse
+from repro.simulation.market import (
+    MOOD_PRICE_LAG,
+    MarketSimulator,
+    PumpProfile,
+)
+from repro.simulation.channels import ChannelPopulation, NoiseChannel, PumpChannel
+from repro.simulation.events import EventLog, EventScheduler, PumpEvent
+from repro.simulation.messages import (
+    ALL_KINDS,
+    OCR_IMAGE_TEXT,
+    PUMP_KINDS,
+    Message,
+    MessageGenerator,
+)
+from repro.simulation.world import SyntheticWorld
+
+__all__ = [
+    "CoinUniverse",
+    "EXCHANGE_NAMES",
+    "PAIR_SYMBOLS",
+    "MarketSimulator",
+    "PumpProfile",
+    "MOOD_PRICE_LAG",
+    "ChannelPopulation",
+    "PumpChannel",
+    "NoiseChannel",
+    "EventScheduler",
+    "EventLog",
+    "PumpEvent",
+    "MessageGenerator",
+    "Message",
+    "PUMP_KINDS",
+    "ALL_KINDS",
+    "OCR_IMAGE_TEXT",
+    "SyntheticWorld",
+]

@@ -1,0 +1,205 @@
+"""Telegram channel population — pump channels, noise channels, VIP tiers.
+
+Reproduces the structure §2-§3 describe: public pump channels with
+subscriber counts, private VIP partner channels, ordinary crypto-chat
+channels, and an invitation-link graph (organizers advertise across
+channels) that the snowball exploration of §3.1 walks.
+
+Each pump channel owns a **coin-selection strategy** — a market-cap band, a
+couple of semantic clusters and a re-pump period.  That strategy is what
+creates the paper's central observation (A3): intra-channel homogeneity and
+inter-channel heterogeneity of pumped coins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.simulation.coins import CoinUniverse
+from repro.utils.config import ReproConfig
+
+# Global exchange mix matching the paper's event distribution (§4.2):
+# Binance 62.8%, Yobit 20.6%, Hotbit 8.7%, Kucoin 3.0%, long tail 4.9%.
+EXCHANGE_MIX = np.array([0.628, 0.206, 0.087, 0.030])
+
+
+@dataclass(frozen=True)
+class PumpChannel:
+    """A public pump channel and its latent coin-selection strategy."""
+
+    channel_id: int             # Telegram-style numeric id
+    index: int                  # dense index within the pump population
+    subscribers: int
+    band_center: float          # preferred coin rank (log-uniform mid-cap)
+    band_width: float           # log-rank band width
+    clusters: tuple[int, ...]   # preferred semantic themes
+    exchange_weights: np.ndarray
+    period: int                 # re-pump periodicity (events)
+    repump_prob: float          # chance of replaying the coin `period` ago
+    vip_channel_id: int | None  # private VIP partner, if any
+    active_from: float
+    active_to: float
+    is_seed: bool               # appears in the PumpOlymp-style seed list
+    deleted: bool               # deleted/inactive (seed-list attrition)
+
+
+@dataclass(frozen=True)
+class NoiseChannel:
+    """An ordinary crypto-discussion channel (non-pump)."""
+
+    channel_id: int
+    cluster: int
+    messages_per_week: float
+
+
+@dataclass
+class ChannelPopulation:
+    """All channels plus the invitation graph used by snowball exploration."""
+
+    pump_channels: list[PumpChannel] = field(default_factory=list)
+    noise_channels: list[NoiseChannel] = field(default_factory=list)
+    invitations: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    @classmethod
+    def generate(cls, config: ReproConfig, universe: CoinUniverse) -> "ChannelPopulation":
+        rng = np.random.default_rng(config.seed * 31337 + 17)
+        population = cls()
+        used_ids: set[int] = set()
+
+        def fresh_id() -> int:
+            while True:
+                cid = int(rng.integers(1_000_000_000, 2_000_000_000))
+                if cid not in used_ids:
+                    used_ids.add(cid)
+                    return cid
+
+        n_ex = config.n_exchanges
+        mix = np.zeros(n_ex)
+        mix[: len(EXCHANGE_MIX)] = EXCHANGE_MIX[:n_ex]
+        if n_ex > len(EXCHANGE_MIX):
+            mix[len(EXCHANGE_MIX):] = (1.0 - mix.sum()) / (n_ex - len(EXCHANGE_MIX))
+        mix = mix / mix.sum()
+
+        max_rank = universe.n_coins
+        for i in range(config.n_pump_channels):
+            subscribers = int(np.exp(rng.normal(9.2, 1.3)))
+            # Bigger channels target bigger caps (lower rank): the paper's
+            # Figure 5 heterogeneity mechanism.
+            size_factor = np.clip(
+                (np.log(subscribers) - 6.0) / 6.0, 0.05, 1.0
+            )
+            # Wide inter-channel spread of preferred bands (Figure 5): the
+            # exponent range pushes centers from the top few dozen ranks
+            # down to deep mid-caps, correlated with channel size.
+            center = np.exp(
+                np.log(max_rank * 0.85) - size_factor * rng.uniform(0.5, 2.8)
+            )
+            center = float(np.clip(center, 25, max_rank * 0.9))
+            n_clusters_pref = int(rng.integers(1, 3))
+            clusters = tuple(
+                int(c) for c in rng.choice(
+                    universe.n_clusters, size=n_clusters_pref, replace=False
+                )
+            )
+            exchange_weights = rng.dirichlet(mix * 25.0 + 1e-3)
+            vip = fresh_id() if rng.random() < 0.4 else None
+            is_seed = i < config.n_seed_channels
+            deleted = bool(is_seed and rng.random() < 0.3)
+            start = float(rng.uniform(0, config.horizon_hours * 0.25))
+            population.pump_channels.append(
+                PumpChannel(
+                    channel_id=fresh_id(),
+                    index=i,
+                    subscribers=subscribers,
+                    band_center=center,
+                    band_width=float(rng.uniform(0.25, 0.5)),
+                    clusters=clusters,
+                    exchange_weights=exchange_weights,
+                    period=int(rng.integers(3, 6)),
+                    repump_prob=float(rng.uniform(0.5, 0.7)),
+                    vip_channel_id=vip,
+                    active_from=start,
+                    active_to=float(config.horizon_hours),
+                    is_seed=is_seed,
+                    deleted=deleted,
+                )
+            )
+
+        for _ in range(config.n_noise_channels):
+            population.noise_channels.append(
+                NoiseChannel(
+                    channel_id=fresh_id(),
+                    cluster=int(rng.integers(0, universe.n_clusters)),
+                    messages_per_week=float(rng.uniform(3, 40)),
+                )
+            )
+
+        population._build_invitation_graph(rng)
+        return population
+
+    def _build_invitation_graph(self, rng: np.random.Generator) -> None:
+        """Invitation links: who advertises whom.
+
+        Seeds advertise 1-hop channels, which advertise 2-hop channels; a
+        small tail of pump channels is only reachable deeper than 2 hops, so
+        bounded snowball exploration finds *most but not all* channels —
+        matching the paper's experience.
+        """
+        graph = self.invitations
+        for channel in self.pump_channels:
+            graph.add_node(channel.channel_id, kind="pump")
+        for channel in self.noise_channels:
+            graph.add_node(channel.channel_id, kind="noise")
+
+        alive = [c for c in self.pump_channels if not c.deleted]
+        seeds = [c for c in alive if c.is_seed]
+        non_seeds = [c for c in alive if not c.is_seed]
+        rng.shuffle(non_seeds)
+        n1 = max(1, int(len(non_seeds) * 0.5))
+        n2 = max(1, int(len(non_seeds) * 0.3))
+        hop1, hop2, hop3 = (
+            non_seeds[:n1],
+            non_seeds[n1: n1 + n2],
+            non_seeds[n1 + n2:],
+        )
+        if seeds:
+            for target in hop1:
+                for src in rng.choice(seeds, size=min(2, len(seeds)), replace=False):
+                    graph.add_edge(src.channel_id, target.channel_id)
+            for target in hop2:
+                pool = hop1 or seeds
+                for src in rng.choice(pool, size=min(2, len(pool)), replace=False):
+                    graph.add_edge(src.channel_id, target.channel_id)
+            for target in hop3:
+                pool = hop2 or hop1 or seeds
+                src = rng.choice(pool)
+                graph.add_edge(src.channel_id, target.channel_id)
+        # Noise channels also host pump-channel adverts occasionally.
+        for noise in self.noise_channels:
+            if rng.random() < 0.2 and alive:
+                target = alive[int(rng.integers(len(alive)))]
+                graph.add_edge(noise.channel_id, target.channel_id)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def seed_channel_ids(self, include_deleted: bool = True) -> list[int]:
+        """The PumpOlymp-style verified seed list (may contain dead channels)."""
+        return [
+            c.channel_id
+            for c in self.pump_channels
+            if c.is_seed and (include_deleted or not c.deleted)
+        ]
+
+    def pump_by_id(self) -> dict[int, PumpChannel]:
+        return {c.channel_id: c for c in self.pump_channels}
+
+    def alive_pump_channels(self) -> list[PumpChannel]:
+        return [c for c in self.pump_channels if not c.deleted]
+
+    def all_channel_ids(self) -> list[int]:
+        return [c.channel_id for c in self.pump_channels] + [
+            c.channel_id for c in self.noise_channels
+        ]

@@ -1,0 +1,361 @@
+"""Exchange market simulator — the Binance-klines substitute (§4.2 data).
+
+Every coin has a deterministic hourly log-price process
+
+    log p_c(h) = log base_c + seasonal_c(h) + sigma_c * eta(c, h) + overlay_c(h)
+
+where ``seasonal`` is a small set of per-coin Fourier components (slow market
+cycles), ``eta`` is counter-based hash noise (so any window can be evaluated
+in O(window) with *consistent* overlapping answers), and ``overlay`` encodes
+the paper's P&D anatomy (§2, Figure 4):
+
+* **accumulation** — organizers buy from ~60h before the pump, ramping the
+  price ≈ +9.5% by one hour before (Figure 4c peaks at x = 60);
+* **pre-pump hikes** — VIP buy-ins create short price/volume spikes between
+  48h and 1h before (Figure 4b/4d);
+* **pump** — the price multiplies within ~2 minutes of the scheduled time;
+* **dump** — exponential decay to at-or-below the pre-accumulation level.
+
+Volume follows the same structure with a much larger pump spike and a
+"frequent trading onset" ~57 hours before the pump (Figure 4b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.simulation.coins import CoinUniverse
+from repro.utils.hashrng import hash_normal, hash_uniform
+
+# Stream tags so the same (coin, hour) key yields independent noises.
+_PRICE_STREAM = 1
+_VOLUME_STREAM = 2
+_RANGE_STREAM = 3
+_MINUTE_STREAM = 4
+_MOOD_STREAM = 5
+_OCTAVE_STREAM = 6
+
+# Brownian-like multi-scale noise: interpolated hashed noise at octave
+# periods approximates a 1/f^2 spectrum, so an x-hour return carries
+# ~sqrt(x)-scaled idiosyncratic noise — the reason pre-pump accumulation is
+# a *statistical* signal (Figure 4c averages hundreds of events) rather
+# than a giveaway on every single event.
+_OCTAVE_PERIODS = (4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0)
+_OCTAVE_SIGMA = 0.012
+
+# Volume burst octaves: fixed-amplitude log-volume excursions at hour-to-
+# day scales (news, listings, other groups' activity).
+_VOLUME_BURST_PERIODS = (6.0, 24.0, 96.0)
+_VOLUME_BURST_AMPLITUDE = 0.55
+_VOLUME_BURST_STREAM = 7
+
+PUMP_PEAK_MINUTES = 2  # price tops out ~2 minutes after the coin release
+
+# Investor mood influences BTC with this delay (hours); §7 observes that
+# sentiment intensity has a *delayed* impact on price movement.
+MOOD_PRICE_LAG = 48
+MOOD_PRICE_COEFF = 0.16
+
+
+@dataclass(frozen=True)
+class PumpProfile:
+    """Per-event market-impact parameters (log-scale effects)."""
+
+    time: float          # pump time in fractional hours
+    accum_log: float     # accumulation lift reached 1h before the pump
+    peak_log: float      # pump peak on top of accumulation
+    settle_log: float    # post-dump level relative to pre-accumulation
+    dump_tau: float      # hours for the pump spike to decay
+    vip_times: tuple[float, ...]   # pre-pump hike offsets (negative hours)
+    vip_sizes: tuple[float, ...]   # log-size of each pre-pump hike
+    volume_peak_log: float         # pump-hour volume lift
+
+
+class MarketSimulator:
+    """Deterministic OHLCV oracle for every coin at hour/minute resolution."""
+
+    def __init__(self, universe: CoinUniverse, seed: int | None = None):
+        self.universe = universe
+        self.seed = universe.config.seed if seed is None else seed
+        n = universe.n_coins
+        rng = np.random.default_rng(self.seed * 104729 + 3)
+        # Per-coin seasonal components: two slow sinusoids.
+        self._amp1 = rng.uniform(0.05, 0.35, n)
+        self._period1 = rng.uniform(1500.0, 8000.0, n)
+        self._phase1 = rng.uniform(0, 2 * np.pi, n)
+        self._amp2 = rng.uniform(0.02, 0.15, n)
+        self._period2 = rng.uniform(200.0, 900.0, n)
+        self._phase2 = rng.uniform(0, 2 * np.pi, n)
+        self._sigma = rng.uniform(0.002, 0.006, n)
+        # Per-coin volatility multiplier for the octave (random-walk) noise.
+        self._octave_scale = rng.uniform(0.7, 1.4, n)
+        # Volume model parameters.  Hourly volumes of small caps are wildly
+        # bursty; iid noise plus multi-scale bursts keep pre-pump elevation
+        # from being a trivial giveaway.
+        self._volume_base = 0.72 * np.log(universe.market_cap) - 6.0
+        self._volume_sigma = rng.uniform(0.4, 0.8, n)
+        self._profiles: dict[int, list[PumpProfile]] = {}
+
+    # -- event registration -----------------------------------------------------
+
+    def attach_events(self, events: Iterable) -> None:
+        """Register pump events; each must expose ``coin_id`` and ``profile``."""
+        for event in events:
+            self._profiles.setdefault(int(event.coin_id), []).append(event.profile)
+
+    def profiles_for(self, coin_id: int) -> list[PumpProfile]:
+        """Registered pump profiles of one coin (possibly empty)."""
+        return self._profiles.get(int(coin_id), [])
+
+    # -- price ---------------------------------------------------------------
+
+    def _seasonal(self, coin_ids: np.ndarray, hours: np.ndarray) -> np.ndarray:
+        c = coin_ids
+        h = hours
+        return self._amp1[c] * np.sin(2 * np.pi * h / self._period1[c] + self._phase1[c]) \
+            + self._amp2[c] * np.sin(2 * np.pi * h / self._period2[c] + self._phase2[c])
+
+    def _price_overlay_single(self, coin_id: int, hours: np.ndarray) -> np.ndarray:
+        """Sum of event overlays for one coin over fractional hours."""
+        overlay = np.zeros_like(hours, dtype=float)
+        for profile in self._profiles.get(int(coin_id), ()):
+            d = hours - profile.time
+            # Pre-accumulation micro-premium: makes returns measured from
+            # x=72 slightly smaller than from x=60, as in Figure 4(c).
+            pre = np.where((d >= -76) & (d < -61), 0.012, 0.0)
+            # Accumulation ramp over [-61, 0).
+            ramp_frac = np.clip((d + 61.0) / 60.0, 0.0, 1.0)
+            accum = np.where(d < 0, profile.accum_log * ramp_frac, 0.0)
+            # VIP pre-pump hikes: short gaussian bumps.
+            vip = np.zeros_like(d)
+            for t_vip, size in zip(profile.vip_times, profile.vip_sizes):
+                vip += np.where(
+                    d < 0, size * np.exp(-0.5 * ((d - t_vip) / 0.8) ** 2), 0.0
+                )
+            # Pump spike and dump decay.
+            peak_at = PUMP_PEAK_MINUTES / 60.0
+            rise = np.where(
+                (d >= 0) & (d < peak_at),
+                profile.accum_log + (profile.peak_log - profile.accum_log)
+                * (d / peak_at),
+                0.0,
+            )
+            decay = np.where(
+                d >= peak_at,
+                profile.settle_log
+                + (profile.peak_log - profile.settle_log)
+                * np.exp(-np.maximum(d - peak_at, 0.0) / profile.dump_tau),
+                0.0,
+            )
+            overlay += pre + accum + vip + rise + decay
+        return overlay
+
+    def _octave_noise(self, coin_ids: np.ndarray, hours: np.ndarray) -> np.ndarray:
+        """Brownian-like idiosyncratic price noise, O(octaves) per query.
+
+        Each octave interpolates hashed per-block normals with a smoothstep,
+        giving a continuous path whose x-hour increments have standard
+        deviation roughly ``_OCTAVE_SIGMA * sqrt(x)``.
+        """
+        out = np.zeros(np.broadcast(coin_ids, hours).shape)
+        for j, period in enumerate(_OCTAVE_PERIODS):
+            block = np.floor(hours / period).astype(np.int64)
+            frac = hours / period - block
+            w = frac * frac * (3.0 - 2.0 * frac)  # smoothstep
+            left = hash_normal(self.seed, _OCTAVE_STREAM, coin_ids, j, block)
+            right = hash_normal(self.seed, _OCTAVE_STREAM, coin_ids, j, block + 1)
+            amplitude = _OCTAVE_SIGMA * np.sqrt(period)
+            out = out + amplitude * ((1.0 - w) * left + w * right)
+        return out * self._octave_scale[coin_ids]
+
+    def market_mood(self, hours) -> np.ndarray:
+        """Latent investor-mood process in roughly [-2, 2].
+
+        Piecewise-linear interpolation of daily hash noise — continuous,
+        stochastic and O(1) per query.  Telegram sentiment chatter tracks
+        this process, and BTC's price responds to it ``MOOD_PRICE_LAG``
+        hours later, which is what makes sentiment features informative for
+        the §7 forecasting task.
+        """
+        hours = np.asarray(hours, dtype=float)
+        block = np.floor(hours / 24.0).astype(np.int64)
+        frac = (hours / 24.0) - block
+        left = hash_normal(self.seed, _MOOD_STREAM, block)
+        right = hash_normal(self.seed, _MOOD_STREAM, block + 1)
+        return (1.0 - frac) * left + frac * right
+
+    def log_close(self, coin_ids, hours) -> np.ndarray:
+        """Log close price; ``coin_ids`` and ``hours`` broadcast together."""
+        coin_ids = np.asarray(coin_ids, dtype=np.int64)
+        hours = np.asarray(hours, dtype=float)
+        coin_ids, hours = np.broadcast_arrays(coin_ids, hours)
+        hour_idx = np.floor(hours).astype(np.int64)
+        noise = self._sigma[coin_ids] * hash_normal(
+            self.seed, _PRICE_STREAM, coin_ids, hour_idx
+        )
+        base = np.log(self.universe.base_price[coin_ids])
+        out = (
+            base + self._seasonal(coin_ids, hours) + noise
+            + self._octave_noise(coin_ids, hours)
+        )
+        # Delayed mood impact on BTC (coin 0) for the forecasting task.
+        btc_mask = coin_ids == 0
+        if btc_mask.any():
+            out = out + np.where(
+                btc_mask,
+                MOOD_PRICE_COEFF * self.market_mood(hours - MOOD_PRICE_LAG),
+                0.0,
+            )
+        # Apply event overlays only for coins that have any.
+        if self._profiles:
+            flat_ids = coin_ids.reshape(-1)
+            flat_hours = hours.reshape(-1)
+            flat_out = out.reshape(-1)
+            for coin in np.unique(flat_ids):
+                if int(coin) not in self._profiles:
+                    continue
+                mask = flat_ids == coin
+                flat_out[mask] += self._price_overlay_single(int(coin), flat_hours[mask])
+            out = flat_out.reshape(out.shape)
+        return out
+
+    def close_price(self, coin_ids, hours) -> np.ndarray:
+        """Close price in pairing-coin units."""
+        return np.exp(self.log_close(coin_ids, hours))
+
+    def window_return(self, coin_ids, pump_hour: float, x: int) -> np.ndarray:
+        """Return over the paper's window ``(x+1, 1]`` hours before ``pump_hour``.
+
+        ``return = p(t-1) / p(t-x-1) - 1`` — the Figure 4(c) statistic and
+        the §5.1 market-movement feature.
+        """
+        coin_ids = np.asarray(coin_ids, dtype=np.int64)
+        p_end = self.log_close(coin_ids, np.full(coin_ids.shape, pump_hour - 1.0))
+        p_start = self.log_close(coin_ids, np.full(coin_ids.shape, pump_hour - x - 1.0))
+        return np.exp(p_end - p_start) - 1.0
+
+    # -- volume ---------------------------------------------------------------
+
+    def _volume_overlay_single(self, coin_id: int, hours: np.ndarray) -> np.ndarray:
+        overlay = np.zeros_like(hours, dtype=float)
+        for profile in self._profiles.get(int(coin_id), ()):
+            d = hours - profile.time
+            # Frequent-trading onset ~57h before the pump (Figure 4b).
+            ramp = np.where(
+                (d >= -57) & (d < 0), 0.55 * np.clip((d + 57.0) / 57.0, 0, 1), 0.0
+            )
+            vip = np.zeros_like(d)
+            for t_vip, size in zip(profile.vip_times, profile.vip_sizes):
+                vip += np.where(
+                    d < 0,
+                    size * 28.0 * np.exp(-0.5 * ((d - t_vip) / 0.6) ** 2),
+                    0.0,
+                )
+            spike = np.where(
+                d >= 0,
+                profile.volume_peak_log * np.exp(-np.maximum(d, 0) / 0.45),
+                0.0,
+            )
+            aftermath = np.where(d >= 0, 0.8 * np.exp(-np.maximum(d, 0) / 24.0), 0.0)
+            overlay += ramp + vip + spike + aftermath
+        return overlay
+
+    def hourly_volume(self, coin_ids, hours) -> np.ndarray:
+        """Traded volume (pairing-coin units) during the hour ending at ``h``."""
+        coin_ids = np.asarray(coin_ids, dtype=np.int64)
+        hours = np.asarray(hours, dtype=float)
+        coin_ids, hours = np.broadcast_arrays(coin_ids, hours)
+        hour_idx = np.floor(hours).astype(np.int64)
+        noise = self._volume_sigma[coin_ids] * hash_normal(
+            self.seed, _VOLUME_STREAM, coin_ids, hour_idx
+        )
+        bursts = np.zeros(np.broadcast(coin_ids, hours).shape)
+        for j, period in enumerate(_VOLUME_BURST_PERIODS):
+            block = np.floor(hours / period).astype(np.int64)
+            frac = hours / period - block
+            w = frac * frac * (3.0 - 2.0 * frac)
+            left = hash_normal(self.seed, _VOLUME_BURST_STREAM, coin_ids, j, block)
+            right = hash_normal(self.seed, _VOLUME_BURST_STREAM, coin_ids, j, block + 1)
+            bursts = bursts + _VOLUME_BURST_AMPLITUDE * ((1 - w) * left + w * right)
+        # Mild time-of-day seasonality (UTC evening is busier).
+        tod = 0.25 * np.sin(2 * np.pi * (hours % 24) / 24.0 - 1.2)
+        log_volume = self._volume_base[coin_ids] + tod + noise + bursts
+        if self._profiles:
+            flat_ids = coin_ids.reshape(-1)
+            flat_hours = hours.reshape(-1)
+            flat = log_volume.reshape(-1)
+            for coin in np.unique(flat_ids):
+                if int(coin) not in self._profiles:
+                    continue
+                mask = flat_ids == coin
+                flat[mask] += self._volume_overlay_single(int(coin), flat_hours[mask])
+            log_volume = flat.reshape(log_volume.shape)
+        return np.exp(log_volume)
+
+    def window_volume(self, coin_ids, pump_hour: float, x: int) -> np.ndarray:
+        """Average hourly volume over the window ``(x+1, 1]`` before the pump."""
+        coin_ids = np.asarray(coin_ids, dtype=np.int64)
+        offsets = np.arange(1, x + 1, dtype=float)  # hours before pump: 1..x
+        grid_hours = pump_hour - offsets  # (x,)
+        volumes = self.hourly_volume(
+            coin_ids[:, None], np.broadcast_to(grid_hours, (len(coin_ids), x))
+        )
+        return volumes.mean(axis=1)
+
+    def window_trade_count(self, coin_ids, pump_hour: float, x: int) -> np.ndarray:
+        """Proxy trade count: volume divided by a per-coin typical trade size."""
+        volume = self.window_volume(coin_ids, pump_hour, x)
+        typical = np.exp(self._volume_base[np.asarray(coin_ids, dtype=np.int64)]) / 180.0
+        return volume / np.maximum(typical, 1e-12)
+
+    # -- OHLCV bars -------------------------------------------------------------
+
+    def ohlcv_hourly(self, coin_id: int, start_hour: int, n_hours: int) -> np.ndarray:
+        """Hourly bars ``(n_hours, 5)``: open, high, low, close, volume.
+
+        Open of bar ``h`` equals close of ``h-1``; the high/low extend the
+        open-close range by non-negative hash-noise wicks, so the OHLC
+        invariant ``low <= min(open, close) <= max(open, close) <= high``
+        holds by construction.
+        """
+        if n_hours < 1:
+            raise ValueError("n_hours must be positive")
+        hours = np.arange(start_hour - 1, start_hour + n_hours, dtype=float)
+        closes = self.close_price(np.full(len(hours), coin_id), hours)
+        opens = closes[:-1]
+        close = closes[1:]
+        hour_idx = hours[1:].astype(np.int64)
+        wick = np.abs(
+            hash_normal(self.seed, _RANGE_STREAM, coin_id, hour_idx)
+        ) * 0.004 + 1e-6
+        high = np.maximum(opens, close) * np.exp(wick)
+        low = np.minimum(opens, close) * np.exp(-wick)
+        volume = self.hourly_volume(np.full(n_hours, coin_id), hours[1:])
+        return np.stack([opens, high, low, close, volume], axis=1)
+
+    # -- minute-level series (Figure 4 a, b, d) ----------------------------------
+
+    def minute_close(self, coin_id: int, around_hour: float,
+                     minute_offsets: Sequence[int]) -> np.ndarray:
+        """Close price at minute resolution around a reference hour."""
+        offsets = np.asarray(minute_offsets, dtype=float)
+        hours = around_hour + offsets / 60.0
+        base = self.log_close(np.full(len(offsets), coin_id), hours)
+        minute_idx = np.floor(around_hour * 60 + offsets).astype(np.int64)
+        micro = 0.0012 * hash_normal(self.seed, _MINUTE_STREAM, coin_id, minute_idx)
+        return np.exp(base + micro)
+
+    def minute_volume(self, coin_id: int, around_hour: float,
+                      minute_offsets: Sequence[int]) -> np.ndarray:
+        """Per-minute traded volume around a reference hour."""
+        offsets = np.asarray(minute_offsets, dtype=float)
+        hours = around_hour + offsets / 60.0
+        hourly = self.hourly_volume(np.full(len(offsets), coin_id), hours)
+        minute_idx = np.floor(around_hour * 60 + offsets).astype(np.int64)
+        jitter = np.exp(
+            0.35 * hash_normal(self.seed, _MINUTE_STREAM + 7, coin_id, minute_idx)
+        )
+        return hourly / 60.0 * jitter

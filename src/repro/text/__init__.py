@@ -1,0 +1,31 @@
+"""repro.text — NLP substrate: cleaning, embeddings, sentiment, keywords."""
+
+from repro.text.tokenize import (
+    STOPWORDS,
+    clean_message,
+    sentences_to_tokens,
+    strip_non_ascii,
+    strip_urls,
+    tokenize,
+)
+from repro.text.vocab import Vocabulary
+from repro.text.word2vec import Word2Vec, cosine_similarity_matrix
+from repro.text.sentiment import LEXICON, SentimentAnalyzer, SentimentScores
+from repro.text.keywords import PUMP_KEYWORDS, KeywordFilter
+
+__all__ = [
+    "STOPWORDS",
+    "clean_message",
+    "tokenize",
+    "sentences_to_tokens",
+    "strip_urls",
+    "strip_non_ascii",
+    "Vocabulary",
+    "Word2Vec",
+    "cosine_similarity_matrix",
+    "SentimentAnalyzer",
+    "SentimentScores",
+    "LEXICON",
+    "KeywordFilter",
+    "PUMP_KEYWORDS",
+]

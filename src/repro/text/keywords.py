@@ -1,0 +1,56 @@
+"""Keyword matching — the first stage of pump-message detection (§3.2).
+
+The paper "reserves any message that mentions a coin or exchange name, or
+includes keywords such as 'pump', 'target', 'hold', 'sell', etc.", cutting
+4.67M messages down to 2.19M before the ML classifier runs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+from repro.text.tokenize import clean_message
+
+PUMP_KEYWORDS = frozenset(
+    """pump pumping pumped target hold holding sell selling buy buying signal
+    countdown announcement profit gain next coin name exchange pair btc
+    minutes hours ready soon vip dump moon""".split()
+)
+
+
+class KeywordFilter:
+    """Reserve messages mentioning coins, exchanges or pump vocabulary.
+
+    Coin symbols are matched case-sensitively in the raw text when uppercase
+    (the release format, e.g. ``"FIC"``) and case-insensitively as ``$sym``
+    tags; exchange names and keywords match on cleaned lowercase text.
+    """
+
+    def __init__(self, coin_symbols: Sequence[str], exchange_names: Sequence[str],
+                 extra_keywords: Iterable[str] = ()):
+        if not coin_symbols:
+            raise ValueError("at least one coin symbol is required")
+        self.coin_symbols = {s.upper() for s in coin_symbols}
+        self.exchange_names = {e.lower() for e in exchange_names}
+        self.keywords = set(PUMP_KEYWORDS) | {k.lower() for k in extra_keywords}
+        # One pass regex for uppercase symbol mentions.
+        escaped = sorted((re.escape(s) for s in self.coin_symbols), key=len,
+                         reverse=True)
+        self._symbol_re = re.compile(r"\b(?:" + "|".join(escaped) + r")\b")
+        self._tag_re = re.compile(
+            r"\$(?:" + "|".join(escaped) + r")\b", re.IGNORECASE
+        )
+
+    def matches(self, message: str) -> bool:
+        """True when the message must be kept for classification."""
+        if self._symbol_re.search(message) or self._tag_re.search(message):
+            return True
+        cleaned = set(clean_message(message).split())
+        if cleaned & self.keywords:
+            return True
+        return bool(cleaned & self.exchange_names)
+
+    def filter(self, messages: Sequence[str]) -> list[int]:
+        """Indices of messages that pass the filter."""
+        return [i for i, m in enumerate(messages) if self.matches(m)]

@@ -1,0 +1,62 @@
+"""Message cleaning and tokenization (§3.2 preprocessing).
+
+The paper removes punctuation marks, stop words, URLs and emojis before
+representing messages with TF-IDF; this module implements that cleaning.
+"""
+
+from __future__ import annotations
+
+import re
+
+URL_PATTERN = re.compile(r"(?:https?://|t\.me/|www\.)\S+", re.IGNORECASE)
+# Telegram messages carry emoji; in our ASCII-only pipeline any non-ASCII
+# codepoint is treated as emoji-like decoration and removed.
+NON_ASCII_PATTERN = re.compile(r"[^\x00-\x7F]+")
+PUNCT_PATTERN = re.compile(r"[^\w\s$#@]")
+TOKEN_PATTERN = re.compile(r"[a-z0-9$#@_]+")
+
+STOPWORDS = frozenset(
+    """a an the and or but if then than so of in on at to for from by with
+    about into over after before be is are was were been being am do does did
+    have has had will would can could should may might must this that these
+    those it its we you they he she i me my your our their them his her us
+    as not no nor out up down off again once here there when where why how
+    all any both each few more most other some such only own same too very
+    just now what which who whom""".split()
+)
+
+
+def strip_urls(text: str) -> str:
+    """Remove URLs and Telegram invite links."""
+    return URL_PATTERN.sub(" ", text)
+
+
+def strip_non_ascii(text: str) -> str:
+    """Remove emoji and other non-ASCII decoration."""
+    return NON_ASCII_PATTERN.sub(" ", text)
+
+
+def clean_message(text: str) -> str:
+    """Lowercase and strip URLs, emojis and punctuation (keeps $/#/@ tags)."""
+    text = strip_urls(text)
+    text = strip_non_ascii(text)
+    text = text.lower()
+    text = PUNCT_PATTERN.sub(" ", text)
+    return re.sub(r"\s+", " ", text).strip()
+
+
+def tokenize(text: str, remove_stopwords: bool = True) -> list[str]:
+    """Clean and split a message into tokens.
+
+    >>> tokenize("PUMP the $BTC now!!! https://t.me/chan")
+    ['pump', '$btc']
+    """
+    tokens = TOKEN_PATTERN.findall(clean_message(text))
+    if remove_stopwords:
+        tokens = [t for t in tokens if t not in STOPWORDS]
+    return tokens
+
+
+def sentences_to_tokens(messages, remove_stopwords: bool = True) -> list[list[str]]:
+    """Tokenize a corpus of raw messages into token lists."""
+    return [tokenize(m, remove_stopwords=remove_stopwords) for m in messages]

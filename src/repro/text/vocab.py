@@ -1,0 +1,53 @@
+"""Vocabulary with frequency bookkeeping for word2vec training."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class Vocabulary:
+    """Token <-> id mapping with counts and a negative-sampling table.
+
+    Tokens occurring fewer than ``min_count`` times are dropped, matching
+    standard word2vec preprocessing.
+    """
+
+    def __init__(self, sentences: Sequence[Sequence[str]], min_count: int = 2):
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        counts: Counter = Counter()
+        for sentence in sentences:
+            counts.update(sentence)
+        kept = [(t, c) for t, c in counts.items() if c >= min_count]
+        kept.sort(key=lambda tc: (-tc[1], tc[0]))
+        self.index = {t: i for i, (t, _) in enumerate(kept)}
+        self.tokens = [t for t, _ in kept]
+        self.counts = np.array([c for _, c in kept], dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.index
+
+    def encode(self, sentence: Iterable[str]) -> np.ndarray:
+        """Map a token sequence to known ids, dropping OOV tokens."""
+        return np.array([self.index[t] for t in sentence if t in self.index],
+                        dtype=np.int64)
+
+    def unigram_table(self, power: float = 0.75) -> np.ndarray:
+        """Negative-sampling distribution proportional to count^power."""
+        if len(self) == 0:
+            raise ValueError("empty vocabulary")
+        weights = self.counts.astype(np.float64) ** power
+        return weights / weights.sum()
+
+    def subsample_mask(self, ids: np.ndarray, rng: np.random.Generator,
+                       threshold: float = 1e-3) -> np.ndarray:
+        """Mikolov-style frequent-word subsampling keep-mask."""
+        freq = self.counts[ids] / self.counts.sum()
+        keep_prob = np.minimum(1.0, np.sqrt(threshold / freq) + threshold / freq)
+        return rng.random(len(ids)) < keep_prob

@@ -1,0 +1,213 @@
+"""SkipGram and CBoW word embeddings with negative sampling (numpy).
+
+These replace gensim for the paper's cold-start fix (§5.3): coin-symbol
+embeddings pre-trained on the Telegram corpus substitute the end-to-end
+coin_id embedding.  Training is mini-batched and fully vectorized: a batch
+of (center, context) pairs plus ``negative`` sampled noise words per pair,
+optimized with SGD on the standard SGNS/CBoW objectives.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.text.vocab import Vocabulary
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + np.tanh(0.5 * z))
+
+
+def _scatter_mean_update(matrix: np.ndarray, indices: np.ndarray,
+                         updates: np.ndarray, lr: float) -> None:
+    """Apply ``matrix[i] -= lr * mean(updates where indices == i)``.
+
+    Plain ``np.add.at`` *sums* duplicate-row gradients, which multiplies the
+    effective learning rate by a row's frequency inside the batch and
+    destabilizes training on small vocabularies (coin symbols repeat a lot).
+    Averaging per row keeps batched SGD close to the sequential reference.
+    """
+    indices = indices.reshape(-1)
+    updates = updates.reshape(len(indices), -1)
+    acc = np.zeros((matrix.shape[0], updates.shape[1]))
+    counts = np.zeros(matrix.shape[0])
+    np.add.at(acc, indices, updates)
+    np.add.at(counts, indices, 1.0)
+    touched = counts > 0
+    matrix[touched] -= lr * acc[touched] / counts[touched, None]
+
+
+class Word2Vec:
+    """Train word embeddings on tokenized sentences.
+
+    Parameters
+    ----------
+    sentences:
+        Corpus as token lists.
+    dim:
+        Embedding dimensionality.
+    window:
+        Max distance between center and context (sampled per pair as in the
+        reference implementation).
+    mode:
+        ``"skipgram"`` (SG) or ``"cbow"`` (CBoW) — both appear in Table 6.
+    negative:
+        Noise words per positive pair.
+    subsample:
+        Frequent-word subsampling threshold (0 disables).
+    """
+
+    def __init__(self, sentences: Sequence[Sequence[str]], dim: int = 32,
+                 window: int = 4, mode: str = "skipgram", negative: int = 5,
+                 epochs: int = 3, lr: float = 0.05, min_count: int = 2,
+                 subsample: float = 0.0, batch_size: int = 1024, seed: int = 0):
+        if mode not in ("skipgram", "cbow"):
+            raise ValueError("mode must be 'skipgram' or 'cbow'")
+        if dim < 1 or window < 1 or negative < 1:
+            raise ValueError("dim, window and negative must be positive")
+        self.dim = dim
+        self.window = window
+        self.mode = mode
+        self.negative = negative
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.vocab = Vocabulary(sentences, min_count=min_count)
+        if len(self.vocab) == 0:
+            raise ValueError("no tokens survive min_count filtering")
+        rng = np.random.default_rng(seed)
+        v = len(self.vocab)
+        self.w_in = (rng.random((v, dim)) - 0.5) / dim
+        self.w_out = np.zeros((v, dim))
+        self._noise = self.vocab.unigram_table()
+        self._train(sentences, rng, subsample)
+
+    # -- training ----------------------------------------------------------
+
+    def _pairs(self, sentences, rng: np.random.Generator, subsample: float):
+        """Yield (center, context) id pairs over the whole corpus."""
+        centers: list[int] = []
+        contexts: list[int] = []
+        for sentence in sentences:
+            ids = self.vocab.encode(sentence)
+            if subsample > 0 and len(ids):
+                ids = ids[self.vocab.subsample_mask(ids, rng, subsample)]
+            n = len(ids)
+            if n < 2:
+                continue
+            spans = rng.integers(1, self.window + 1, size=n)
+            for i in range(n):
+                lo = max(0, i - int(spans[i]))
+                hi = min(n, i + int(spans[i]) + 1)
+                for j in range(lo, hi):
+                    if j != i:
+                        centers.append(int(ids[i]))
+                        contexts.append(int(ids[j]))
+        return np.array(centers, dtype=np.int64), np.array(contexts, dtype=np.int64)
+
+    def _train(self, sentences, rng: np.random.Generator, subsample: float) -> None:
+        centers, contexts = self._pairs(sentences, rng, subsample)
+        if len(centers) == 0:
+            return
+        v = len(self.vocab)
+        for epoch in range(self.epochs):
+            lr = self.lr * (1.0 - epoch / max(1, self.epochs)) + self.lr * 0.1
+            perm = rng.permutation(len(centers))
+            for start in range(0, len(perm), self.batch_size):
+                batch = perm[start: start + self.batch_size]
+                if self.mode == "skipgram":
+                    self._sgns_step(centers[batch], contexts[batch], lr, rng, v)
+                else:
+                    self._cbow_step(centers[batch], contexts[batch], lr, rng, v)
+
+    def _sgns_step(self, centers, contexts, lr, rng, v) -> None:
+        b = len(centers)
+        negatives = rng.choice(v, size=(b, self.negative), p=self._noise)
+        center_vecs = self.w_in[centers]  # (b, d)
+        # Positive pairs.
+        pos_out = self.w_out[contexts]
+        pos_score = _sigmoid((center_vecs * pos_out).sum(axis=1))
+        pos_coeff = (pos_score - 1.0)[:, None]  # d/dz of -log sigmoid(z)
+        grad_center = pos_coeff * pos_out
+        _scatter_mean_update(self.w_out, contexts, pos_coeff * center_vecs, lr)
+        # Negative pairs.
+        neg_out = self.w_out[negatives]  # (b, k, d)
+        neg_score = _sigmoid(np.einsum("bd,bkd->bk", center_vecs, neg_out))
+        neg_coeff = neg_score[:, :, None]
+        grad_center += np.einsum("bkd->bd", neg_coeff * neg_out)
+        _scatter_mean_update(
+            self.w_out, negatives, neg_coeff * center_vecs[:, None, :], lr
+        )
+        _scatter_mean_update(self.w_in, centers, grad_center, lr)
+
+    def _cbow_step(self, centers, contexts, lr, rng, v) -> None:
+        # CBoW with window=1-pair granularity: context predicts center.
+        b = len(centers)
+        negatives = rng.choice(v, size=(b, self.negative), p=self._noise)
+        context_vecs = self.w_in[contexts]
+        pos_out = self.w_out[centers]
+        pos_score = _sigmoid((context_vecs * pos_out).sum(axis=1))
+        pos_coeff = (pos_score - 1.0)[:, None]
+        grad_context = pos_coeff * pos_out
+        _scatter_mean_update(self.w_out, centers, pos_coeff * context_vecs, lr)
+        neg_out = self.w_out[negatives]
+        neg_score = _sigmoid(np.einsum("bd,bkd->bk", context_vecs, neg_out))
+        neg_coeff = neg_score[:, :, None]
+        grad_context += np.einsum("bkd->bd", neg_coeff * neg_out)
+        _scatter_mean_update(
+            self.w_out, negatives, neg_coeff * context_vecs[:, None, :], lr
+        )
+        _scatter_mean_update(self.w_in, contexts, grad_context, lr)
+
+    # -- lookup API -----------------------------------------------------------
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.vocab
+
+    def vector(self, token: str) -> np.ndarray:
+        """Embedding vector of a token (input matrix row)."""
+        if token not in self.vocab:
+            raise KeyError(f"token {token!r} not in vocabulary")
+        return self.w_in[self.vocab.index[token]]
+
+    def vectors_for(self, tokens: Sequence[str],
+                    default: np.ndarray | None = None) -> np.ndarray:
+        """Stack vectors for tokens; unknown tokens get ``default`` (or zeros)."""
+        fallback = default if default is not None else np.zeros(self.dim)
+        return np.stack([
+            self.w_in[self.vocab.index[t]] if t in self.vocab else fallback
+            for t in tokens
+        ])
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity between two tokens' embeddings."""
+        va, vb = self.vector(a), self.vector(b)
+        denom = np.linalg.norm(va) * np.linalg.norm(vb)
+        if denom == 0:
+            return 0.0
+        return float(va @ vb / denom)
+
+    def most_similar(self, token: str, k: int = 5) -> list[tuple[str, float]]:
+        """Top-k nearest tokens by cosine similarity."""
+        target = self.vector(token)
+        norms = np.linalg.norm(self.w_in, axis=1) * (np.linalg.norm(target) + 1e-12)
+        sims = self.w_in @ target / np.maximum(norms, 1e-12)
+        order = np.argsort(-sims)
+        out = []
+        for idx in order:
+            name = self.vocab.tokens[idx]
+            if name == token:
+                continue
+            out.append((name, float(sims[idx])))
+            if len(out) == k:
+                break
+        return out
+
+
+def cosine_similarity_matrix(vectors: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities of row vectors."""
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    unit = vectors / np.maximum(norms, 1e-12)
+    return unit @ unit.T

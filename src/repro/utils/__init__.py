@@ -1,0 +1,27 @@
+"""Shared utilities: deterministic hashing RNG, configuration, tabulation.
+
+These helpers underpin the simulation substrate.  Everything stochastic in
+the repository flows either through an explicit :class:`numpy.random.Generator`
+or through the counter-based hash RNG in :mod:`repro.utils.hashrng`, which
+makes every experiment reproducible from a single integer seed.
+"""
+
+from repro.utils.hashrng import hash_normal, hash_uniform, hash_uint64
+from repro.utils.config import ReproConfig, Scale, get_scale
+from repro.utils.tabulate import format_table
+from repro.utils.timeutil import HOUR, DAY, Clock, hours_between, to_timestamp
+
+__all__ = [
+    "hash_uint64",
+    "hash_uniform",
+    "hash_normal",
+    "ReproConfig",
+    "Scale",
+    "get_scale",
+    "format_table",
+    "Clock",
+    "HOUR",
+    "DAY",
+    "hours_between",
+    "to_timestamp",
+]

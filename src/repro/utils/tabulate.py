@@ -1,0 +1,44 @@
+"""Minimal fixed-width table formatting for benchmark output.
+
+The benchmark harness prints paper-shaped tables ("paper vs ours") to stdout;
+this avoids any dependency on external tabulation packages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+------
+    1 | 2.500
+    """
+    str_rows = [[_render_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

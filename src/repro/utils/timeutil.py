@@ -1,0 +1,72 @@
+"""Simulated-time helpers.
+
+The synthetic world measures time in integer **hours since the world epoch**
+(2019-01-01 00:00 UTC in paper terms).  Minute-resolution series used by the
+event study address minutes within an hour.  Keeping time integral makes the
+hash-RNG keys exact and the sessionization logic trivial to test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+HOUR = 1
+DAY = 24
+WEEK = 7 * DAY
+YEAR = 365 * DAY
+
+# Offset (in seconds) of the world epoch from the Unix epoch; used only for
+# human-readable rendering of simulated timestamps (2019-01-01T00:00:00Z).
+WORLD_EPOCH_UNIX = 1_546_300_800
+
+
+def to_timestamp(hour: int, minute: int = 0) -> str:
+    """Render a simulated hour (+minute) as an ISO-like UTC string.
+
+    >>> to_timestamp(0)
+    '2019-01-01 00:00'
+    >>> to_timestamp(25, 30)
+    '2019-01-02 01:30'
+    """
+    total_minutes = hour * 60 + minute
+    days, rem = divmod(total_minutes, 24 * 60)
+    hh, mm = divmod(rem, 60)
+    # Simple proleptic calendar rendering: count days from 2019-01-01.
+    year, month, day = _civil_from_days(days)
+    return f"{year:04d}-{month:02d}-{day:02d} {hh:02d}:{mm:02d}"
+
+
+def _civil_from_days(days: int) -> tuple[int, int, int]:
+    """Convert a day offset from 2019-01-01 to a (year, month, day) triple."""
+    # Days since 0000-03-01 for 2019-01-01 is 737364 using Howard Hinnant's
+    # civil-from-days algorithm; we inline the standard algorithm.
+    z = days + 737_425  # days since 0000-01-01 (era-based algorithm below)
+    z -= 60  # shift epoch to March-based year
+    era = (z if z >= 0 else z - 146_096) // 146_097
+    doe = z - era * 146_097
+    yoe = (doe - doe // 1460 + doe // 36524 - doe // 146_096) // 365
+    y = yoe + era * 400
+    doy = doe - (365 * yoe + yoe // 4 - yoe // 100)
+    mp = (5 * doy + 2) // 153
+    d = doy - (153 * mp + 2) // 5 + 1
+    m = mp + 3 if mp < 10 else mp - 9
+    return (y + (1 if m <= 2 else 0), m, d)
+
+
+def hours_between(start_hour: int, end_hour: int) -> int:
+    """Number of whole hours in ``[start_hour, end_hour)``."""
+    return max(0, end_hour - start_hour)
+
+
+@dataclass
+class Clock:
+    """A monotone simulated clock, useful for generator-style code."""
+
+    hour: int = 0
+
+    def advance(self, hours: int) -> int:
+        """Move the clock forward and return the new time."""
+        if hours < 0:
+            raise ValueError("clock cannot move backwards")
+        self.hour += hours
+        return self.hour

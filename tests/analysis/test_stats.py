@@ -1,0 +1,89 @@
+"""Tests for bootstrap confidence intervals and paired comparisons."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    bootstrap_hr,
+    mae_bootstrap,
+    paired_bootstrap_winrate,
+)
+
+
+def make_list(rank: int, size: int = 10) -> np.ndarray:
+    scores = np.linspace(1.0, 0.0, size)
+    labels = np.zeros(size)
+    labels[rank - 1] = 1
+    return np.stack([scores, labels], axis=1)
+
+
+class TestBootstrapHr:
+    def test_point_estimate_matches_hr(self):
+        lists = [make_list(1), make_list(5)]
+        interval = bootstrap_hr(lists, k=3, n_resamples=200, seed=0)
+        assert interval.point == pytest.approx(0.5)
+
+    def test_interval_contains_point(self):
+        rng = np.random.default_rng(0)
+        lists = [make_list(int(rng.integers(1, 10))) for _ in range(40)]
+        interval = bootstrap_hr(lists, k=3, n_resamples=300, seed=0)
+        assert interval.low <= interval.point <= interval.high
+        assert interval.contains(interval.point)
+
+    def test_degenerate_all_hits_gives_tight_interval(self):
+        lists = [make_list(1) for _ in range(20)]
+        interval = bootstrap_hr(lists, k=1, n_resamples=100, seed=0)
+        assert interval.low == interval.high == 1.0
+
+    def test_more_lists_tighter_interval(self):
+        rng = np.random.default_rng(1)
+        small = [make_list(int(rng.integers(1, 10))) for _ in range(10)]
+        large = [make_list(int(rng.integers(1, 10))) for _ in range(200)]
+        i_small = bootstrap_hr(small, k=3, n_resamples=300, seed=0)
+        i_large = bootstrap_hr(large, k=3, n_resamples=300, seed=0)
+        assert (i_large.high - i_large.low) < (i_small.high - i_small.low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_hr([], k=1)
+        with pytest.raises(ValueError):
+            bootstrap_hr([make_list(1)], k=1, confidence=1.5)
+
+
+class TestPairedWinrate:
+    def test_identical_models_always_tie(self):
+        lists = [make_list(3) for _ in range(15)]
+        rate = paired_bootstrap_winrate(lists, lists, k=3, n_resamples=100)
+        assert rate == 1.0  # ">=" comparison: ties count as wins
+
+    def test_dominant_model_wins(self):
+        better = [make_list(1) for _ in range(25)]
+        worse = [make_list(8) for _ in range(25)]
+        rate = paired_bootstrap_winrate(better, worse, k=3, n_resamples=200)
+        assert rate == 1.0
+        reverse = paired_bootstrap_winrate(worse, better, k=3, n_resamples=200)
+        assert reverse == 0.0
+
+    def test_alignment_required(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_winrate([make_list(1)], [], k=1)
+
+
+class TestMaeBootstrap:
+    def test_point_is_mean_abs(self):
+        interval = mae_bootstrap(np.array([1.0, -3.0]), n_resamples=100)
+        assert interval.point == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mae_bootstrap(np.array([]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_property_interval_brackets_point(self, seed):
+        rng = np.random.default_rng(seed)
+        errors = rng.normal(size=60)
+        interval = mae_bootstrap(errors, n_resamples=200, seed=seed)
+        assert interval.low - 1e-12 <= interval.point <= interval.high + 1e-12

@@ -1,0 +1,69 @@
+"""Tests for rank-average score ensembling."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import ScoreEnsemble, rank_normalize
+from tests.core.test_train_eval import synthetic_split
+
+
+class TestRankNormalize:
+    def test_monotone(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        ranks = rank_normalize(scores)
+        assert ranks[1] > ranks[2] > ranks[0]
+
+    def test_range(self):
+        ranks = rank_normalize(np.random.default_rng(0).normal(size=50))
+        assert ranks.min() > 0 and ranks.max() <= 1.0
+
+    def test_ties_share_rank(self):
+        ranks = rank_normalize(np.array([0.5, 0.5, 0.1]))
+        assert ranks[0] == ranks[1]
+
+
+class TestScoreEnsemble:
+    def test_single_model_preserves_order(self):
+        split = synthetic_split(seed=0)
+        scores = np.random.default_rng(1).random(len(split))
+        blended = ScoreEnsemble().combine(split, [scores])
+        for list_id in np.unique(split.list_id):
+            mask = split.list_id == list_id
+            assert np.array_equal(np.argsort(scores[mask]),
+                                  np.argsort(blended[mask]))
+
+    def test_ensemble_of_complementary_models_wins(self):
+        """Two noisy experts with independent errors blend into a better one."""
+        from repro.core import evaluate_scores
+
+        split = synthetic_split(seed=3, n_lists=150, list_size=12, signal=0.0)
+        rng = np.random.default_rng(0)
+        truth = split.label.astype(float)
+        expert_a = truth + rng.normal(0, 0.9, len(truth))
+        expert_b = truth + rng.normal(0, 0.9, len(truth))
+        blended = ScoreEnsemble().combine(split, [expert_a, expert_b])
+        hr_a = evaluate_scores(split, expert_a, ks=(1,))[1]
+        hr_b = evaluate_scores(split, expert_b, ks=(1,))[1]
+        hr_mix = evaluate_scores(split, blended, ks=(1,))[1]
+        assert hr_mix >= max(hr_a, hr_b) - 0.02
+
+    def test_weights_respected(self):
+        split = synthetic_split(seed=4, n_lists=20, list_size=10)
+        rng = np.random.default_rng(2)
+        a = rng.random(len(split))
+        b = rng.random(len(split))
+        heavy_a = ScoreEnsemble(weights=[0.99, 0.01]).combine(split, [a, b])
+        for list_id in np.unique(split.list_id)[:5]:
+            mask = split.list_id == list_id
+            assert np.array_equal(np.argsort(a[mask]), np.argsort(heavy_a[mask]))
+
+    def test_validation(self):
+        split = synthetic_split(seed=5)
+        with pytest.raises(ValueError):
+            ScoreEnsemble().combine(split, [])
+        with pytest.raises(ValueError):
+            ScoreEnsemble().combine(split, [np.zeros(3)])
+        with pytest.raises(ValueError):
+            ScoreEnsemble(weights=[1.0]).combine(
+                split, [np.zeros(len(split)), np.zeros(len(split))]
+            )

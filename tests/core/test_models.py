@@ -1,0 +1,179 @@
+"""Tests for SNN, the baseline rankers and the factories."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALL_MODEL_NAMES,
+    Batch,
+    ClassicRanker,
+    DEEP_MODEL_NAMES,
+    SNN,
+    SNNConfig,
+    make_model,
+)
+from repro.nn import bce_with_logits
+
+
+def tiny_config(**overrides) -> SNNConfig:
+    defaults = dict(
+        n_channels=6, n_coin_ids=51, n_numeric=7, seq_len=8, n_seq_numeric=4
+    )
+    defaults.update(overrides)
+    return SNNConfig(**defaults)
+
+
+def random_batch(config: SNNConfig, batch_size: int = 12, seed: int = 0) -> Batch:
+    rng = np.random.default_rng(seed)
+    return Batch(
+        channel_idx=rng.integers(0, config.n_channels, batch_size),
+        coin_idx=rng.integers(0, config.n_coin_ids, batch_size),
+        numeric=rng.normal(size=(batch_size, config.n_numeric)),
+        seq_coin_idx=rng.integers(0, config.n_coin_ids,
+                                  (batch_size, config.seq_len)),
+        seq_numeric=rng.normal(size=(batch_size, config.seq_len,
+                                     config.n_seq_numeric)),
+        seq_mask=(rng.random((batch_size, config.seq_len)) > 0.3).astype(float),
+        label=(rng.random(batch_size) > 0.8).astype(float),
+    )
+
+
+class TestSNN:
+    def test_forward_shape(self):
+        config = tiny_config()
+        model = SNN(config, np.random.default_rng(0))
+        model.eval()
+        batch = random_batch(config)
+        assert model(batch).shape == (12,)
+
+    def test_all_parameters_receive_gradients(self):
+        config = tiny_config()
+        model = SNN(config, np.random.default_rng(0))
+        model.eval()
+        batch = random_batch(config)
+        loss = bce_with_logits(model(batch), batch.label)
+        loss.backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+
+    def test_coin_embedding_shared_between_target_and_sequence(self):
+        """The paper shares one latent space for target and sequence coins."""
+        config = tiny_config()
+        model = SNN(config, np.random.default_rng(0))
+        model.eval()
+        batch = random_batch(config)
+        loss = bce_with_logits(model(batch), batch.label)
+        loss.backward()
+        # One table exists; gradient reflects both usages (rows touched by
+        # either the candidate ids or the sequence ids).
+        touched = set(batch.coin_idx.tolist()) | set(batch.seq_coin_idx.ravel().tolist())
+        grad_rows = set(np.flatnonzero(
+            np.abs(model.coin_embedding.weight.grad).sum(axis=1) > 0
+        ).tolist())
+        assert grad_rows <= touched
+
+    def test_pretrained_coin_vectors(self):
+        config = tiny_config()
+        vectors = np.random.default_rng(1).normal(
+            size=(config.n_coin_ids, config.coin_emb_dim)
+        )
+        model = SNN(config, np.random.default_rng(0), coin_vectors=vectors,
+                    freeze_coin_embedding=True)
+        assert np.allclose(model.coin_embedding.weight.data, vectors)
+        assert not model.coin_embedding.weight.requires_grad
+
+    def test_pretrained_shape_mismatch_rejected(self):
+        config = tiny_config()
+        with pytest.raises(ValueError):
+            SNN(config, np.random.default_rng(0),
+                coin_vectors=np.zeros((3, 3)))
+
+    def test_attention_heatmap_shape(self):
+        config = tiny_config()
+        model = SNN(config, np.random.default_rng(0))
+        heatmap = model.attention_heatmap()
+        expected_heads = config.n_seq_features * config.attention_channels
+        assert heatmap.shape == (expected_heads, config.seq_len)
+        assert np.allclose(heatmap.sum(axis=1), 1.0)
+
+    def test_pad_mask_blocks_padded_positions(self):
+        """Fully-padded histories contribute a constant, not noise."""
+        config = tiny_config()
+        model = SNN(config, np.random.default_rng(0))
+        model.eval()
+        batch = random_batch(config)
+        batch.seq_mask[:] = 0.0
+        h1 = model.encode_sequence(batch).numpy()
+        batch.seq_numeric = batch.seq_numeric + 100.0  # must not matter
+        h2 = model.encode_sequence(batch).numpy()
+        assert np.allclose(h1, h2)
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("name", DEEP_MODEL_NAMES)
+    def test_every_deep_model_forward(self, name):
+        config = tiny_config()
+        model = make_model(name, config, seed=0)
+        model.eval()
+        batch = random_batch(config)
+        out = model(batch)
+        assert out.shape == (12,)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            make_model("transformer", tiny_config())
+
+    def test_dnn_ignores_sequence(self):
+        config = tiny_config()
+        model = make_model("dnn", config, seed=0)
+        model.eval()
+        batch = random_batch(config)
+        base = model(batch).numpy()
+        batch.seq_numeric = batch.seq_numeric + 50.0
+        assert np.allclose(model(batch).numpy(), base)
+
+    def test_sequence_models_use_sequence(self):
+        config = tiny_config()
+        for name in ("lstm", "tcn", "snn"):
+            model = make_model(name, config, seed=0)
+            model.eval()
+            batch = random_batch(config)
+            base = model(batch).numpy()
+            batch.seq_numeric = batch.seq_numeric + 5.0
+            assert not np.allclose(model(batch).numpy(), base), name
+
+
+class TestClassicRanker:
+    def _split(self, seed=0, n=400):
+        from repro.features.assembler import AssembledSplit
+
+        rng = np.random.default_rng(seed)
+        label = (rng.random(n) < 0.1).astype(float)
+        # Signal: one numeric column correlates with the label.
+        numeric = rng.normal(size=(n, 5))
+        numeric[:, 0] += label * 1.5
+        return AssembledSplit(
+            channel_idx=rng.integers(0, 4, n),
+            coin_idx=rng.integers(0, 30, n),
+            numeric=numeric,
+            seq_coin_idx=np.zeros((n, 4), dtype=int),
+            seq_numeric=np.zeros((n, 4, 2)),
+            seq_mask=np.zeros((n, 4)),
+            label=label,
+            list_id=np.repeat(np.arange(n // 10), 10),
+        )
+
+    @pytest.mark.parametrize("kind", ["lr", "rf"])
+    def test_fit_predict(self, kind):
+        split = self._split()
+        ranker = ClassicRanker(kind, seed=0).fit(split)
+        probs = ranker.predict_proba(split)
+        assert probs.shape == (len(split),)
+        from repro.ml import roc_auc
+
+        assert roc_auc(split.label, probs) > 0.75
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            ClassicRanker("svm")

@@ -1,0 +1,134 @@
+"""Tests for the trainer, evaluation and the cold-start machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CoinIdOnlyModel,
+    SNNConfig,
+    Trainer,
+    embedding_l1_norms,
+    evaluate_scores,
+    make_model,
+    predict_scores,
+    random_ranker_baseline,
+)
+from repro.features.assembler import AssembledSplit
+
+from tests.core.test_models import random_batch, tiny_config
+
+
+def synthetic_split(seed=0, n_lists=30, list_size=10, seq_len=8,
+                    n_seq_numeric=4, signal=2.0) -> AssembledSplit:
+    """Ranking data where one numeric column identifies the positive."""
+    rng = np.random.default_rng(seed)
+    n = n_lists * list_size
+    label = np.zeros(n)
+    label[::list_size] = 1.0
+    numeric = rng.normal(size=(n, 7))
+    numeric[:, 0] += label * signal
+    return AssembledSplit(
+        channel_idx=rng.integers(0, 6, n),
+        coin_idx=rng.integers(0, 50, n),
+        numeric=numeric,
+        seq_coin_idx=rng.integers(0, 50, (n, seq_len)),
+        seq_numeric=rng.normal(size=(n, seq_len, n_seq_numeric)) * 0.1,
+        seq_mask=np.ones((n, seq_len)),
+        label=label,
+        list_id=np.repeat(np.arange(n_lists), list_size),
+    )
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        config = tiny_config()
+        model = make_model("dnn", config, seed=0)
+        train = synthetic_split(seed=0)
+        result = Trainer(epochs=6, seed=0).fit(model, train)
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_learns_synthetic_signal(self):
+        config = tiny_config()
+        model = make_model("dnn", config, seed=0)
+        train = synthetic_split(seed=0)
+        test = synthetic_split(seed=99)
+        Trainer(epochs=10, seed=0).fit(model, train)
+        hr = evaluate_scores(test, predict_scores(model, test), ks=(1,))
+        assert hr[1] > 0.6
+
+    def test_best_epoch_state_restored(self):
+        config = tiny_config()
+        model = make_model("dnn", config, seed=0)
+        train = synthetic_split(seed=0)
+        val = synthetic_split(seed=5)
+        result = Trainer(epochs=4, seed=0).fit(model, train, val)
+        assert 0 <= result.best_epoch < 4
+        assert len(result.val_metrics) == 4
+
+    def test_deterministic_given_seed(self):
+        config = tiny_config()
+        train = synthetic_split(seed=0)
+        scores = []
+        for _ in range(2):
+            model = make_model("dnn", config, seed=3)
+            Trainer(epochs=2, seed=3).fit(model, train)
+            scores.append(predict_scores(model, train))
+        assert np.allclose(scores[0], scores[1])
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            Trainer(epochs=0)
+
+
+class TestEvaluation:
+    def test_perfect_scores_hit_everything(self):
+        split = synthetic_split(seed=1)
+        hr = evaluate_scores(split, split.label.astype(float))
+        assert hr[1] == 1.0
+
+    def test_random_baseline_near_uniform(self):
+        split = synthetic_split(seed=2, n_lists=200, list_size=10)
+        hr = random_ranker_baseline(split, ks=(1, 5))
+        assert abs(hr[1] - 0.1) < 0.07
+        assert abs(hr[5] - 0.5) < 0.12
+
+    def test_score_alignment_enforced(self):
+        split = synthetic_split(seed=3)
+        with pytest.raises(ValueError):
+            evaluate_scores(split, np.zeros(3))
+
+
+class TestColdStart:
+    def test_coin_id_only_model_shapes(self):
+        config = tiny_config()
+        model = CoinIdOnlyModel(config.n_coin_ids, 8, np.random.default_rng(0))
+        model.eval()
+        batch = random_batch(config)
+        assert model(batch).shape == (12,)
+
+    def test_frozen_pretrained_variant(self):
+        config = tiny_config()
+        vectors = np.random.default_rng(0).normal(size=(config.n_coin_ids, 8))
+        model = CoinIdOnlyModel(config.n_coin_ids, 8, np.random.default_rng(0),
+                                coin_vectors=vectors)
+        assert not model.coin_embedding.weight.requires_grad
+
+    def test_e2e_embeddings_separate_trained_untrained(self):
+        """Training moves only seen coins' embeddings — the Figure 9 effect."""
+        config = tiny_config()
+        model = CoinIdOnlyModel(config.n_coin_ids, 8, np.random.default_rng(0))
+        train = synthetic_split(seed=0)
+        train.coin_idx = train.coin_idx % 20  # coins 20+ never seen
+        initial = model.coin_embedding.weight.data.copy()
+        Trainer(epochs=4, seed=0).fit(model, train)
+        moved = np.abs(model.coin_embedding.weight.data - initial).sum(axis=1)
+        assert moved[:20].mean() > moved[20:-1].mean()
+
+    def test_embedding_l1_norm_study_grouping(self):
+        train = synthetic_split(seed=0)
+        test = synthetic_split(seed=1)
+        matrix = np.random.default_rng(0).normal(size=(51, 8))
+        study = embedding_l1_norms(matrix, train, test)
+        n_test_pos = int(test.label.sum())
+        assert len(study.test_positive_warm) + len(study.test_positive_cold) == n_test_pos
+        assert len(study.train_positive) == int(train.label.sum())

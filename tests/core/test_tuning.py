@@ -1,0 +1,76 @@
+"""Tests for the hyper-parameter search utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuning import grid_search, random_search
+from repro.features.assembler import AssembledDataset
+
+from tests.core.test_train_eval import synthetic_split
+
+
+@pytest.fixture(scope="module")
+def assembled():
+    return AssembledDataset(
+        train=synthetic_split(seed=0, n_lists=40),
+        validation=synthetic_split(seed=1, n_lists=15),
+        test=synthetic_split(seed=2, n_lists=15),
+        n_channels=6,
+        n_coin_ids=51,
+        sequence_length=8,
+    )
+
+
+class TestGridSearch:
+    def test_explores_full_grid(self, assembled):
+        result = grid_search(
+            assembled,
+            grid={"epochs": [1, 2], "lr": [1e-3, 1e-2]},
+            model_name="dnn",
+        )
+        assert len(result.trials) == 4
+        assert result.best is not None
+        assert result.best.validation_hr == max(
+            t.validation_hr for t in result.trials
+        )
+
+    def test_model_params_routed(self, assembled):
+        result = grid_search(
+            assembled,
+            grid={"epochs": [1], "dropout": [0.0, 0.3]},
+            model_name="dnn",
+        )
+        assert {t.params["dropout"] for t in result.trials} == {0.0, 0.3}
+
+    def test_unknown_key_rejected(self, assembled):
+        with pytest.raises(KeyError):
+            grid_search(assembled, grid={"bogus": [1]}, model_name="dnn")
+
+    def test_empty_grid_rejected(self, assembled):
+        with pytest.raises(ValueError):
+            grid_search(assembled, grid={}, model_name="dnn")
+
+    def test_evaluate_test_populates_hr(self, assembled):
+        result = grid_search(
+            assembled, grid={"epochs": [1]}, model_name="dnn",
+            evaluate_test=True,
+        )
+        assert result.trials[0].test_hr
+
+
+class TestRandomSearch:
+    def test_runs_requested_trials(self, assembled):
+        result = random_search(
+            assembled,
+            space={"epochs": [1, 2], "lr": [1e-3, 3e-3, 1e-2]},
+            n_trials=3,
+            model_name="dnn",
+        )
+        assert len(result.trials) == 3
+        for trial in result.trials:
+            assert trial.params["epochs"] in (1, 2)
+            assert trial.params["lr"] in (1e-3, 3e-3, 1e-2)
+
+    def test_invalid_trials(self, assembled):
+        with pytest.raises(ValueError):
+            random_search(assembled, space={"epochs": [1]}, n_trials=0)

@@ -1,0 +1,143 @@
+"""Tests for metrics: identities, edge cases and property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    accuracy,
+    classification_report,
+    hit_ratio_at_k,
+    mean_absolute_error,
+    roc_auc,
+)
+
+
+class TestRocAuc:
+    def test_perfect_ranking_is_one(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking_is_zero(self):
+        assert roc_auc([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_constant_scores_give_half(self):
+        assert roc_auc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_ties_get_average_rank(self):
+        # One tied pair across classes contributes 0.5.
+        auc = roc_auc([0, 1], [0.7, 0.7])
+        assert auc == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc([1, 1], [0.3, 0.4])
+
+    def test_nonbinary_labels_raise(self):
+        with pytest.raises(ValueError):
+            roc_auc([0, 2], [0.3, 0.4])
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           n=st.integers(min_value=4, max_value=50))
+    def test_property_auc_invariant_to_monotone_transform(self, seed, n):
+        rng = np.random.default_rng(seed)
+        y = np.zeros(n, dtype=int)
+        y[rng.choice(n, size=max(1, n // 3), replace=False)] = 1
+        if y.sum() == 0 or y.sum() == n:
+            return
+        scores = rng.normal(size=n)
+        a1 = roc_auc(y, scores)
+        a2 = roc_auc(y, np.exp(scores) * 3 + 5)  # strictly monotone map
+        assert a1 == pytest.approx(a2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_flipping_scores_complements_auc(self, seed):
+        rng = np.random.default_rng(seed)
+        y = np.array([0] * 10 + [1] * 5)
+        scores = rng.normal(size=15)
+        assert roc_auc(y, scores) + roc_auc(y, -scores) == pytest.approx(1.0)
+
+
+class TestClassificationReport:
+    def test_counts_and_scores(self):
+        y = np.array([1, 1, 0, 0, 1, 0])
+        scores = np.array([0.9, 0.4, 0.6, 0.1, 0.8, 0.2])
+        report = classification_report(y, scores, threshold=0.5)
+        assert report.true_positives == 2
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+        assert report.true_negatives == 2
+        assert report.precision == pytest.approx(2 / 3)
+        assert report.recall == pytest.approx(2 / 3)
+        assert report.f1 == pytest.approx(2 / 3)
+
+    def test_low_threshold_boosts_recall(self):
+        y = np.array([1, 1, 0, 0, 1, 0])
+        scores = np.array([0.9, 0.25, 0.6, 0.1, 0.8, 0.22])
+        high = classification_report(y, scores, threshold=0.5)
+        low = classification_report(y, scores, threshold=0.2)
+        assert low.recall >= high.recall
+
+    def test_degenerate_predictions_dont_crash(self):
+        y = np.array([1, 0])
+        report = classification_report(y, np.array([0.0, 0.0]), threshold=0.5)
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+
+
+class TestHitRatio:
+    def _lists(self):
+        # Event 1: positive ranked 1st; event 2: positive ranked 3rd.
+        first = np.array([[0.9, 1], [0.5, 0], [0.1, 0], [0.05, 0]])
+        second = np.array([[0.4, 1], [0.9, 0], [0.6, 0], [0.1, 0]])
+        return [first, second]
+
+    def test_basic_hit_ratios(self):
+        hr = hit_ratio_at_k(self._lists(), ks=[1, 3])
+        assert hr[1] == pytest.approx(0.5)
+        assert hr[3] == pytest.approx(1.0)
+
+    def test_monotone_in_k(self):
+        hr = hit_ratio_at_k(self._lists(), ks=[1, 2, 3, 4])
+        values = [hr[k] for k in sorted(hr)]
+        assert values == sorted(values)
+
+    def test_tied_scores_are_pessimistic(self):
+        lists = [np.array([[0.5, 1], [0.5, 0]])]
+        hr = hit_ratio_at_k(lists, ks=[1, 2])
+        assert hr[1] == 0.0  # ties never help the positive
+        assert hr[2] == 1.0
+
+    def test_requires_a_positive(self):
+        with pytest.raises(ValueError):
+            hit_ratio_at_k([np.array([[0.5, 0]])], ks=[1])
+
+    def test_requires_lists(self):
+        with pytest.raises(ValueError):
+            hit_ratio_at_k([], ks=[1])
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           n=st.integers(min_value=2, max_value=40))
+    def test_property_hr_at_list_size_is_one(self, seed, n):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=n)
+        labels = np.zeros(n)
+        labels[rng.integers(n)] = 1
+        hr = hit_ratio_at_k([np.stack([scores, labels], axis=1)], ks=[n])
+        assert hr[n] == 1.0
+
+
+class TestRegressionMetrics:
+    def test_mae(self):
+        assert mean_absolute_error([1, 2, 3], [2, 2, 5]) == pytest.approx(1.0)
+
+    def test_mae_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1, 2], [1])
+
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)

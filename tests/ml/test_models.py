@@ -1,0 +1,146 @@
+"""Tests for LogisticRegression, DecisionTree and RandomForest."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    LogisticRegression,
+    RandomForestClassifier,
+    roc_auc,
+)
+
+
+def make_blobs(rng, n=400, sep=3.0):
+    """Two gaussian blobs; returns (x, y)."""
+    half = n // 2
+    x0 = rng.normal(size=(half, 4))
+    x1 = rng.normal(size=(n - half, 4)) + sep
+    x = np.vstack([x0, x1])
+    y = np.concatenate([np.zeros(half), np.ones(n - half)])
+    perm = rng.permutation(n)
+    return x[perm], y[perm]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestLogisticRegression:
+    def test_separates_blobs(self, rng):
+        x, y = make_blobs(rng)
+        model = LogisticRegression(epochs=300).fit(x, y)
+        assert roc_auc(y, model.predict_proba(x)) > 0.99
+
+    def test_probabilities_are_valid(self, rng):
+        x, y = make_blobs(rng)
+        p = LogisticRegression(epochs=100).fit(x, y).predict_proba(x)
+        assert ((p >= 0) & (p <= 1)).all()
+
+    def test_balanced_mode_improves_minority_recall(self, rng):
+        x, y = make_blobs(rng, n=400, sep=1.2)
+        # Make it heavily imbalanced by dropping most positives.
+        keep = (y == 0) | (rng.random(len(y)) < 0.08)
+        x, y = x[keep], y[keep]
+        plain = LogisticRegression(epochs=200).fit(x, y)
+        balanced = LogisticRegression(epochs=200, class_weight="balanced").fit(x, y)
+        recall = lambda m: ((m.predict(x) == 1) & (y == 1)).sum() / max(1, (y == 1).sum())
+        assert recall(balanced) >= recall(plain)
+
+    def test_rejects_nonbinary_labels(self, rng):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(rng.normal(size=(4, 2)), [0, 1, 2, 1])
+
+    def test_unfitted_predict_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(rng.normal(size=(2, 2)))
+
+    def test_works_on_sparse_input(self, rng):
+        from scipy import sparse
+
+        x, y = make_blobs(rng)
+        xs = sparse.csr_matrix(x)
+        model = LogisticRegression(epochs=200).fit(xs, y)
+        assert roc_auc(y, model.predict_proba(xs)) > 0.99
+
+
+class TestDecisionTree:
+    def test_fits_axis_aligned_split(self, rng):
+        x = rng.uniform(size=(300, 3))
+        y = (x[:, 1] > 0.6).astype(float)
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.98
+
+    def test_respects_max_depth(self, rng):
+        x, y = make_blobs(rng, sep=0.5)
+        tree = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_pure_node_becomes_leaf(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        tree = DecisionTreeClassifier().fit(x, np.zeros(3))
+        assert tree.depth() == 0
+
+    def test_constant_features_become_leaf(self):
+        x = np.ones((10, 3))
+        y = np.array([0, 1] * 5, dtype=float)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.depth() == 0
+        assert np.allclose(tree.predict_proba(x), 0.5)
+
+    def test_probabilities_reflect_leaf_composition(self, rng):
+        x = rng.uniform(size=(200, 1))
+        y = (rng.random(200) < np.clip(x[:, 0], 0, 1)).astype(float)
+        tree = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        probs = tree.predict_proba(x)
+        assert probs[x[:, 0] > 0.8].mean() > probs[x[:, 0] < 0.2].mean()
+
+    def test_min_samples_leaf_respected(self, rng):
+        x, y = make_blobs(rng, n=50, sep=0.3)
+        tree = DecisionTreeClassifier(max_depth=10, min_samples_leaf=10).fit(x, y)
+        # Route all training rows; every leaf must hold >= 10 of them.
+        counts = {}
+        for row in x:
+            node = tree._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            counts[id(node)] = counts.get(id(node), 0) + 1
+        assert min(counts.values()) >= 10
+
+
+class TestRandomForest:
+    def test_beats_single_tree_on_noisy_data(self, rng):
+        x, y = make_blobs(rng, n=600, sep=1.0)
+        x_noisy = x + rng.normal(scale=1.0, size=x.shape)
+        split = 400
+        tree = DecisionTreeClassifier(max_depth=8).fit(x_noisy[:split], y[:split])
+        forest = RandomForestClassifier(n_estimators=25, max_depth=8, seed=1).fit(
+            x_noisy[:split], y[:split]
+        )
+        auc_tree = roc_auc(y[split:], tree.predict_proba(x_noisy[split:]))
+        auc_forest = roc_auc(y[split:], forest.predict_proba(x_noisy[split:]))
+        assert auc_forest >= auc_tree - 0.01
+
+    def test_deterministic_given_seed(self, rng):
+        x, y = make_blobs(rng)
+        f1 = RandomForestClassifier(n_estimators=5, seed=42).fit(x, y)
+        f2 = RandomForestClassifier(n_estimators=5, seed=42).fit(x, y)
+        assert np.allclose(f1.predict_proba(x), f2.predict_proba(x))
+
+    def test_feature_importances_sum_to_one(self, rng):
+        x, y = make_blobs(rng)
+        forest = RandomForestClassifier(n_estimators=5, seed=0).fit(x, y)
+        importances = forest.feature_importances()
+        assert importances.shape == (4,)
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_max_samples_caps_bootstrap(self, rng):
+        x, y = make_blobs(rng, n=200)
+        forest = RandomForestClassifier(n_estimators=3, max_samples=50, seed=0)
+        forest.fit(x, y)
+        assert len(forest.trees_) == 3
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(rng.normal(size=(2, 2)))

@@ -1,0 +1,75 @@
+"""Tests for the extended ranking metrics (MRR, mean rank, NDCG@k)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.ranking import (
+    mean_rank,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    ranking_report,
+)
+
+
+def make_list(rank: int, size: int = 10) -> np.ndarray:
+    """A (score, label) list whose positive lands at the given rank."""
+    scores = np.linspace(1.0, 0.0, size)
+    labels = np.zeros(size)
+    labels[rank - 1] = 1
+    return np.stack([scores, labels], axis=1)
+
+
+class TestMRR:
+    def test_rank_one_gives_one(self):
+        assert mean_reciprocal_rank([make_list(1)]) == 1.0
+
+    def test_rank_four_gives_quarter(self):
+        assert mean_reciprocal_rank([make_list(4)]) == pytest.approx(0.25)
+
+    def test_averaging(self):
+        mrr = mean_reciprocal_rank([make_list(1), make_list(2)])
+        assert mrr == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_reciprocal_rank([])
+
+
+class TestMeanRankAndNdcg:
+    def test_mean_rank(self):
+        assert mean_rank([make_list(3), make_list(5)]) == 4.0
+
+    def test_ndcg_perfect(self):
+        assert ndcg_at_k([make_list(1)], k=5) == 1.0
+
+    def test_ndcg_outside_k_is_zero(self):
+        assert ndcg_at_k([make_list(7)], k=5) == 0.0
+
+    def test_ndcg_discount(self):
+        value = ndcg_at_k([make_list(2)], k=5)
+        assert value == pytest.approx(1.0 / np.log2(3))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k([make_list(1)], k=0)
+
+    def test_report_bundle(self):
+        report = ranking_report([make_list(2)], ks=(1, 5))
+        assert set(report) == {"mrr", "mean_rank", "ndcg@1", "ndcg@5"}
+
+    def test_list_without_positive_rejected(self):
+        bad = np.array([[0.5, 0.0], [0.2, 0.0]])
+        with pytest.raises(ValueError):
+            mean_rank([bad])
+
+
+@settings(max_examples=30, deadline=None)
+@given(rank=st.integers(min_value=1, max_value=20),
+       size=st.integers(min_value=20, max_value=40))
+def test_property_metric_consistency(rank, size):
+    """MRR = 1/mean_rank for a single list; NDCG@size is always positive."""
+    lists = [make_list(rank, size)]
+    assert mean_reciprocal_rank(lists) == pytest.approx(1.0 / mean_rank(lists))
+    assert ndcg_at_k(lists, k=size) > 0

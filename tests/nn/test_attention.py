@@ -1,0 +1,131 @@
+"""Tests for the positional attention module (paper §5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Adam, PositionalAttention, Tensor
+from repro.nn.gradcheck import gradcheck
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestConstruction:
+    def test_uniform_channels(self, rng):
+        att = PositionalAttention(seq_len=10, num_features=4, channels=3, rng=rng)
+        assert att.output_dim == 12
+        assert att.channels == [3, 3, 3, 3]
+
+    def test_per_feature_channels(self, rng):
+        att = PositionalAttention(10, 3, channels=[1, 5, 2], rng=rng)
+        assert att.output_dim == 8
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            PositionalAttention(0, 3, rng=rng)
+        with pytest.raises(ValueError):
+            PositionalAttention(5, 2, channels=[1, 2, 3], rng=rng)
+        with pytest.raises(ValueError):
+            PositionalAttention(5, 2, channels=[1, 0], rng=rng)
+
+
+class TestForward:
+    def test_output_shape(self, rng):
+        att = PositionalAttention(20, 7, channels=8, rng=rng)
+        out = att(Tensor(rng.normal(size=(4, 20, 7))))
+        assert out.shape == (4, 56)
+
+    def test_wrong_shape_rejected(self, rng):
+        att = PositionalAttention(20, 7, channels=8, rng=rng)
+        with pytest.raises(ValueError):
+            att(Tensor(rng.normal(size=(4, 19, 7))))
+        with pytest.raises(ValueError):
+            att(Tensor(rng.normal(size=(4, 20))))
+
+    def test_zero_init_gives_uniform_average(self, rng):
+        """With zero logits the module averages positions uniformly (paper init)."""
+        att = PositionalAttention(5, 2, channels=1, rng=rng)
+        x = rng.normal(size=(3, 5, 2))
+        out = att(Tensor(x)).numpy()
+        assert np.allclose(out, x.mean(axis=1), atol=1e-12)
+
+    def test_gradcheck(self, rng):
+        att = PositionalAttention(6, 3, channels=2, rng=rng)
+        gradcheck(lambda x: att(x), [rng.normal(size=(2, 6, 3))], atol=1e-4)
+
+    def test_gradcheck_with_mapping_mlp(self, rng):
+        att = PositionalAttention(6, 3, channels=2, rng=rng, mapping_hidden=4)
+        gradcheck(lambda x: att(x), [rng.normal(size=(2, 6, 3))], atol=1e-4)
+
+
+class TestAttentionWeights:
+    def test_weights_shape_and_simplex(self, rng):
+        att = PositionalAttention(10, 3, channels=[2, 3, 1], rng=rng)
+        weights = att.attention_weights()
+        assert weights.shape == (6, 10)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    def test_by_feature_grouping(self, rng):
+        att = PositionalAttention(10, 3, channels=[2, 3, 1], rng=rng)
+        groups = att.attention_by_feature()
+        assert [g.shape for g in groups] == [(2, 10), (3, 10), (1, 10)]
+
+    def test_learns_skip_correlation(self, rng):
+        """The module can learn to attend to position 3 only (skip pattern).
+
+        Target = the feature value at position 3; the closest position is
+        irrelevant.  RNN-free attention should nail this quickly.
+        """
+        att = PositionalAttention(8, 1, channels=1, rng=rng)
+        opt = Adam(att.parameters(), lr=0.2)
+        gen = np.random.default_rng(0)
+        for _ in range(150):
+            x = gen.normal(size=(32, 8, 1))
+            target = x[:, 3, 0]
+            opt.zero_grad()
+            out = att(Tensor(x))
+            loss = ((out.reshape(32) - Tensor(target)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        weights = att.attention_weights()[0]
+        assert weights[3] > 0.9
+
+    def test_channels_are_independent(self, rng):
+        """Two heads of one feature can learn two different positions."""
+        att = PositionalAttention(6, 1, channels=2, rng=rng)
+        opt = Adam(att.parameters(), lr=0.2)
+        gen = np.random.default_rng(0)
+        for _ in range(200):
+            x = gen.normal(size=(32, 6, 1))
+            target = np.stack([x[:, 1, 0], x[:, 4, 0]], axis=1)
+            opt.zero_grad()
+            out = att(Tensor(x))
+            loss = ((out - Tensor(target)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        weights = att.attention_weights()
+        assert weights[0, 1] > 0.85
+        assert weights[1, 4] > 0.85
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seq_len=st.integers(min_value=1, max_value=12),
+    features=st.integers(min_value=1, max_value=5),
+    channels=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_property_attention_is_convex_combination(seq_len, features, channels, seed):
+    """Outputs always lie within the min/max of each feature across positions."""
+    rng = np.random.default_rng(seed)
+    att = PositionalAttention(seq_len, features, channels=channels, rng=rng)
+    att.logits.data = rng.normal(size=att.logits.shape)  # arbitrary logits
+    x = rng.normal(size=(3, seq_len, features))
+    out = att(Tensor(x)).numpy().reshape(3, features, channels)
+    lo = x.min(axis=1)[:, :, None] - 1e-9
+    hi = x.max(axis=1)[:, :, None] + 1e-9
+    assert (out >= lo).all() and (out <= hi).all()

@@ -1,0 +1,213 @@
+"""Gradient checks for every Tensor operation against finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, concat, embedding_lookup, no_grad, pad_time_left, stack
+from repro.nn.gradcheck import gradcheck
+
+RNG = np.random.default_rng(1234)
+
+
+def _rand(*shape):
+    return RNG.normal(size=shape)
+
+
+class TestElementwiseOps:
+    def test_add_broadcast(self):
+        gradcheck(lambda a, b: a + b, [_rand(3, 4), _rand(4)])
+
+    def test_add_scalar(self):
+        gradcheck(lambda a: a + 2.5, [_rand(3, 2)])
+
+    def test_sub(self):
+        gradcheck(lambda a, b: a - b, [_rand(2, 3), _rand(2, 3)])
+
+    def test_rsub(self):
+        gradcheck(lambda a: 1.0 - a, [_rand(5)])
+
+    def test_mul_broadcast(self):
+        gradcheck(lambda a, b: a * b, [_rand(2, 3, 4), _rand(3, 4)])
+
+    def test_div(self):
+        gradcheck(lambda a, b: a / b, [_rand(3, 3), np.abs(_rand(3, 3)) + 1.0])
+
+    def test_rdiv(self):
+        gradcheck(lambda a: 2.0 / a, [np.abs(_rand(4)) + 1.0])
+
+    def test_neg(self):
+        gradcheck(lambda a: -a, [_rand(3)])
+
+    def test_pow(self):
+        gradcheck(lambda a: a**3, [_rand(4, 2)])
+
+    def test_exp(self):
+        gradcheck(lambda a: a.exp(), [_rand(3, 3)])
+
+    def test_log(self):
+        gradcheck(lambda a: a.log(), [np.abs(_rand(3, 3)) + 0.5])
+
+    def test_tanh(self):
+        gradcheck(lambda a: a.tanh(), [_rand(4, 4)])
+
+    def test_sigmoid(self):
+        gradcheck(lambda a: a.sigmoid(), [_rand(4, 4)])
+
+    def test_relu(self):
+        # Keep values away from the kink where the derivative is undefined.
+        data = _rand(4, 4)
+        data[np.abs(data) < 0.1] += 0.3
+        gradcheck(lambda a: a.relu(), [data])
+
+    def test_abs(self):
+        data = _rand(4, 4)
+        data[np.abs(data) < 0.1] += 0.3
+        gradcheck(lambda a: a.abs(), [data])
+
+    def test_softmax(self):
+        gradcheck(lambda a: a.softmax(axis=-1), [_rand(3, 5)])
+
+    def test_softmax_middle_axis(self):
+        gradcheck(lambda a: a.softmax(axis=1), [_rand(2, 4, 3)])
+
+
+class TestMatmul:
+    def test_2d_2d(self):
+        gradcheck(lambda a, b: a @ b, [_rand(3, 4), _rand(4, 5)])
+
+    def test_batched_3d_2d(self):
+        gradcheck(lambda a, b: a @ b, [_rand(2, 3, 4), _rand(4, 5)])
+
+    def test_batched_3d_3d(self):
+        gradcheck(lambda a, b: a @ b, [_rand(2, 3, 4), _rand(2, 4, 5)])
+
+    def test_vector_matrix(self):
+        gradcheck(lambda a, b: a @ b, [_rand(4), _rand(4, 3)])
+
+    def test_matrix_vector(self):
+        gradcheck(lambda a, b: a @ b, [_rand(3, 4), _rand(4)])
+
+    def test_chain(self):
+        gradcheck(lambda a, b, c: (a @ b) @ c, [_rand(2, 3), _rand(3, 4), _rand(4, 2)])
+
+
+class TestReductionsAndShape:
+    def test_sum_all(self):
+        gradcheck(lambda a: a.sum(), [_rand(3, 4)])
+
+    def test_sum_axis_keepdims(self):
+        gradcheck(lambda a: a.sum(axis=1, keepdims=True), [_rand(3, 4, 2)])
+
+    def test_sum_negative_axis(self):
+        gradcheck(lambda a: a.sum(axis=-1), [_rand(3, 4)])
+
+    def test_mean(self):
+        gradcheck(lambda a: a.mean(axis=0), [_rand(4, 3)])
+
+    def test_reshape(self):
+        gradcheck(lambda a: a.reshape(6, 2), [_rand(3, 4)])
+
+    def test_transpose(self):
+        gradcheck(lambda a: a.transpose(1, 0, 2), [_rand(2, 3, 4)])
+
+    def test_swapaxes(self):
+        gradcheck(lambda a: a.swapaxes(0, 2), [_rand(2, 3, 4)])
+
+    def test_flip(self):
+        gradcheck(lambda a: a.flip(axis=1), [_rand(2, 5)])
+
+    def test_getitem_slice(self):
+        gradcheck(lambda a: a[:, 1:3], [_rand(3, 5)])
+
+    def test_getitem_int(self):
+        gradcheck(lambda a: a[1], [_rand(3, 5)])
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])
+        gradcheck(lambda a: a[:, :, idx], [_rand(2, 3, 4)])
+
+    def test_concat(self):
+        gradcheck(lambda a, b: concat([a, b], axis=1), [_rand(2, 3), _rand(2, 4)])
+
+    def test_stack(self):
+        gradcheck(lambda a, b: stack([a, b], axis=1), [_rand(2, 3), _rand(2, 3)])
+
+    def test_pad_time_left(self):
+        gradcheck(lambda a: pad_time_left(a, 2), [_rand(2, 4, 3)])
+
+
+class TestGraphSemantics:
+    def test_reused_tensor_accumulates(self):
+        gradcheck(lambda a: a * a + a, [_rand(3)])
+
+    def test_diamond_graph(self):
+        def fn(a):
+            b = a * 2.0
+            c = a + 1.0
+            return b * c
+
+        gradcheck(fn, [_rand(4)])
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(_rand(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_backward_accumulates_across_calls(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        assert np.allclose(x.grad, 4.0 * np.ones(3))
+
+    def test_backward_on_constant_raises(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(_rand(3), requires_grad=True)
+        y = x.detach() * 3.0
+        assert not y.requires_grad
+
+    def test_embedding_lookup_repeated_rows(self):
+        weight = np.arange(12, dtype=float).reshape(4, 3)
+        idx = np.array([1, 1, 3])
+        w = Tensor(weight, requires_grad=True)
+        out = embedding_lookup(w, idx)
+        out.sum().backward()
+        expected = np.zeros((4, 3))
+        expected[1] = 2.0
+        expected[3] = 1.0
+        assert np.allclose(w.grad, expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=5),
+    cols=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_mul_sum_gradient_is_other_operand(rows, cols, seed):
+    """d/da sum(a*b) == b for any shapes — a broadcasting-free identity."""
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+    b = rng.normal(size=(rows, cols))
+    (a * Tensor(b)).sum().backward()
+    assert np.allclose(a.grad, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=4),
+    n=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_softmax_rows_sum_to_one(batch, n, seed):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(batch, n)) * 3.0)
+    out = x.softmax(axis=-1).numpy()
+    assert np.allclose(out.sum(axis=-1), 1.0)
+    assert (out >= 0).all()

@@ -1,0 +1,148 @@
+"""Tests for Linear/Embedding/Dropout/MLP and the Module container."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Adam, Dropout, Embedding, Linear, Module, Sequential, Tensor
+from repro.nn.gradcheck import gradcheck
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(5, 3, rng)
+        out = layer(Tensor(rng.normal(size=(7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_batched_3d_input(self, rng):
+        layer = Linear(5, 3, rng)
+        out = layer(Tensor(rng.normal(size=(2, 7, 5))))
+        assert out.shape == (2, 7, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(5, 3, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradcheck_through_layer(self, rng):
+        layer = Linear(4, 2, rng)
+        gradcheck(lambda x: layer(x), [rng.normal(size=(3, 4))])
+
+    def test_parameters_receive_gradients(self, rng):
+        layer = Linear(4, 2, rng)
+        out = layer(Tensor(rng.normal(size=(3, 4))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        assert layer.weight.grad.shape == (4, 2)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(10, 4, rng)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_frozen_embedding_gets_no_grad(self, rng):
+        emb = Embedding(10, 4, rng, frozen=True)
+        out = emb(np.array([1, 2]))
+        assert not out.requires_grad
+
+    def test_from_pretrained_preserves_vectors(self):
+        vectors = np.arange(20, dtype=float).reshape(5, 4)
+        emb = Embedding.from_pretrained(vectors)
+        out = emb(np.array([2]))
+        assert np.allclose(out.numpy()[0], vectors[2])
+
+    def test_trainable_embedding_learns(self, rng):
+        emb = Embedding(3, 2, rng)
+        opt = Adam(emb.parameters(), lr=0.1)
+        target = np.array([[1.0, -1.0]])
+        for _ in range(100):
+            opt.zero_grad()
+            out = emb(np.array([0]))
+            loss = ((out - Tensor(target)) ** 2).sum()
+            loss.backward()
+            opt.step()
+        assert np.allclose(emb.weight.data[0], target[0], atol=1e-2)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        drop.eval()
+        x = Tensor(rng.normal(size=(10, 10)))
+        assert np.allclose(drop(x).numpy(), x.numpy())
+
+    def test_train_mode_zeroes_and_scales(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((200, 200)))
+        out = drop(x).numpy()
+        zero_fraction = float((out == 0).mean())
+        assert 0.4 < zero_fraction < 0.6
+        # Inverted dropout keeps the expectation at 1.
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestMLPAndModule:
+    def test_mlp_shapes(self, rng):
+        mlp = MLP([6, 8, 4, 1], rng)
+        out = mlp(Tensor(rng.normal(size=(5, 6))))
+        assert out.shape == (5, 1)
+
+    def test_mlp_requires_two_dims(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_named_parameters_unique_and_complete(self, rng):
+        mlp = MLP([6, 8, 1], rng)
+        names = [name for name, _ in mlp.named_parameters()]
+        assert len(names) == len(set(names)) == 4  # 2 layers x (W, b)
+
+    def test_state_dict_roundtrip(self, rng):
+        mlp = MLP([6, 8, 1], rng)
+        state = mlp.state_dict()
+        clone = MLP([6, 8, 1], np.random.default_rng(123))
+        clone.load_state_dict(state)
+        x = Tensor(rng.normal(size=(3, 6)))
+        assert np.allclose(mlp(x).numpy(), clone(x).numpy())
+
+    def test_state_dict_rejects_mismatch(self, rng):
+        mlp = MLP([6, 8, 1], rng)
+        with pytest.raises(KeyError):
+            mlp.load_state_dict({"bogus": np.zeros(3)})
+
+    def test_train_eval_propagates(self, rng):
+        seq = Sequential(Linear(4, 4, rng), Dropout(0.3))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_zero_grad_clears(self, rng):
+        mlp = MLP([4, 4, 1], rng)
+        mlp(Tensor(rng.normal(size=(2, 4)))).sum().backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+    def test_num_parameters_counts_scalars(self, rng):
+        mlp = MLP([4, 3, 1], rng)
+        assert mlp.num_parameters() == 4 * 3 + 3 + 3 * 1 + 1

@@ -1,0 +1,166 @@
+"""Tests for losses and optimizers, including convergence on toy problems."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    SGD,
+    Adam,
+    Linear,
+    Tensor,
+    bce_with_logits,
+    mae_loss,
+    mse_loss,
+)
+from repro.nn.gradcheck import numerical_gradient
+
+
+class TestBCEWithLogits:
+    def test_matches_reference_value(self):
+        logits = Tensor(np.array([0.0, 2.0, -2.0]))
+        targets = np.array([1.0, 1.0, 0.0])
+        loss = bce_with_logits(logits, targets)
+        probs = 1 / (1 + np.exp(-logits.data))
+        expected = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean()
+        assert abs(loss.item() - expected) < 1e-12
+
+    def test_gradient_is_sigmoid_minus_target(self):
+        x = np.array([0.5, -1.0, 3.0])
+        targets = np.array([1.0, 0.0, 1.0])
+        logits = Tensor(x, requires_grad=True)
+        bce_with_logits(logits, targets).backward()
+        expected = (1 / (1 + np.exp(-x)) - targets) / 3
+        assert np.allclose(logits.grad, expected)
+
+    def test_extreme_logits_are_stable(self):
+        logits = Tensor(np.array([1000.0, -1000.0]), requires_grad=True)
+        loss = bce_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.isfinite(logits.grad).all()
+
+    def test_pos_weight_scales_positive_class(self):
+        logits = Tensor(np.array([0.0, 0.0]))
+        plain = bce_with_logits(logits, np.array([1.0, 0.0]), pos_weight=1.0)
+        weighted = bce_with_logits(logits, np.array([1.0, 0.0]), pos_weight=3.0)
+        # Only the positive example's contribution triples.
+        assert abs(weighted.item() - (plain.item() * 2)) < 1e-9
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(6,))
+        targets = (rng.random(6) > 0.5).astype(float)
+        logits = Tensor(x, requires_grad=True)
+        bce_with_logits(logits, targets).backward()
+        numeric = numerical_gradient(
+            lambda t: bce_with_logits(t, targets), [x], 0
+        )
+        assert np.allclose(logits.grad, numeric, atol=1e-6)
+
+
+class TestRegressionLosses:
+    def test_mae_value(self):
+        pred = Tensor(np.array([1.0, 2.0, 5.0]))
+        assert abs(mae_loss(pred, np.array([1.0, 4.0, 1.0])).item() - 2.0) < 1e-12
+
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 3.0]))
+        assert abs(mse_loss(pred, np.array([0.0, 1.0])).item() - 2.5) < 1e-12
+
+    def test_mae_gradient_is_sign(self):
+        pred = Tensor(np.array([2.0, -3.0]), requires_grad=True)
+        mae_loss(pred, np.array([0.0, 0.0])).backward()
+        assert np.allclose(pred.grad, np.array([0.5, -0.5]))
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, optimizer_factory) -> float:
+        w = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        w.requires_grad = True
+        opt = optimizer_factory([w])
+        for _ in range(200):
+            opt.zero_grad()
+            loss = (w * w).sum()
+            loss.backward()
+            opt.step()
+        return float(np.abs(w.data).max())
+
+    def test_sgd_converges_on_quadratic(self):
+        assert self._quadratic_descent(lambda p: SGD(p, lr=0.1)) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic_descent(lambda p: SGD(p, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_adam_converges_on_quadratic(self):
+        assert self._quadratic_descent(lambda p: Adam(p, lr=0.3)) < 1e-3
+
+    def test_weight_decay_shrinks_unused_weights(self):
+        w = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([w], lr=0.1, weight_decay=0.5)
+        # Gradient of the data loss is zero; decay alone should shrink w.
+        for _ in range(10):
+            opt.zero_grad()
+            (w * 0.0).sum().backward()
+            opt.step()
+        assert abs(float(w.data[0])) < 1.0
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+
+    def test_skips_frozen_params(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 2, rng)
+        layer.weight.requires_grad = False
+        opt = Adam(layer.parameters(), lr=0.1)
+        assert all(p is not layer.weight for p in opt.params)
+
+
+class TestEndToEndLearning:
+    def test_mlp_solves_xor(self):
+        """The classic non-linear sanity check for the whole stack."""
+        rng = np.random.default_rng(3)
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0.0, 1.0, 1.0, 0.0])
+        mlp = MLP([2, 16, 1], rng)
+        opt = Adam(mlp.parameters(), lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            logits = mlp(Tensor(x)).reshape(4)
+            loss = bce_with_logits(logits, y)
+            loss.backward()
+            opt.step()
+        probs = 1 / (1 + np.exp(-mlp(Tensor(x)).numpy().reshape(4)))
+        assert ((probs > 0.5) == y.astype(bool)).all()
+
+
+class TestGradClipping:
+    def test_clip_reduces_large_norm(self):
+        from repro.nn.optim import clip_grad_norm
+
+        w = Tensor(np.zeros(4), requires_grad=True)
+        w.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([w], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_small_gradients_untouched(self):
+        from repro.nn.optim import clip_grad_norm
+
+        w = Tensor(np.zeros(2), requires_grad=True)
+        w.grad = np.array([0.1, 0.1])
+        clip_grad_norm([w], max_norm=5.0)
+        assert np.allclose(w.grad, [0.1, 0.1])
+
+    def test_skips_gradless_params(self):
+        from repro.nn.optim import clip_grad_norm
+
+        w = Tensor(np.zeros(2), requires_grad=True)
+        assert clip_grad_norm([w], max_norm=1.0) == 0.0
+
+    def test_invalid_max_norm(self):
+        from repro.nn.optim import clip_grad_norm
+
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)

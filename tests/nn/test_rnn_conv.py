@@ -1,0 +1,139 @@
+"""Tests for the RNN family and the TCN competitor."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, LSTM, TCN, Bidirectional, CausalConv1d, Tensor, make_rnn
+from repro.nn.gradcheck import gradcheck
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestRNNShapes:
+    @pytest.mark.parametrize("kind,width", [
+        ("lstm", 8), ("gru", 8), ("bilstm", 16), ("bigru", 16),
+    ])
+    def test_summary_shapes(self, rng, kind, width):
+        enc = make_rnn(kind, input_dim=5, hidden_dim=8, rng=rng)
+        out = enc(Tensor(rng.normal(size=(3, 6, 5))))
+        assert out.shape == (3, width)
+        assert enc.output_dim == width
+
+    def test_return_sequence(self, rng):
+        enc = LSTM(5, 8, rng)
+        out = enc(Tensor(rng.normal(size=(3, 6, 5))), return_sequence=True)
+        assert out.shape == (3, 6, 8)
+
+    def test_bidirectional_sequence_shape(self, rng):
+        enc = Bidirectional(GRU(5, 4, rng), GRU(5, 4, rng))
+        out = enc(Tensor(rng.normal(size=(2, 6, 5))), return_sequence=True)
+        assert out.shape == (2, 6, 8)
+
+    def test_unknown_kind_raises(self, rng):
+        with pytest.raises(ValueError):
+            make_rnn("transformer", 4, 4, rng)
+
+
+class TestRNNGradients:
+    def test_lstm_gradcheck(self, rng):
+        enc = LSTM(3, 4, rng)
+        gradcheck(lambda x: enc(x), [rng.normal(size=(2, 4, 3))], atol=1e-4)
+
+    def test_gru_gradcheck(self, rng):
+        enc = GRU(3, 4, rng)
+        gradcheck(lambda x: enc(x), [rng.normal(size=(2, 4, 3))], atol=1e-4)
+
+    def test_lstm_params_all_get_grads(self, rng):
+        enc = LSTM(3, 4, rng)
+        enc(Tensor(rng.normal(size=(2, 5, 3)))).sum().backward()
+        for name, param in enc.named_parameters():
+            assert param.grad is not None, name
+
+
+class TestRNNSemantics:
+    def test_last_step_matters_most_for_fresh_lstm(self, rng):
+        """Changing the last input changes output more than the first."""
+        enc = LSTM(3, 8, rng)
+        x = rng.normal(size=(1, 10, 3))
+        base = enc(Tensor(x)).numpy()
+        x_last = x.copy()
+        x_last[0, -1] += 1.0
+        x_first = x.copy()
+        x_first[0, 0] += 1.0
+        delta_last = np.abs(enc(Tensor(x_last)).numpy() - base).sum()
+        delta_first = np.abs(enc(Tensor(x_first)).numpy() - base).sum()
+        assert delta_last > delta_first
+
+    def test_bidirectional_sees_both_ends(self, rng):
+        enc = Bidirectional(LSTM(3, 8, rng), LSTM(3, 8, rng))
+        x = rng.normal(size=(1, 10, 3))
+        base = enc(Tensor(x)).numpy()
+        x_first = x.copy()
+        x_first[0, 0] += 1.0
+        delta_first = np.abs(enc(Tensor(x_first)).numpy() - base).sum()
+        assert delta_first > 1e-4
+
+
+class TestCausalConv:
+    def test_output_shape_preserves_time(self, rng):
+        conv = CausalConv1d(4, 6, kernel_size=3, rng=rng, dilation=2)
+        out = conv(Tensor(rng.normal(size=(2, 10, 4))))
+        assert out.shape == (2, 10, 6)
+
+    def test_causality_future_does_not_leak(self, rng):
+        conv = CausalConv1d(3, 3, kernel_size=3, rng=rng, dilation=1)
+        x = rng.normal(size=(1, 8, 3))
+        base = conv(Tensor(x)).numpy()
+        perturbed = x.copy()
+        perturbed[0, 5] += 10.0
+        out = conv(Tensor(perturbed)).numpy()
+        # Outputs strictly before t=5 are unchanged.
+        assert np.allclose(out[0, :5], base[0, :5])
+        assert not np.allclose(out[0, 5:], base[0, 5:])
+
+    def test_gradcheck(self, rng):
+        conv = CausalConv1d(2, 3, kernel_size=2, rng=rng, dilation=2)
+        gradcheck(lambda x: conv(x), [rng.normal(size=(2, 5, 2))], atol=1e-4)
+
+    def test_invalid_args_rejected(self, rng):
+        with pytest.raises(ValueError):
+            CausalConv1d(2, 3, kernel_size=0, rng=rng)
+        with pytest.raises(ValueError):
+            CausalConv1d(2, 3, kernel_size=2, rng=rng, dilation=0)
+
+
+class TestTCN:
+    def test_summary_and_sequence_shapes(self, rng):
+        tcn = TCN(5, channels=8, depth=3, kernel_size=4, rng=rng)
+        tcn.eval()
+        x = Tensor(rng.normal(size=(2, 20, 5)))
+        assert tcn(x).shape == (2, 8)
+        assert tcn(x, return_sequence=True).shape == (2, 20, 8)
+
+    def test_receptive_field_matches_paper_settings(self, rng):
+        # Depth 3, kernel 4 covers a 20-length sequence (Table 5 setting).
+        tcn = TCN(5, channels=8, depth=3, kernel_size=4, rng=rng)
+        assert tcn.receptive_field >= 20
+        # Depth 5, kernel 8 covers a 200-length sequence (Table 8 setting).
+        tcn_long = TCN(5, channels=8, depth=5, kernel_size=8, rng=rng)
+        assert tcn_long.receptive_field >= 200
+
+    def test_causality_of_stack(self, rng):
+        tcn = TCN(3, channels=4, depth=2, kernel_size=2, rng=rng)
+        tcn.eval()
+        x = rng.normal(size=(1, 12, 3))
+        base = tcn(Tensor(x), return_sequence=True).numpy()
+        perturbed = x.copy()
+        perturbed[0, -1] += 5.0
+        out = tcn(Tensor(perturbed), return_sequence=True).numpy()
+        assert np.allclose(out[0, :-1], base[0, :-1])
+
+    def test_gradients_flow_to_all_blocks(self, rng):
+        tcn = TCN(3, channels=4, depth=2, kernel_size=2, rng=rng)
+        tcn.eval()
+        tcn(Tensor(rng.normal(size=(2, 8, 3)))).sum().backward()
+        for name, param in tcn.named_parameters():
+            assert param.grad is not None, name

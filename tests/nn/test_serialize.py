@@ -1,0 +1,51 @@
+"""Tests for model save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Tensor
+from repro.nn.serialize import archive_summary, load_module, save_module
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_outputs(self, rng, tmp_path):
+        model = MLP([4, 8, 1], rng)
+        path = tmp_path / "model.npz"
+        save_module(model, path)
+        clone = MLP([4, 8, 1], np.random.default_rng(99))
+        load_module(clone, path)
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert np.allclose(model(x).numpy(), clone(x).numpy())
+
+    def test_manifest_contents(self, rng, tmp_path):
+        model = MLP([4, 8, 1], rng)
+        path = tmp_path / "model.npz"
+        save_module(model, path)
+        manifest = archive_summary(path)
+        assert manifest["n_parameters"] == model.num_parameters()
+        assert set(manifest["names"]) == set(model.state_dict())
+
+    def test_architecture_mismatch_rejected(self, rng, tmp_path):
+        model = MLP([4, 8, 1], rng)
+        path = tmp_path / "model.npz"
+        save_module(model, path)
+        wrong = MLP([4, 16, 1], np.random.default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            load_module(wrong, path)
+
+    def test_non_archive_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError):
+            archive_summary(path)
+
+    def test_creates_parent_dirs(self, rng, tmp_path):
+        model = MLP([2, 2, 1], rng)
+        nested = tmp_path / "a" / "b" / "model.npz"
+        save_module(model, nested)
+        assert nested.exists()

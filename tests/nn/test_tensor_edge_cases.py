@@ -1,0 +1,92 @@
+"""Edge-case tests for tensor ops not covered by the main gradcheck suite."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad, where_constant
+from repro.nn.gradcheck import gradcheck
+
+
+class TestWhereConstant:
+    def test_forward_selects_by_mask(self):
+        mask = np.array([True, False, True])
+        out = where_constant(mask, Tensor([1.0, 1.0, 1.0]), Tensor([2.0, 2.0, 2.0]))
+        assert np.allclose(out.numpy(), [1.0, 2.0, 1.0])
+
+    def test_gradients_route_by_mask(self):
+        mask = np.array([True, False])
+        a = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        where_constant(mask, a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(0)
+        mask = rng.random((3, 4)) > 0.5
+        gradcheck(lambda a, b: where_constant(mask, a, b),
+                  [rng.normal(size=(3, 4)), rng.normal(size=(3, 4))])
+
+
+class TestScalarsAndShapes:
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_len_matches_first_dim(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_reshape_with_tuple(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape((2, 3)).shape == (2, 3)
+
+    def test_transpose_default_reverses(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.transpose().shape == (4, 3, 2)
+
+    def test_pow_requires_scalar(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(3)) ** np.ones(3)
+
+    def test_pad_negative_rejected(self):
+        from repro.nn import pad_time_left
+
+        with pytest.raises(ValueError):
+            pad_time_left(Tensor(np.zeros((1, 2, 3))), -1)
+
+    def test_pad_zero_is_identity(self):
+        from repro.nn import pad_time_left
+
+        t = Tensor(np.ones((1, 2, 3)))
+        assert pad_time_left(t, 0) is t
+
+
+class TestGradModeInteraction:
+    def test_nested_no_grad_restores(self):
+        from repro.nn import is_grad_enabled
+
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_backward_seed_gradient(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = x * 3.0
+        y.backward(np.array([1.0, 10.0]))
+        assert np.allclose(x.grad, [3.0, 30.0])
+
+    def test_broadcast_scalar_seed(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        (x * 2.0).backward(np.array(1.0))
+        assert np.allclose(x.grad, 2.0)
+
+    def test_graph_pruned_under_no_grad_inside_module(self):
+        from repro.nn import MLP
+
+        mlp = MLP([3, 4, 1], np.random.default_rng(0))
+        with no_grad():
+            out = mlp(Tensor(np.ones((2, 3))))
+        assert not out.requires_grad

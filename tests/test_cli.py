@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_world_defaults(self):
+        args = build_parser().parse_args(["world"])
+        assert args.scale == "tiny"
+        assert args.seed == 7
+
+    def test_train_model_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "transformer"])
+
+    def test_forecast_span_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["forecast", "--span", "7"])
+
+
+class TestCommands:
+    def test_world_command(self, capsys):
+        assert main(["world", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "synthetic world" in out
+
+    def test_train_command_saves_weights(self, tmp_path, capsys):
+        path = tmp_path / "dnn.npz"
+        code = main([
+            "train", "--scale", "tiny", "--model", "dnn", "--epochs", "1",
+            "--save", str(path),
+        ])
+        assert code == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "HR@10" in out

@@ -1,0 +1,136 @@
+"""Tests for the utils substrate: hash RNG, config, time, tabulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    Clock,
+    ReproConfig,
+    Scale,
+    format_table,
+    hash_normal,
+    hash_uniform,
+    hash_uint64,
+    to_timestamp,
+)
+from repro.utils.hashrng import hash_choice
+
+
+class TestHashRng:
+    def test_deterministic(self):
+        assert int(hash_uint64(1, 2, 3)) == int(hash_uint64(1, 2, 3))
+
+    def test_distinct_keys_distinct_values(self):
+        a = hash_uint64(np.arange(10_000))
+        assert len(np.unique(a)) == 10_000
+
+    def test_key_order_matters(self):
+        assert int(hash_uint64(1, 2)) != int(hash_uint64(2, 1))
+
+    def test_broadcasting(self):
+        out = hash_uniform(np.arange(4)[:, None], np.arange(3)[None, :])
+        assert out.shape == (4, 3)
+
+    def test_uniform_range_and_moments(self):
+        u = hash_uniform(7, np.arange(200_000))
+        assert (u >= 0).all() and (u < 1).all()
+        assert abs(u.mean() - 0.5) < 0.01
+        assert abs(u.var() - 1 / 12) < 0.01
+
+    def test_normal_moments(self):
+        z = hash_normal(3, np.arange(200_000))
+        assert abs(z.mean()) < 0.02
+        assert abs(z.std() - 1.0) < 0.02
+
+    def test_negative_keys_supported(self):
+        assert np.isfinite(hash_uniform(-5, -10))
+
+    def test_requires_keys(self):
+        with pytest.raises(ValueError):
+            hash_uint64()
+
+    def test_choice_in_range(self):
+        c = hash_choice(7, np.arange(1000))
+        assert (c >= 0).all() and (c < 7).all()
+
+    def test_choice_invalid_n(self):
+        with pytest.raises(ValueError):
+            hash_choice(0, 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(min_value=-2**40, max_value=2**40),
+           b=st.integers(min_value=-2**40, max_value=2**40))
+    def test_property_stable_and_bounded(self, a, b):
+        u1 = float(hash_uniform(a, b))
+        u2 = float(hash_uniform(a, b))
+        assert u1 == u2
+        assert 0.0 <= u1 < 1.0
+
+
+class TestConfig:
+    def test_paper_scale_larger_than_small(self):
+        small, paper = ReproConfig.small(), ReproConfig.paper()
+        assert paper.n_coins > small.n_coins
+        assert paper.n_events > small.n_events
+
+    def test_for_scale(self):
+        assert ReproConfig.for_scale(Scale.PAPER).n_events == 709
+        assert ReproConfig.for_scale(Scale.SMALL).n_events < 709
+
+    def test_with_overrides(self):
+        config = ReproConfig.small().with_(seed=99)
+        assert config.seed == 99
+        assert config.n_coins == ReproConfig.small().n_coins
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ReproConfig.small().seed = 1
+
+    def test_env_scale(self, monkeypatch):
+        from repro.utils import get_scale
+
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale() is Scale.PAPER
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            get_scale()
+
+
+class TestTime:
+    def test_epoch_rendering(self):
+        assert to_timestamp(0) == "2019-01-01 00:00"
+
+    def test_day_rollover(self):
+        assert to_timestamp(25, 30) == "2019-01-02 01:30"
+
+    def test_year_rollover(self):
+        assert to_timestamp(365 * 24) == "2020-01-01 00:00"
+
+    def test_leap_year_2020(self):
+        # 2020-02-29 exists: 2019 has 365 days; Feb 29 2020 is day 424.
+        assert to_timestamp((365 + 59) * 24) == "2020-02-29 00:00"
+
+    def test_clock_monotone(self):
+        clock = Clock()
+        clock.advance(5)
+        assert clock.hour == 5
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+
+class TestTabulate:
+    def test_basic_render(self):
+        out = format_table(["a", "bb"], [[1, 2.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.500" in lines[2]
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_title_prepended(self):
+        out = format_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"

@@ -1,0 +1,106 @@
+"""Tests for the sentiment analyzer and the keyword filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import KeywordFilter, SentimentAnalyzer
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return SentimentAnalyzer()
+
+
+class TestSentimentPolarity:
+    def test_positive_message(self, analyzer):
+        assert analyzer.score("huge profit, easy gains, bullish!").compound > 0.3
+
+    def test_negative_message(self, analyzer):
+        assert analyzer.score("total scam, panic selling, crash").compound < -0.3
+
+    def test_neutral_message(self, analyzer):
+        scores = analyzer.score("the meeting starts at noon")
+        assert scores.compound == 0.0
+        assert scores.neu == 1.0
+
+    def test_negation_flips_polarity(self, analyzer):
+        positive = analyzer.score("this coin is good").compound
+        negated = analyzer.score("this coin is not good").compound
+        assert positive > 0
+        assert negated < 0
+
+    def test_booster_amplifies(self, analyzer):
+        plain = analyzer.score("good coin").compound
+        boosted = analyzer.score("extremely good coin").compound
+        assert boosted > plain
+
+    def test_dampener_reduces(self, analyzer):
+        plain = analyzer.score("good coin").compound
+        damped = analyzer.score("slightly good coin").compound
+        assert damped < plain
+
+    def test_exclamations_amplify(self, analyzer):
+        plain = analyzer.score("pump it, moon").compound
+        excited = analyzer.score("pump it, moon!!!").compound
+        assert excited > plain
+
+    def test_caps_amplify(self, analyzer):
+        plain = analyzer.score("this is a moon day").compound
+        caps = analyzer.score("this is a MOON day").compound
+        assert caps > plain
+
+    def test_crypto_slang_coverage(self, analyzer):
+        assert analyzer.score("rekt by the rug pull").compound < 0
+        assert analyzer.score("to the moon, lambo time").compound > 0
+
+    def test_empty_text(self, analyzer):
+        scores = analyzer.score("")
+        assert scores.compound == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(max_size=300))
+    def test_property_compound_bounded(self, analyzer, text):
+        scores = analyzer.score(text)
+        assert -1.0 <= scores.compound <= 1.0
+        assert abs(scores.neg + scores.neu + scores.pos - 1.0) < 0.01 or (
+            scores.neg == scores.pos == 0.0
+        )
+
+
+class TestKeywordFilter:
+    @pytest.fixture
+    def filt(self):
+        return KeywordFilter(
+            coin_symbols=["BTC", "EVX", "NAS"],
+            exchange_names=["binance", "yobit"],
+        )
+
+    def test_matches_pump_vocabulary(self, filt):
+        assert filt.matches("Next pump in 5 minutes!")
+        assert filt.matches("HOLD and do not sell")
+
+    def test_matches_uppercase_symbol_release(self, filt):
+        assert filt.matches("EVX")
+        assert filt.matches("The coin is NAS")
+
+    def test_matches_dollar_tag_case_insensitive(self, filt):
+        assert filt.matches("loading up on $evx")
+
+    def test_lowercase_symbol_without_tag_not_coin_match(self, filt):
+        # 'evx' lowercase, no $ tag, no keywords: must not match.
+        assert not filt.matches("evx is a word here")
+
+    def test_matches_exchange_name(self, filt):
+        assert filt.matches("listed on Binance today")
+
+    def test_rejects_ordinary_chatter(self, filt):
+        assert not filt.matches("lunch was nice today")
+
+    def test_filter_returns_indices(self, filt):
+        messages = ["hello world", "pump now", "weather is fine", "on yobit"]
+        assert filt.filter(messages) == [1, 3]
+
+    def test_requires_symbols(self):
+        with pytest.raises(ValueError):
+            KeywordFilter([], ["binance"])

@@ -1,0 +1,56 @@
+"""Tests for message cleaning and tokenization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import STOPWORDS, clean_message, strip_non_ascii, strip_urls, tokenize
+
+
+class TestCleaning:
+    def test_strips_urls(self):
+        assert "http" not in strip_urls("join https://t.me/pumpchan now")
+        assert "t.me" not in strip_urls("invite t.me/abc123")
+
+    def test_strips_non_ascii(self):
+        assert strip_non_ascii("pump 🚀🚀 now") == "pump   now"
+
+    def test_clean_lowercases_and_removes_punct(self):
+        assert clean_message("PUMP!!! Soon... (ready?)") == "pump soon ready"
+
+    def test_clean_keeps_dollar_tags(self):
+        assert "$btc" in clean_message("Buy $BTC now!")
+
+    def test_tokenize_removes_stopwords(self):
+        tokens = tokenize("the coin is ready to pump")
+        assert "the" not in tokens
+        assert "pump" in tokens
+        assert "coin" in tokens
+
+    def test_tokenize_keeps_stopwords_when_asked(self):
+        tokens = tokenize("the coin", remove_stopwords=False)
+        assert "the" in tokens
+
+    def test_empty_message(self):
+        assert tokenize("") == []
+        assert tokenize("!!! ???") == []
+
+    def test_docstring_example(self):
+        assert tokenize("PUMP the $BTC now!!! https://t.me/chan") == ["pump", "$btc"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(max_size=200))
+def test_property_tokenize_never_raises_and_is_clean(text):
+    tokens = tokenize(text)
+    for token in tokens:
+        assert token == token.lower()
+        assert token not in STOPWORDS
+        assert " " not in token
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=100))
+def test_property_clean_is_idempotent(text):
+    once = clean_message(text)
+    assert clean_message(once) == once

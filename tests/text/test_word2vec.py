@@ -1,0 +1,98 @@
+"""Tests for the word2vec implementation (SkipGram and CBoW)."""
+
+import numpy as np
+import pytest
+
+from repro.text import Vocabulary, Word2Vec, cosine_similarity_matrix
+
+
+def synthetic_corpus(seed=0, n=900):
+    """Two topic clusters: coins {aaa,bbb,ccc} and {xxx,yyy,zzz}.
+
+    Words inside a cluster co-occur; across clusters they never do, so any
+    sane embedding places same-cluster words closer together.
+    """
+    rng = np.random.default_rng(seed)
+    cluster_a = ["aaa", "bbb", "ccc", "alpha", "beta"]
+    cluster_b = ["xxx", "yyy", "zzz", "gamma", "delta"]
+    corpus = []
+    for _ in range(n):
+        cluster = cluster_a if rng.random() < 0.5 else cluster_b
+        corpus.append(list(rng.choice(cluster, size=6)))
+    return corpus
+
+
+class TestVocabulary:
+    def test_min_count_filters(self):
+        vocab = Vocabulary([["a", "a", "b"]], min_count=2)
+        assert "a" in vocab and "b" not in vocab
+
+    def test_encode_drops_oov(self):
+        vocab = Vocabulary([["a", "a", "b", "b"]], min_count=2)
+        ids = vocab.encode(["a", "zzz", "b"])
+        assert len(ids) == 2
+
+    def test_unigram_table_is_distribution(self):
+        vocab = Vocabulary([["a", "a", "a", "b", "b", "c"]], min_count=1)
+        table = vocab.unigram_table()
+        assert table.sum() == pytest.approx(1.0)
+        # Power < 1 flattens the distribution but preserves order.
+        assert table[vocab.index["a"]] > table[vocab.index["c"]]
+
+    def test_invalid_min_count(self):
+        with pytest.raises(ValueError):
+            Vocabulary([["a"]], min_count=0)
+
+
+class TestWord2Vec:
+    @pytest.mark.parametrize("mode", ["skipgram", "cbow"])
+    def test_clusters_separate(self, mode):
+        model = Word2Vec(synthetic_corpus(), dim=16, mode=mode, epochs=3, seed=1)
+        same = model.similarity("aaa", "bbb")
+        cross = model.similarity("aaa", "xxx")
+        assert same > cross
+
+    def test_most_similar_prefers_same_cluster(self):
+        model = Word2Vec(synthetic_corpus(), dim=16, epochs=3, seed=1)
+        neighbours = [w for w, _ in model.most_similar("aaa", k=3)]
+        overlap = set(neighbours) & {"bbb", "ccc", "alpha", "beta"}
+        assert len(overlap) >= 2
+
+    def test_deterministic_under_seed(self):
+        corpus = synthetic_corpus(n=100)
+        m1 = Word2Vec(corpus, dim=8, epochs=1, seed=5)
+        m2 = Word2Vec(corpus, dim=8, epochs=1, seed=5)
+        assert np.allclose(m1.w_in, m2.w_in)
+
+    def test_unknown_token_raises(self):
+        model = Word2Vec(synthetic_corpus(n=50), dim=8, epochs=1)
+        with pytest.raises(KeyError):
+            model.vector("missing")
+
+    def test_vectors_for_uses_default_for_oov(self):
+        model = Word2Vec(synthetic_corpus(n=50), dim=8, epochs=1)
+        out = model.vectors_for(["aaa", "missing"])
+        assert out.shape == (2, 8)
+        assert np.allclose(out[1], 0.0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Word2Vec([["a", "b"]], mode="glove", min_count=1)
+
+    def test_empty_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            Word2Vec([["a"]], min_count=5)
+
+
+class TestCosineMatrix:
+    def test_diagonal_is_one(self):
+        rng = np.random.default_rng(0)
+        vecs = rng.normal(size=(5, 8))
+        sims = cosine_similarity_matrix(vecs)
+        assert np.allclose(np.diag(sims), 1.0)
+
+    def test_symmetric_and_bounded(self):
+        rng = np.random.default_rng(0)
+        sims = cosine_similarity_matrix(rng.normal(size=(6, 4)))
+        assert np.allclose(sims, sims.T)
+        assert (sims <= 1.0 + 1e-9).all() and (sims >= -1.0 - 1e-9).all()
