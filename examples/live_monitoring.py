@@ -1,55 +1,47 @@
-"""Deployment simulation: monitor announcements and alert on likely targets.
+"""Deployment simulation: stream announcements, alert on likely targets.
 
-Replays the test period of a synthetic world as a live stream: every time a
-channel announces a pump, the trained model ranks all listed coins one hour
-ahead and we record where the true coin landed — the investor-alerting
-workflow the paper's introduction motivates.
+Replays the test period of a synthetic world through the real-time serving
+stack (``repro.serving``): messages arrive in timestamp order, pump-message
+detection and sessionization run incrementally, and every resolvable coin
+release triggers a cached, micro-batched ranking of all listed coins — the
+investor-alerting workflow the paper's introduction motivates.
 
     python examples/live_monitoring.py
 """
 
 import numpy as np
 
-from repro.core import Trainer, TargetCoinPredictor, make_model, snn_config_for
+from repro.core import train_predictor
 from repro.data import collect
-from repro.features import FeatureAssembler
+from repro.serving import CollectingSink, ConsoleAlertSink, replay_test_period
 from repro.simulation import SyntheticWorld
-from repro.utils import ReproConfig, to_timestamp
+from repro.utils import ReproConfig
 
 
 def main() -> None:
     world = SyntheticWorld.generate(ReproConfig.tiny())
     collection = collect(world)
-    assembled = FeatureAssembler(world, collection.dataset).assemble()
-
-    model = make_model("snn", snn_config_for(assembled), seed=0)
-    Trainer(epochs=8, seed=0).fit(model, assembled.train, assembled.validation)
-    predictor = TargetCoinPredictor(world, collection.dataset, model)
+    predictor = train_predictor(world, collection, epochs=8, seed=0)
 
     print("monitoring announced pumps in the test period...\n")
-    ranks = []
-    test_positives = [
-        e for e in collection.dataset.examples
-        if e.label == 1 and e.split == "test"
-    ]
-    for event in test_positives:
-        ranking = predictor.rank(event.channel_id, 0, event.time)
-        true_rank = ranking.rank_of(event.coin_id)
-        ranks.append(true_rank)
-        top = ", ".join(
-            f"{s.symbol}({s.probability:.2f})" for s in ranking.top(3)
-        )
-        marker = "<< HIT" if 0 < true_rank <= 5 else ""
-        print(f"{to_timestamp(int(event.time))}  channel={event.channel_id}  "
-              f"alert top-3: {top}  | true coin "
-              f"{world.coins.symbols[event.coin_id]} ranked #{true_rank} {marker}")
+    collected = CollectingSink()
+    result = replay_test_period(
+        world, collection, predictor,
+        sinks=(ConsoleAlertSink(top_k=3), collected),
+    )
 
-    ranks = np.array([r for r in ranks if r > 0])
-    print(f"\nevents monitored: {len(ranks)}")
-    for k in (1, 5, 10):
-        print(f"true coin in top-{k}: {(ranks <= k).mean():.0%}")
-    print(f"median rank of true coin: {np.median(ranks):.0f} "
-          f"of ~{len(predictor.candidates(0, test_positives[-1].time))} candidates")
+    ranks = np.array([
+        a.announced_rank for a in collected.alerts if a.announced_rank > 0
+    ])
+    print(f"\nalerts emitted: {len(collected.alerts)}")
+    if len(ranks):
+        for k in (1, 5, 10):
+            print(f"released coin in top-{k}: {(ranks <= k).mean():.0%}")
+        print(f"median rank of released coin: {np.median(ranks):.0f}")
+
+    print("\nserving metrics:")
+    for key, value in result.stats.summary().items():
+        print(f"  {key}: {value}")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,9 @@ Commands
 ``collect``   — run the §3 data-collection pipeline (Tables 1-4 summaries).
 ``analyze``   — run the §4 observational studies (Figures 3-6 numbers).
 ``train``     — train a ranker and report HR@k; optionally save weights.
+``serve``     — train, then replay the test period through the streaming
+                prediction service (``repro.serving``), emitting ranked
+                alerts and service metrics.
 ``forecast``  — run the §7 BTC forecasting comparison (Table 8-lite).
 
 All commands accept ``--scale {tiny,small,paper}`` and ``--seed N``.
@@ -17,6 +20,11 @@ import argparse
 import sys
 
 from repro.utils import ReproConfig, format_table
+
+
+# The deep rankers make_model() can build (classic lr/rf go through
+# ClassicRanker and cannot drive the predictor's Batch interface).
+DEEP_MODEL_CHOICES = ("dnn", "lstm", "bilstm", "gru", "bigru", "tcn", "snn")
 
 
 def _config(args) -> ReproConfig:
@@ -122,6 +130,48 @@ def cmd_train(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    if args.max_batch < 1:
+        print("repro serve: --max-batch must be >= 1", file=sys.stderr)
+        return 2
+    from repro.core import train_predictor
+    from repro.data import collect
+    from repro.serving import ConsoleAlertSink, JsonLinesAlertSink, replay_test_period
+    from repro.simulation import SyntheticWorld
+
+    world = SyntheticWorld.generate(_config(args))
+    collection = collect(world)
+    predictor = train_predictor(world, collection, model=args.model,
+                                epochs=args.epochs, seed=args.seed)
+
+    sinks = [ConsoleAlertSink(top_k=args.top_k)]
+    if args.jsonl:
+        sinks.append(JsonLinesAlertSink(args.jsonl, top_k=args.top_k))
+    try:
+        result = replay_test_period(
+            world, collection, predictor, sinks=tuple(sinks),
+            bucket_hours=args.bucket_hours,
+            cache_entries=0 if args.no_cache else 512,
+            max_batch=args.max_batch,
+        )
+    finally:
+        for sink in sinks:
+            sink.close()
+
+    print(format_table(
+        ["metric", "value"],
+        list(result.stats.summary().items()),
+        title="serving metrics",
+    ))
+    hits = [a for a in result.alerts if 0 < a.announced_rank <= args.top_k]
+    if result.alerts:
+        print(f"alerts: {len(result.alerts)}; released coin in "
+              f"top-{args.top_k}: {len(hits) / len(result.alerts):.0%}")
+    if args.jsonl:
+        print(f"alert records appended to {args.jsonl}")
+    return 0
+
+
 def cmd_forecast(args) -> int:
     from repro.forecasting import BTCForecastDataset, run_forecasting_experiment
     from repro.simulation import SyntheticWorld
@@ -162,12 +212,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_train = sub.add_parser("train", help="train a target-coin ranker")
     _add_common(p_train)
-    p_train.add_argument("--model", default="snn",
-                         choices=("lr", "rf", "dnn", "lstm", "bilstm", "gru",
-                                  "bigru", "tcn", "snn"))
+    p_train.add_argument("--model", default="snn", choices=DEEP_MODEL_CHOICES)
     p_train.add_argument("--epochs", type=int, default=8)
     p_train.add_argument("--save", default="", help="path to save weights (.npz)")
     p_train.set_defaults(fn=cmd_train)
+
+    p_serve = sub.add_parser(
+        "serve", help="replay the test period through the streaming service"
+    )
+    _add_common(p_serve)
+    p_serve.add_argument("--model", default="snn", choices=DEEP_MODEL_CHOICES)
+    p_serve.add_argument("--epochs", type=int, default=8)
+    p_serve.add_argument("--top-k", type=int, default=3,
+                         help="coins shown per alert")
+    p_serve.add_argument("--jsonl", default="",
+                         help="also append alerts to this JSON-lines file")
+    p_serve.add_argument("--bucket-hours", type=float, default=1.0,
+                         help="feature-cache time bucket (0 = exact times)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable feature memoization")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="max concurrent announcements per forward pass")
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_forecast = sub.add_parser("forecast", help="run the §7 comparison")
     _add_common(p_forecast)

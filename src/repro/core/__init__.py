@@ -32,8 +32,14 @@ from repro.core.experiment import (
     run_coin_embedding_experiment,
     run_target_coin_experiment,
     snn_config_for,
+    train_predictor,
 )
-from repro.core.predictor import CoinScore, Ranking, TargetCoinPredictor
+from repro.core.predictor import (
+    CoinScore,
+    Ranking,
+    RankRequest,
+    TargetCoinPredictor,
+)
 from repro.core.ensemble import ScoreEnsemble, rank_normalize
 from repro.core.tuning import SearchResult, TrialResult, grid_search, random_search
 from repro.core.transfer import (
@@ -53,7 +59,8 @@ __all__ = [
     "EmbeddingNormStudy",
     "run_target_coin_experiment", "run_coin_embedding_experiment",
     "ExperimentOutcome", "EMBEDDING_VARIANTS", "snn_config_for",
-    "TargetCoinPredictor", "Ranking", "CoinScore",
+    "train_predictor",
+    "TargetCoinPredictor", "Ranking", "RankRequest", "CoinScore",
     "SequenceFeatureExtractor", "AugmentedClassicRanker",
     "run_transfer_experiment",
     "ScoreEnsemble", "rank_normalize",

@@ -42,6 +42,31 @@ def snn_config_for(assembled: AssembledDataset, **overrides) -> SNNConfig:
     return SNNConfig(**defaults)
 
 
+def train_predictor(world: SyntheticWorld, collection=None, *,
+                    model: str = "snn", epochs: int = 8,
+                    seed: int = 0) -> "TargetCoinPredictor":
+    """The standard world → collect → assemble → train → predictor wiring.
+
+    Shared by the ``serve`` CLI command, the live-monitoring example and
+    the serving tests/benchmarks, so the training contract lives in one
+    place.  Pass an existing :class:`CollectionResult` to skip re-running
+    the data pipeline.
+    """
+    from repro.core.predictor import TargetCoinPredictor
+    from repro.data.pipeline import collect
+    from repro.features.assembler import FeatureAssembler
+
+    if collection is None:
+        collection = collect(world)
+    assembler = FeatureAssembler(world, collection.dataset)
+    assembled = assembler.assemble()
+    ranker = make_model(model, snn_config_for(assembled), seed=seed)
+    Trainer(epochs=epochs, seed=seed).fit(
+        ranker, assembled.train, assembled.validation
+    )
+    return TargetCoinPredictor(world, collection.dataset, ranker, assembler)
+
+
 @dataclass
 class ExperimentOutcome:
     """HR@k per model plus timing, in Table 5's shape."""

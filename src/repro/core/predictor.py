@@ -14,12 +14,12 @@ trained on, so scoring a new announcement is a single call:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.snn import Batch
-from repro.core.train import predict_scores
 from repro.data.dataset import TargetCoinDataset
 from repro.features.assembler import FeatureAssembler
 from repro.features.coin import coin_feature_matrix
@@ -38,6 +38,30 @@ class CoinScore:
     coin_id: int
     symbol: str
     probability: float
+
+
+@dataclass(frozen=True)
+class RankRequest:
+    """One announcement to score: where and when the pump will happen.
+
+    ``candidates`` optionally carries a precomputed eligible-coin set so a
+    caller that already resolved it (e.g. a serving gate) avoids a second
+    :meth:`TargetCoinPredictor.candidates` lookup.
+    """
+
+    channel_id: int
+    exchange_id: int
+    pump_time: float
+    candidates: np.ndarray | None = field(default=None, compare=False)
+
+
+# Pluggable feature providers for :meth:`TargetCoinPredictor.rank_many`.
+# ``FeaturesFn(exchange_id, coins, time)`` returns the *raw* (unscaled)
+# coin + market feature block for the candidates; ``HistoryFn(channel_id,
+# time)`` returns the channel's chronological pump history strictly before
+# ``time``.  A serving layer substitutes memoized versions of both.
+FeaturesFn = Callable[[int, np.ndarray, float], np.ndarray]
+HistoryFn = Callable[[int, float], "Sequence"]
 
 
 @dataclass
@@ -122,14 +146,26 @@ class TargetCoinPredictor:
 
             self._seq_scaler.fit(np.zeros((2, len(SEQUENCE_NUMERIC_NAMES))))
 
-    def _raw_numeric(self, channel_id: int, coins: np.ndarray,
-                     time: float) -> np.ndarray:
+    def coin_market_block(self, exchange_id: int, coins: np.ndarray,
+                          time: float) -> np.ndarray:
+        """Raw coin-stable + market-movement features for candidates.
+
+        Channel-independent, so a serving layer can memoize it per
+        (exchange, time) and share it across concurrent announcements.
+        """
         market = self.world.market
-        channel_feature = np.log(self._subscribers.get(channel_id, 1000) + 1.0)
         return np.concatenate([
-            np.full((len(coins), 1), channel_feature),
             coin_feature_matrix(market, coins, time),
             market_feature_matrix(market, coins, time),
+        ], axis=1)
+
+    def _raw_numeric(self, channel_id: int, coins: np.ndarray, time: float,
+                     block: np.ndarray | None = None) -> np.ndarray:
+        if block is None:
+            block = self.coin_market_block(0, coins, time)
+        channel_feature = np.log(self._subscribers.get(channel_id, 1000) + 1.0)
+        return np.concatenate([
+            np.full((len(coins), 1), channel_feature), block,
         ], axis=1)
 
     def candidates(self, exchange_id: int, pump_time: float) -> np.ndarray:
@@ -137,42 +173,108 @@ class TargetCoinPredictor:
         listed = self.world.coins.listed_coins(exchange_id, pump_time)
         return listed[listed >= len(PAIR_SYMBOLS)]
 
+    def knows_channel(self, channel_id: int) -> bool:
+        """True when the channel was part of the training universe."""
+        return channel_id in self._channel_index
+
     def rank(self, channel_id: int, exchange_id: int,
              pump_time: float) -> Ranking:
         """Score every candidate coin for one announced pump."""
-        if channel_id not in self._channel_index:
-            raise KeyError(f"channel {channel_id} unseen during training")
-        coins = self.candidates(exchange_id, pump_time)
-        if len(coins) == 0:
-            raise ValueError("no eligible coins listed at this time")
-        numeric = self._numeric_scaler.transform(
-            self._raw_numeric(channel_id, coins, pump_time)
-        )
-        history = self.dataset.history_before(
-            channel_id, pump_time, self.assembler.sequence_length
-        )
-        seq = encode_history(self.world.market, history,
-                             self.assembler.sequence_length)
-        seq_numeric = self._seq_scaler.transform(seq.numeric) * seq.mask[:, None]
-        n = len(coins)
+        return self.rank_many(
+            [RankRequest(channel_id, exchange_id, pump_time)]
+        )[0]
+
+    def rank_many(self, requests: Sequence[RankRequest], *,
+                  features_fn: FeaturesFn | None = None,
+                  history_fn: HistoryFn | None = None) -> list[Ranking]:
+        """Score several announcements in one model forward pass.
+
+        All candidate rows are concatenated into a single :class:`Batch`, so
+        N concurrent announcements cost one pass instead of N.  The model is
+        row-independent (no batch-coupled layers), hence per-row scores match
+        :meth:`rank` on each request individually.
+
+        ``features_fn`` / ``history_fn`` override the default raw-feature and
+        pump-history lookups (see :data:`FeaturesFn`, :data:`HistoryFn`) —
+        the hooks a serving cache plugs into.
+        """
+        if not requests:
+            return []
+        seq_len = self.assembler.sequence_length
+        per_request_coins: list[np.ndarray] = []
+        numeric_blocks: list[np.ndarray] = []
+        channel_rows: list[np.ndarray] = []
+        seq_ids_rows: list[np.ndarray] = []
+        seq_numeric_rows: list[np.ndarray] = []
+        seq_mask_rows: list[np.ndarray] = []
+        for request in requests:
+            if request.channel_id not in self._channel_index:
+                raise KeyError(
+                    f"channel {request.channel_id} unseen during training"
+                )
+            coins = request.candidates
+            if coins is None:
+                coins = self.candidates(request.exchange_id, request.pump_time)
+            if len(coins) == 0:
+                raise ValueError("no eligible coins listed at this time")
+            if features_fn is not None:
+                block = features_fn(request.exchange_id, coins,
+                                    request.pump_time)
+            else:
+                block = self.coin_market_block(request.exchange_id, coins,
+                                                request.pump_time)
+            numeric_blocks.append(self._numeric_scaler.transform(
+                self._raw_numeric(request.channel_id, coins,
+                                  request.pump_time, block)
+            ))
+            if history_fn is not None:
+                history = history_fn(request.channel_id, request.pump_time)
+            else:
+                history = self.dataset.history_before(
+                    request.channel_id, request.pump_time, seq_len
+                )
+            seq = encode_history(self.world.market, history, seq_len)
+            seq_numeric = (
+                self._seq_scaler.transform(seq.numeric) * seq.mask[:, None]
+            )
+            n = len(coins)
+            per_request_coins.append(coins)
+            channel_rows.append(
+                np.full(n, self._channel_index[request.channel_id])
+            )
+            seq_ids_rows.append(np.tile(seq.coin_ids, (n, 1)))
+            seq_numeric_rows.append(np.tile(seq_numeric, (n, 1, 1)))
+            seq_mask_rows.append(np.tile(seq.mask, (n, 1)))
+        total = sum(len(c) for c in per_request_coins)
         batch = Batch(
-            channel_idx=np.full(n, self._channel_index[channel_id]),
-            coin_idx=coins,
-            numeric=numeric,
-            seq_coin_idx=np.tile(seq.coin_ids, (n, 1)),
-            seq_numeric=np.tile(seq_numeric, (n, 1, 1)),
-            seq_mask=np.tile(seq.mask, (n, 1)),
-            label=np.zeros(n),
+            channel_idx=np.concatenate(channel_rows),
+            coin_idx=np.concatenate(per_request_coins),
+            numeric=np.vstack(numeric_blocks),
+            seq_coin_idx=np.vstack(seq_ids_rows),
+            seq_numeric=np.concatenate(seq_numeric_rows, axis=0),
+            seq_mask=np.vstack(seq_mask_rows),
+            label=np.zeros(total),
         )
         self.model.eval()
         with no_grad():
             logits = self.model(batch).numpy()
         probs = 1.0 / (1.0 + np.exp(-logits))
-        order = np.argsort(-probs)
-        scores = [
-            CoinScore(int(coins[i]), self.world.coins.symbols[int(coins[i])],
-                      float(probs[i]))
-            for i in order
-        ]
-        return Ranking(channel_id=channel_id, exchange_id=exchange_id,
-                       pump_time=pump_time, scores=scores)
+        rankings: list[Ranking] = []
+        offset = 0
+        for request, coins in zip(requests, per_request_coins):
+            slice_probs = probs[offset:offset + len(coins)]
+            offset += len(coins)
+            order = np.argsort(-slice_probs)
+            scores = [
+                CoinScore(int(coins[i]),
+                          self.world.coins.symbols[int(coins[i])],
+                          float(slice_probs[i]))
+                for i in order
+            ]
+            rankings.append(Ranking(
+                channel_id=request.channel_id,
+                exchange_id=request.exchange_id,
+                pump_time=request.pump_time,
+                scores=scores,
+            ))
+        return rankings

@@ -18,6 +18,8 @@ from repro.data.sessions import (
     dataset_statistics,
     extract_sample,
     extract_samples,
+    parse_exchange_id,
+    parse_pair,
     parse_release_symbol,
     sessionize,
 )
@@ -49,6 +51,8 @@ __all__ = [
     "PnDSample",
     "extract_sample",
     "extract_samples",
+    "parse_exchange_id",
+    "parse_pair",
     "parse_release_symbol",
     "dataset_statistics",
     "TargetCoinDataset",

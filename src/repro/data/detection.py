@@ -7,7 +7,7 @@ maximize recall (Table 1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -34,6 +34,10 @@ class DetectionOutcome:
     n_filtered: int                    # messages surviving the keyword filter
     n_total: int
     n_labelled: int
+    # Fitted artefacts, retained so a serving layer can classify new
+    # messages without re-running the pipeline.
+    detectors: dict[str, PumpMessageDetector] = field(default_factory=dict)
+    keyword_filter: "KeywordFilter | None" = None
 
 
 class PumpMessageDetector:
@@ -116,4 +120,6 @@ def run_detection_pipeline(messages: Sequence[Message], coin_symbols: Sequence[s
         n_filtered=len(filtered),
         n_total=len(messages),
         n_labelled=n_label,
+        detectors=detectors,
+        keyword_filter=keyword_filter,
     )

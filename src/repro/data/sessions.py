@@ -99,6 +99,22 @@ def parse_release_symbol(text: str, known_symbols: Mapping[str, int]) -> int | N
     return known_symbols.get(match.group(1))
 
 
+def parse_exchange_id(text: str, exchange_ids: Mapping[str, int]) -> int | None:
+    """Exchange id announced in a message, or None if unparseable."""
+    match = _EXCHANGE_RE.search(text)
+    if not match:
+        return None
+    return exchange_ids.get(match.group(1))
+
+
+def parse_pair(text: str) -> str | None:
+    """Pairing-coin symbol announced in a message, or None if unparseable."""
+    match = _PAIR_RE.search(text)
+    if not match:
+        return None
+    return match.group(1)
+
+
 def extract_sample(session: Session, known_symbols: Mapping[str, int],
                    exchange_ids: Mapping[str, int]) -> PnDSample | None:
     """Resolve one session into a P&D sample, if possible.
@@ -120,12 +136,12 @@ def extract_sample(session: Session, known_symbols: Mapping[str, int],
     exchange_id = 0
     pair = "BTC"
     for message in session.messages:
-        ex_match = _EXCHANGE_RE.search(message.text)
-        if ex_match:
-            exchange_id = exchange_ids.get(ex_match.group(1), exchange_id)
-        pair_match = _PAIR_RE.search(message.text)
-        if pair_match:
-            pair = pair_match.group(1)
+        parsed_exchange = parse_exchange_id(message.text, exchange_ids)
+        if parsed_exchange is not None:
+            exchange_id = parsed_exchange
+        parsed_pair = parse_pair(message.text)
+        if parsed_pair is not None:
+            pair = parsed_pair
     return PnDSample(
         channel_id=session.channel_id,
         coin_id=int(coin_id),

@@ -1,0 +1,168 @@
+"""The prediction service: cached, micro-batched target-coin ranking.
+
+Wraps a :class:`TargetCoinPredictor` for streaming use:
+
+* **per-channel history cache** — the channel pump histories that feed the
+  sequence features are kept in memory and extended as announcements flow
+  in, instead of re-queried from the offline dataset;
+* **feature cache** — the coin/market feature matrix is memoized per
+  (exchange, time-bucket) via :class:`FeatureCache`;
+* **micro-batching** — ``rank_batch`` concatenates N concurrent
+  announcements into one model forward pass via
+  :meth:`TargetCoinPredictor.rank_many`.
+
+Scores are identical with caching on or off (quantization, when enabled,
+applies in both paths), and with ``bucket_hours=0`` identical to the
+offline :meth:`TargetCoinPredictor.rank` path.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.predictor import RankRequest, Ranking, TargetCoinPredictor
+from repro.data.sessions import PnDSample
+from repro.serving.cache import FeatureCache
+from repro.serving.online import Announcement
+from repro.serving.stats import ServiceStats
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One ranked alert: the announcement plus the model's candidate list."""
+
+    announcement: Announcement
+    ranking: Ranking
+    latency_ms: float      # this announcement's share of its micro-batch
+
+    @property
+    def announced_rank(self) -> int:
+        """1-based rank of the coin the channel eventually released."""
+        return self.ranking.rank_of(self.announcement.coin_id)
+
+    def top(self, k: int):
+        return self.ranking.top(k)
+
+
+class PredictionService:
+    """Serve ranked alerts for announcements with caching and batching.
+
+    Parameters
+    ----------
+    predictor:
+        The trained offline predictor being served.
+    history_cutoff:
+        Seed the per-channel history cache with dataset samples strictly
+        before this time (defaults to the validation/test boundary, i.e.
+        everything the model legitimately saw).  Streamed announcements
+        observed later extend the cache.
+    bucket_hours:
+        Feature-time quantization (see :mod:`repro.serving.cache`).
+    cache_entries:
+        Feature-cache LRU capacity; ``0`` disables memoization.
+    """
+
+    def __init__(self, predictor: TargetCoinPredictor, *,
+                 history_cutoff: float | None = None,
+                 bucket_hours: float = 1.0, cache_entries: int = 512,
+                 stats: ServiceStats | None = None):
+        self.predictor = predictor
+        self.stats = stats or ServiceStats()
+        self.bucket_hours = bucket_hours
+        self._cache = FeatureCache(
+            predictor.coin_market_block, bucket_hours=bucket_hours,
+            max_entries=cache_entries, stats=self.stats,
+        )
+        if history_cutoff is None:
+            history_cutoff = predictor.dataset.split_hours[1]
+        self.history_cutoff = history_cutoff
+        # Candidate sets resolved by the has_candidates() gate, kept until
+        # rank_batch() consumes them so the lookup runs once per alert.
+        self._candidates_memo: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._history: dict[int, list[PnDSample]] = {}
+        for channel_id, samples in predictor.dataset.history.items():
+            seeded = [s for s in samples if s.time < history_cutoff - 1e-9]
+            if seeded:
+                self._history[channel_id] = seeded
+
+    # -- state ---------------------------------------------------------------
+
+    def knows_channel(self, channel_id: int) -> bool:
+        return self.predictor.knows_channel(channel_id)
+
+    def has_candidates(self, announcement: Announcement) -> bool:
+        """True when any eligible coin is listed for this announcement."""
+        return len(self._candidates(announcement)) > 0
+
+    def _candidates(self, announcement: Announcement) -> np.ndarray:
+        """Eligible coins for an announcement, resolved at most once."""
+        key = (announcement.exchange_id, announcement.time)
+        coins = self._candidates_memo.get(key)
+        if coins is None:
+            coins = self.predictor.candidates(*key)
+            self._candidates_memo[key] = coins
+            while len(self._candidates_memo) > 64:
+                self._candidates_memo.popitem(last=False)
+        return coins
+
+    def history(self, channel_id: int) -> list[PnDSample]:
+        """The channel's cached pump history (chronological)."""
+        return list(self._history.get(channel_id, ()))
+
+    def observe(self, announcement: Announcement) -> None:
+        """Fold a served announcement into the channel's history cache."""
+        self._history.setdefault(announcement.channel_id, []).append(
+            announcement.sample()
+        )
+
+    def _history_before(self, channel_id: int, time: float) -> list[PnDSample]:
+        length = self.predictor.assembler.sequence_length
+        past = [
+            s for s in self._history.get(channel_id, ())
+            if s.time < time - 1e-9
+        ]
+        return past[-length:]
+
+    # -- scoring -------------------------------------------------------------
+
+    def rank_one(self, announcement: Announcement) -> Alert:
+        return self.rank_batch([announcement])[0]
+
+    def rank_batch(self, announcements: list[Announcement]) -> list[Alert]:
+        """Score a micro-batch of announcements in one forward pass.
+
+        Announcements are folded into the history cache only *after* the
+        whole batch is scored, so no announcement sees itself (or a
+        same-instant peer) in its own sequence features — matching the
+        offline dataset's strict ``history_before`` semantics.
+        """
+        if not announcements:
+            return []
+        started = _time.perf_counter()
+        requests = [
+            RankRequest(a.channel_id, a.exchange_id, a.time,
+                        candidates=self._candidates(a))
+            for a in announcements
+        ]
+        rankings = self.predictor.rank_many(
+            requests,
+            features_fn=self._cache.features,
+            history_fn=self._history_before,
+        )
+        elapsed_ms = (_time.perf_counter() - started) * 1000.0
+        per_announcement = elapsed_ms / len(announcements)
+        self.stats.forward_passes += 1
+        alerts = []
+        for announcement, ranking in zip(announcements, rankings):
+            self.stats.scored_rows += len(ranking.scores)
+            self.stats.alerts += 1
+            self.stats.record_latency(per_announcement)
+            alerts.append(Alert(announcement=announcement, ranking=ranking,
+                                latency_ms=per_announcement))
+        for announcement in announcements:
+            self.observe(announcement)
+        return alerts

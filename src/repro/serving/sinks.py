@@ -1,0 +1,105 @@
+"""Alert sinks — where ranked alerts go once the service emits them.
+
+The engine fans every alert out to a list of :class:`AlertSink`s:
+:class:`ConsoleAlertSink` prints human-readable lines (the
+``examples/live_monitoring.py`` view), :class:`JsonLinesAlertSink` appends
+machine-readable records (the downstream-consumer view), and
+:class:`CollectingSink` keeps alerts in memory (tests and notebooks).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import IO
+
+from repro.serving.service import Alert
+from repro.utils.timeutil import to_timestamp
+
+
+class AlertSink:
+    """Interface: receive alerts one at a time; ``close()`` when done."""
+
+    def emit(self, alert: Alert) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "AlertSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class CollectingSink(AlertSink):
+    """Keep every alert in memory (tests, notebooks, post-run analysis)."""
+
+    def __init__(self) -> None:
+        self.alerts: list[Alert] = []
+
+    def emit(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+
+
+class ConsoleAlertSink(AlertSink):
+    """Human-readable one-line-per-alert output."""
+
+    def __init__(self, top_k: int = 3, file: IO[str] | None = None):
+        self.top_k = top_k
+        self.file = file or sys.stdout
+
+    def emit(self, alert: Alert) -> None:
+        announcement = alert.announcement
+        top = ", ".join(
+            f"{s.symbol}({s.probability:.2f})" for s in alert.top(self.top_k)
+        )
+        rank = alert.announced_rank
+        marker = "  << HIT" if 0 < rank <= self.top_k else ""
+        print(
+            f"{to_timestamp(int(announcement.time))}  "
+            f"channel={announcement.channel_id}  "
+            f"exchange={announcement.exchange_id}/{announcement.pair}  "
+            f"top-{self.top_k}: {top}  | released coin ranked "
+            f"#{rank}{marker}",
+            file=self.file,
+        )
+
+
+class JsonLinesAlertSink(AlertSink):
+    """Append one JSON record per alert to a file (or open handle)."""
+
+    def __init__(self, target: str | Path | IO[str], top_k: int = 10):
+        self.top_k = top_k
+        if isinstance(target, (str, Path)):
+            self._file: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+
+    def emit(self, alert: Alert) -> None:
+        announcement = alert.announcement
+        record = {
+            "time": announcement.time,
+            "timestamp": to_timestamp(int(announcement.time)),
+            "channel_id": announcement.channel_id,
+            "exchange_id": announcement.exchange_id,
+            "pair": announcement.pair,
+            "announced_coin_id": announcement.coin_id,
+            "announced_rank": alert.announced_rank,
+            "latency_ms": round(alert.latency_ms, 3),
+            "top": [
+                {"coin_id": s.coin_id, "symbol": s.symbol,
+                 "probability": round(s.probability, 6)}
+                for s in alert.top(self.top_k)
+            ],
+        }
+        self._file.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()

@@ -1,0 +1,106 @@
+"""Service metrics for the streaming engine.
+
+One :class:`ServiceStats` instance is threaded through the stream engine,
+the online detector/sessionizer, the feature cache and the prediction
+service, accumulating counters, cache hits and per-announcement scoring
+latencies.  ``summary()`` renders everything a deployment dashboard would
+plot: throughput, p50/p99 latency and cache hit-rate.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+
+import numpy as np
+
+
+class ServiceStats:
+    """Mutable accumulator of one serving run's operational metrics."""
+
+    def __init__(self) -> None:
+        self.messages = 0            # messages consumed from the stream
+        self.pump_messages = 0       # messages the online detector flagged
+        self.sessions_closed = 0     # 24h-gap sessions completed
+        self.announcements = 0       # resolvable coin releases seen
+        self.duplicate_releases = 0  # repeat releases within one session
+        self.alerts = 0              # ranked alerts emitted
+        self.unknown_channels = 0    # announcements from untrained channels
+        self.no_candidates = 0       # announcements with no listed coins
+        self.forward_passes = 0      # model invocations (micro-batches)
+        self.scored_rows = 0         # candidate rows pushed through the model
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._latencies_ms: list[float] = []
+        self._wall_seconds = 0.0
+
+    # -- recording -----------------------------------------------------------
+
+    def cache_hit(self) -> None:
+        self.cache_hits += 1
+
+    def cache_miss(self) -> None:
+        self.cache_misses += 1
+
+    def record_latency(self, milliseconds: float) -> None:
+        """One announcement's scoring latency (share of its micro-batch)."""
+        self._latencies_ms.append(float(milliseconds))
+
+    @contextmanager
+    def timed_run(self):
+        """Accumulate wall-clock time of the replay loop (for throughput)."""
+        start = _time.perf_counter()
+        try:
+            yield self
+        finally:
+            self._wall_seconds += _time.perf_counter() - start
+
+    # -- derived metrics -----------------------------------------------------
+
+    @property
+    def wall_seconds(self) -> float:
+        return self._wall_seconds
+
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def latency_ms(self, percentile: float) -> float:
+        """Scoring-latency percentile in milliseconds (0 when no alerts)."""
+        if not self._latencies_ms:
+            return 0.0
+        return float(np.percentile(self._latencies_ms, percentile))
+
+    def throughput(self) -> float:
+        """Messages consumed per wall-clock second of replay."""
+        if self._wall_seconds <= 0:
+            return 0.0
+        return self.messages / self._wall_seconds
+
+    def mean_batch_size(self) -> float:
+        if not self.forward_passes:
+            return 0.0
+        return self.alerts / self.forward_passes
+
+    def summary(self) -> dict[str, float]:
+        """All derived metrics in one flat dict (CLI/dashboard payload)."""
+        return {
+            "messages": self.messages,
+            "pump_messages": self.pump_messages,
+            "sessions_closed": self.sessions_closed,
+            "announcements": self.announcements,
+            "duplicate_releases": self.duplicate_releases,
+            "alerts": self.alerts,
+            "unknown_channels": self.unknown_channels,
+            "no_candidates": self.no_candidates,
+            "forward_passes": self.forward_passes,
+            "scored_rows": self.scored_rows,
+            "mean_batch_size": round(self.mean_batch_size(), 2),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate(), 3),
+            "latency_p50_ms": round(self.latency_ms(50), 3),
+            "latency_p99_ms": round(self.latency_ms(99), 3),
+            "throughput_msg_per_s": round(self.throughput(), 1),
+            "wall_seconds": round(self._wall_seconds, 3),
+        }

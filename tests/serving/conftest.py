@@ -1,0 +1,29 @@
+"""Shared fixtures for the serving tests.
+
+One tiny world, its collection and a briefly trained model are built once
+per session; every serving test reuses them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import train_predictor
+from repro.data import collect
+from repro.simulation import SyntheticWorld
+from repro.utils import ReproConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    return SyntheticWorld.generate(ReproConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def tiny_collection(tiny_world):
+    return collect(tiny_world)
+
+
+@pytest.fixture(scope="session")
+def tiny_predictor(tiny_world, tiny_collection):
+    return train_predictor(tiny_world, tiny_collection, epochs=2, seed=0)

@@ -1,0 +1,87 @@
+"""Feature-cache keying, hit accounting and LRU behavior."""
+
+import numpy as np
+import pytest
+
+from repro.serving import FeatureCache, ServiceStats, bucket_time
+
+
+def _compute_spy():
+    calls = []
+
+    def compute(exchange_id, coins, time):
+        calls.append((exchange_id, tuple(coins), time))
+        return np.outer(coins, [time + 1.0, 2.0])
+
+    return compute, calls
+
+
+class TestBucketTime:
+    def test_quantizes_down(self):
+        assert bucket_time(17.9, 1.0) == 17.0
+        assert bucket_time(17.9, 6.0) == 12.0
+
+    def test_zero_is_identity(self):
+        assert bucket_time(17.9, 0.0) == 17.9
+
+
+class TestFeatureCache:
+    def test_same_bucket_hits(self):
+        compute, calls = _compute_spy()
+        stats = ServiceStats()
+        cache = FeatureCache(compute, bucket_hours=1.0, stats=stats)
+        coins = np.array([5, 6, 7])
+        first = cache.features(0, coins, 10.2)
+        second = cache.features(0, coins, 10.9)
+        np.testing.assert_array_equal(first, second)
+        assert len(calls) == 1
+        assert calls[0][2] == 10.0  # evaluated at the bucket start
+        assert (stats.cache_hits, stats.cache_misses) == (1, 1)
+
+    def test_exchange_and_coin_set_partition_the_key(self):
+        compute, calls = _compute_spy()
+        cache = FeatureCache(compute, bucket_hours=1.0)
+        coins = np.array([5, 6])
+        cache.features(0, coins, 10.0)
+        cache.features(1, coins, 10.0)            # other exchange: miss
+        cache.features(0, np.array([5, 8]), 10.0)  # other candidates: miss
+        assert len(calls) == 3
+
+    def test_exact_time_mode_hits_on_identical_timestamps(self):
+        compute, calls = _compute_spy()
+        cache = FeatureCache(compute, bucket_hours=0.0)
+        coins = np.array([5])
+        cache.features(0, coins, 10.25)
+        cache.features(0, coins, 10.25)
+        cache.features(0, coins, 10.26)
+        assert len(calls) == 2
+
+    def test_lru_evicts_oldest(self):
+        compute, calls = _compute_spy()
+        cache = FeatureCache(compute, bucket_hours=1.0, max_entries=2)
+        coins = np.array([1])
+        cache.features(0, coins, 0.0)
+        cache.features(0, coins, 1.0)
+        cache.features(0, coins, 0.0)   # refresh bucket 0
+        cache.features(0, coins, 2.0)   # evicts bucket 1
+        cache.features(0, coins, 0.0)   # still cached
+        cache.features(0, coins, 1.0)   # recompute
+        assert len(calls) == 4
+        assert len(cache) == 2
+
+    def test_disabled_cache_still_quantizes_and_counts(self):
+        compute, calls = _compute_spy()
+        stats = ServiceStats()
+        cache = FeatureCache(compute, bucket_hours=1.0, max_entries=0,
+                             stats=stats)
+        coins = np.array([1])
+        cache.features(0, coins, 10.2)
+        cache.features(0, coins, 10.9)
+        assert len(calls) == 2
+        assert all(call[2] == 10.0 for call in calls)
+        assert (stats.cache_hits, stats.cache_misses) == (0, 2)
+        assert len(cache) == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            FeatureCache(lambda *a: None, max_entries=-1)

@@ -1,0 +1,101 @@
+"""End-to-end stream replay on a tiny world (the acceptance scenario)."""
+
+import numpy as np
+import pytest
+
+from repro.serving import CollectingSink, ServiceStats, replay_test_period
+
+
+@pytest.fixture(scope="module")
+def replay(tiny_world, tiny_collection, tiny_predictor):
+    sink = CollectingSink()
+    result = replay_test_period(
+        tiny_world, tiny_collection, tiny_predictor, sinks=(sink,),
+        bucket_hours=0.0,  # exact feature times: directly comparable reruns
+    )
+    return result, sink
+
+
+class TestReplayTestPeriod:
+    def test_emits_one_alert_per_known_announcement(self, replay):
+        result, sink = replay
+        stats = result.stats
+        assert stats.announcements > 0
+        assert len(result.alerts) == \
+            stats.announcements - stats.unknown_channels
+        assert stats.alerts == len(result.alerts)
+        assert sink.alerts == result.alerts
+
+    def test_alerts_cover_dataset_test_positives(self, replay,
+                                                 tiny_collection):
+        result, _ = replay
+        served = {(a.announcement.channel_id, round(a.announcement.time, 6))
+                  for a in result.alerts}
+        positives = [
+            e for e in tiny_collection.dataset.examples
+            if e.label == 1 and e.split == "test"
+        ]
+        covered = [
+            e for e in positives
+            if (e.channel_id, round(e.time, 6)) in served
+        ]
+        assert len(covered) >= len(positives) // 2
+
+    def test_feature_cache_hit_rate_nonzero(self, replay):
+        result, _ = replay
+        assert result.stats.cache_hit_rate() > 0.0
+
+    def test_rankings_are_sorted_and_complete(self, replay, tiny_predictor):
+        result, _ = replay
+        for alert in result.alerts:
+            probs = [s.probability for s in alert.ranking.scores]
+            assert probs == sorted(probs, reverse=True)
+            expected = tiny_predictor.candidates(
+                alert.announcement.exchange_id, alert.announcement.time
+            )
+            assert len(probs) == len(expected)
+
+    def test_replay_is_deterministic_with_or_without_cache(
+            self, tiny_world, tiny_collection, tiny_predictor, replay):
+        """Caching must not change a single emitted probability."""
+        baseline, _ = replay
+        rerun = replay_test_period(
+            tiny_world, tiny_collection, tiny_predictor,
+            bucket_hours=0.0, cache_entries=0,
+        )
+        assert rerun.stats.cache_hits == 0
+        assert len(rerun.alerts) == len(baseline.alerts)
+        for ours, theirs in zip(rerun.alerts, baseline.alerts):
+            assert ours.announcement == theirs.announcement
+            np.testing.assert_allclose(
+                [s.probability for s in ours.ranking.scores],
+                [s.probability for s in theirs.ranking.scores],
+                atol=1e-8,
+            )
+
+    def test_stats_summary_shape(self, replay):
+        result, _ = replay
+        summary = result.stats.summary()
+        assert summary["messages"] > 0
+        assert summary["throughput_msg_per_s"] > 0
+        assert summary["latency_p99_ms"] >= summary["latency_p50_ms"] > 0
+        assert 0.0 < summary["cache_hit_rate"] <= 1.0
+
+    def test_micro_batching_happened(self, replay):
+        """Coordinated same-instant releases must share forward passes."""
+        result, _ = replay
+        assert result.stats.forward_passes < result.stats.alerts
+
+
+class TestServiceStatsUnit:
+    def test_percentiles_empty(self):
+        stats = ServiceStats()
+        assert stats.latency_ms(99) == 0.0
+        assert stats.throughput() == 0.0
+        assert stats.cache_hit_rate() == 0.0
+
+    def test_mean_batch_size(self):
+        stats = ServiceStats()
+        stats.forward_passes = 2
+        stats.alerts = 5
+        assert stats.mean_batch_size() == 2.5

@@ -1,0 +1,137 @@
+"""Batched ranking and the prediction service's caches."""
+
+import numpy as np
+import pytest
+
+from repro.core import RankRequest
+from repro.serving import Announcement, PredictionService, ServiceStats
+
+
+@pytest.fixture(scope="module")
+def test_positives(tiny_collection):
+    positives = [
+        e for e in tiny_collection.dataset.examples
+        if e.label == 1 and e.split == "test"
+    ]
+    assert len(positives) >= 3
+    return positives
+
+
+def _announcements(positives, n):
+    return [
+        Announcement(channel_id=e.channel_id, coin_id=e.coin_id,
+                     exchange_id=0, pair="BTC", time=e.time)
+        for e in positives[:n]
+    ]
+
+
+def _probabilities(ranking):
+    ordered = sorted(ranking.scores, key=lambda s: s.coin_id)
+    return np.array([s.probability for s in ordered])
+
+
+class TestRankMany:
+    def test_batched_scores_match_unbatched_rank(self, tiny_predictor,
+                                                 test_positives):
+        requests = [
+            RankRequest(e.channel_id, 0, e.time) for e in test_positives[:3]
+        ]
+        batched = tiny_predictor.rank_many(requests)
+        for request, ranking in zip(requests, batched):
+            single = tiny_predictor.rank(
+                request.channel_id, request.exchange_id, request.pump_time
+            )
+            np.testing.assert_allclose(
+                _probabilities(ranking), _probabilities(single), atol=1e-8
+            )
+            assert [s.coin_id for s in ranking.scores] == \
+                [s.coin_id for s in single.scores]
+
+    def test_empty_request_list(self, tiny_predictor):
+        assert tiny_predictor.rank_many([]) == []
+
+    def test_unknown_channel_raises(self, tiny_predictor, test_positives):
+        with pytest.raises(KeyError, match="unseen"):
+            tiny_predictor.rank_many(
+                [RankRequest(-12345, 0, test_positives[0].time)]
+            )
+
+
+class TestPredictionService:
+    def test_identical_scores_with_and_without_cache(self, tiny_predictor,
+                                                     test_positives):
+        announcements = _announcements(test_positives, 3)
+        cached = PredictionService(tiny_predictor, bucket_hours=1.0,
+                                   cache_entries=512)
+        uncached = PredictionService(tiny_predictor, bucket_hours=1.0,
+                                     cache_entries=0)
+        # Serve each announcement twice so the cached service actually hits.
+        for service in (cached, uncached):
+            service.rank_batch(announcements)
+        alerts_cached = cached.rank_batch(announcements)
+        alerts_uncached = uncached.rank_batch(announcements)
+        for ours, theirs in zip(alerts_cached, alerts_uncached):
+            np.testing.assert_allclose(
+                _probabilities(ours.ranking), _probabilities(theirs.ranking),
+                atol=1e-8,
+            )
+        assert cached.stats.cache_hits > 0
+        assert uncached.stats.cache_hits == 0
+        assert uncached.stats.cache_misses > 0
+
+    def test_hit_and_miss_counts(self, tiny_predictor, test_positives):
+        stats = ServiceStats()
+        service = PredictionService(tiny_predictor, bucket_hours=1.0,
+                                    stats=stats)
+        announcement = _announcements(test_positives, 1)[0]
+        service.rank_one(announcement)
+        assert (stats.cache_hits, stats.cache_misses) == (0, 1)
+        service.rank_one(announcement)
+        assert (stats.cache_hits, stats.cache_misses) == (1, 1)
+
+    def test_observe_extends_history_strictly_before(self, tiny_predictor,
+                                                     test_positives):
+        service = PredictionService(tiny_predictor)
+        announcement = _announcements(test_positives, 1)[0]
+        before = len(service.history(announcement.channel_id))
+        service.rank_one(announcement)
+        history = service.history(announcement.channel_id)
+        assert len(history) == before + 1
+        assert history[-1].time == announcement.time
+        # The announcement never sees itself in its own sequence features.
+        past = service._history_before(
+            announcement.channel_id, announcement.time
+        )
+        assert all(s.time < announcement.time for s in past)
+
+    def test_history_seeded_up_to_cutoff_only(self, tiny_predictor):
+        cutoff = tiny_predictor.dataset.split_hours[1]
+        service = PredictionService(tiny_predictor)
+        assert service.history_cutoff == cutoff
+        for channel_id in list(tiny_predictor.dataset.history)[:5]:
+            assert all(s.time < cutoff for s in service.history(channel_id))
+
+    def test_has_candidates_guard(self, tiny_predictor, test_positives,
+                                  monkeypatch):
+        announcement = _announcements(test_positives, 1)[0]
+        service = PredictionService(tiny_predictor)
+        assert service.has_candidates(announcement)
+        fresh = PredictionService(tiny_predictor)
+        monkeypatch.setattr(
+            tiny_predictor, "candidates",
+            lambda exchange_id, pump_time: np.array([], dtype=np.int64),
+        )
+        assert not fresh.has_candidates(announcement)
+        # The earlier lookup is memoized: one resolution per announcement.
+        assert service.has_candidates(announcement)
+
+    def test_micro_batch_is_one_forward_pass(self, tiny_predictor,
+                                             test_positives):
+        stats = ServiceStats()
+        service = PredictionService(tiny_predictor, stats=stats)
+        alerts = service.rank_batch(_announcements(test_positives, 3))
+        assert len(alerts) == 3
+        assert stats.forward_passes == 1
+        assert stats.alerts == 3
+        assert stats.scored_rows == sum(len(a.ranking.scores) for a in alerts)
+        assert all(a.latency_ms > 0 for a in alerts)

@@ -23,6 +23,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["forecast", "--span", "7"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.bucket_hours == 1.0
+        assert args.no_cache is False
+        assert args.max_batch == 64
+
 
 class TestCommands:
     def test_world_command(self, capsys):
@@ -41,3 +47,16 @@ class TestCommands:
         assert path.exists()
         out = capsys.readouterr().out
         assert "HR@10" in out
+
+    def test_serve_command_streams_alerts(self, tmp_path, capsys):
+        path = tmp_path / "alerts.jsonl"
+        code = main([
+            "serve", "--scale", "tiny", "--model", "dnn", "--epochs", "1",
+            "--jsonl", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving metrics" in out
+        assert "cache_hit_rate" in out
+        assert path.exists()
+        assert path.read_text().count("\n") >= 1
