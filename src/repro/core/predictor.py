@@ -26,7 +26,7 @@ from repro.features.coin import coin_feature_matrix
 from repro.features.market_windows import market_feature_matrix
 from repro.features.sequence import encode_history
 from repro.ml.scaling import StandardScaler
-from repro.nn import Module, no_grad
+from repro.nn import Module, no_grad, run_compiled, stable_sigmoid
 from repro.simulation.coins import PAIR_SYMBOLS
 from repro.simulation.world import SyntheticWorld
 
@@ -108,6 +108,9 @@ class TargetCoinPredictor:
         self.assembler = assembler or FeatureAssembler(world, dataset)
         self._channel_index = self.assembler.channel_index
         self._subscribers = self.assembler.subscribers
+        # Shared with the assembler: encodings computed during assembly are
+        # reused by scaler fitting and offline ranking (and vice versa).
+        self._sequence_cache = self.assembler.sequence_cache
         self._numeric_scaler = StandardScaler()
         self._seq_scaler = StandardScaler()
         self._fit_scalers()
@@ -130,12 +133,7 @@ class TargetCoinPredictor:
             numeric_blocks.append(block)
             if example.list_id not in seen_lists:
                 seen_lists.add(example.list_id)
-                history = self.dataset.history_before(
-                    example.channel_id, example.time,
-                    self.assembler.sequence_length,
-                )
-                seq = encode_history(self.world.market, history,
-                                     self.assembler.sequence_length)
+                seq = self._sequence_cache.get(example.channel_id, example.time)
                 if seq.mask.sum():
                     seq_blocks.append(seq.numeric[seq.mask > 0])
         self._numeric_scaler.fit(np.vstack(numeric_blocks))
@@ -228,12 +226,14 @@ class TargetCoinPredictor:
                                   request.pump_time, block)
             ))
             if history_fn is not None:
+                # Caller-provided histories (e.g. the serving layer's growing
+                # per-channel cache) are mutable, so bypass the LRU.
                 history = history_fn(request.channel_id, request.pump_time)
+                seq = encode_history(self.world.market, history, seq_len)
             else:
-                history = self.dataset.history_before(
-                    request.channel_id, request.pump_time, seq_len
+                seq = self._sequence_cache.get(
+                    request.channel_id, request.pump_time
                 )
-            seq = encode_history(self.world.market, history, seq_len)
             seq_numeric = (
                 self._seq_scaler.transform(seq.numeric) * seq.mask[:, None]
             )
@@ -256,9 +256,13 @@ class TargetCoinPredictor:
             label=np.zeros(total),
         )
         self.model.eval()
-        with no_grad():
-            logits = self.model(batch).numpy()
-        probs = 1.0 / (1.0 + np.exp(-logits))
+        # One traced plan (shared with batch evaluation and the streaming
+        # service) scores the whole micro-batch; eager is the fallback.
+        logits = run_compiled(self.model, batch)
+        if logits is None:
+            with no_grad():
+                logits = self.model(batch).numpy()
+        probs = stable_sigmoid(logits)
         rankings: list[Ranking] = []
         offset = 0
         for request, coins in zip(requests, per_request_coins):

@@ -13,11 +13,17 @@ import numpy as np
 
 from repro.core.snn import Batch
 from repro.features.assembler import AssembledSplit
-from repro.nn import Adam, Module, bce_with_logits, no_grad
+from repro.nn import Adam, Module, bce_with_logits, no_grad, stable_sigmoid
+from repro.nn.compile import run_compiled
+from repro.nn.optim import clip_grad_norm
 
 
-def make_batch(split: AssembledSplit, rows: np.ndarray) -> Batch:
-    """Slice an assembled split into a model batch."""
+def make_batch(split: AssembledSplit, rows) -> Batch:
+    """Slice an assembled split into a model batch.
+
+    ``rows`` may be an index array (shuffled training batches) or a plain
+    ``slice`` (sequential scoring, where views beat fancy-index copies).
+    """
     return Batch(
         channel_idx=split.channel_idx[rows],
         coin_idx=split.coin_idx[rows],
@@ -30,16 +36,25 @@ def make_batch(split: AssembledSplit, rows: np.ndarray) -> Batch:
 
 
 def predict_scores(model: Module, split: AssembledSplit,
-                   batch_size: int = 1024) -> np.ndarray:
-    """Pump probabilities for every row of a split (eval mode, no grad)."""
+                   batch_size: int = 1024,
+                   use_compiled: bool = True) -> np.ndarray:
+    """Pump probabilities for every row of a split (eval mode, no grad).
+
+    Scoring runs through the compiled no-grad plan
+    (:mod:`repro.nn.compile`) when the architecture supports it, falling
+    back to the eager forward otherwise; both paths produce identical
+    scores.
+    """
     model.eval()
     scores = np.empty(len(split))
-    with no_grad():
-        for start in range(0, len(split), batch_size):
-            rows = np.arange(start, min(start + batch_size, len(split)))
-            batch = make_batch(split, rows)
-            logits = model(batch).numpy()
-            scores[rows] = 1.0 / (1.0 + np.exp(-logits))
+    for start in range(0, len(split), batch_size):
+        rows = slice(start, min(start + batch_size, len(split)))
+        batch = make_batch(split, rows)
+        logits = run_compiled(model, batch) if use_compiled else None
+        if logits is None:
+            with no_grad():
+                logits = model(batch).numpy()
+        scores[rows] = stable_sigmoid(logits)
     return scores
 
 
@@ -77,17 +92,25 @@ class Trainer:
             validation: AssembledSplit | None = None) -> TrainResult:
         import time
 
-        from repro.core.evaluate import ranking_metric
+        # Imported here (not at module top) to break the train<->evaluate
+        # import cycle; hoisted out of the epoch/batch loops all the same.
+        from repro.core.evaluate import evaluate_model
 
         started = time.perf_counter()
         rng = np.random.default_rng(self.seed)
-        optimizer = Adam(model.parameters(), lr=self.lr)
+        params = model.parameters()
+        optimizer = Adam(params, lr=self.lr)
         result = TrainResult()
         best_state = None
         best_metric = -np.inf
+        # Reused index buffers: `order` is shuffled in place each epoch
+        # (identical draws to `rng.permutation`), batches slice views of it.
+        base = np.arange(len(train))
+        order = np.empty_like(base)
         for epoch in range(self.epochs):
             model.train()
-            order = rng.permutation(len(train))
+            order[:] = base
+            rng.shuffle(order)
             losses = []
             for start in range(0, len(order), self.batch_size):
                 rows = order[start: start + self.batch_size]
@@ -98,17 +121,13 @@ class Trainer:
                                        pos_weight=self.pos_weight)
                 loss.backward()
                 if self.grad_clip > 0:
-                    from repro.nn.optim import clip_grad_norm
-
-                    clip_grad_norm(model.parameters(), self.grad_clip)
+                    clip_grad_norm(params, self.grad_clip)
                 optimizer.step()
                 losses.append(loss.item())
             result.train_losses.append(float(np.mean(losses)))
             if validation is not None and len(validation):
                 # Average several HR@k depths: single-k selection on a small
                 # validation split is too noisy to pick a good epoch.
-                from repro.core.evaluate import evaluate_model
-
                 hr = evaluate_model(model, validation, ks=(3, 10, 30))
                 metric = float(np.mean(list(hr.values())))
             else:
@@ -116,7 +135,6 @@ class Trainer:
             result.val_metrics.append(float(metric))
             if metric > best_metric:
                 best_metric = metric
-                best_epoch = epoch
                 best_state = model.state_dict()
                 result.best_epoch = epoch
         if best_state is not None:

@@ -13,6 +13,7 @@ from repro.features.market_windows import (
 from repro.features.sequence import (
     N_SEQUENCE_FEATURES,
     SEQUENCE_NUMERIC_NAMES,
+    SequenceFeatureCache,
     SequenceFeatures,
     encode_history,
     pad_coin_id,
@@ -35,6 +36,7 @@ __all__ = [
     "SEQUENCE_NUMERIC_NAMES",
     "N_SEQUENCE_FEATURES",
     "SequenceFeatures",
+    "SequenceFeatureCache",
     "encode_history",
     "pad_coin_id",
     "FeatureAssembler",

@@ -22,9 +22,8 @@ from repro.data.dataset import TargetCoinDataset, TargetCoinExample
 from repro.features.coin import COIN_FEATURE_NAMES, coin_feature_matrix
 from repro.features.market_windows import MARKET_FEATURE_NAMES, market_feature_matrix
 from repro.features.sequence import (
-    N_SEQUENCE_FEATURES,
     SEQUENCE_NUMERIC_NAMES,
-    encode_history,
+    SequenceFeatureCache,
     pad_coin_id,
 )
 from repro.ml.scaling import StandardScaler
@@ -91,6 +90,11 @@ class FeatureAssembler:
         self.subscribers = {
             c.channel_id: c.subscribers for c in world.channels.pump_channels
         }
+        # Encoded pump histories, shared with the predictor built on top so
+        # scaler fitting and offline ranking reuse assembly-time encodings.
+        self.sequence_cache = SequenceFeatureCache(
+            world.market, dataset.history_before, self.sequence_length
+        )
 
     # -- assembly -------------------------------------------------------------
 
@@ -109,19 +113,21 @@ class FeatureAssembler:
         label = np.array([e.label for e in examples], dtype=np.float64)
         list_id = np.array([e.list_id for e in examples], dtype=np.int64)
         split_name = np.array([e.split for e in examples])
+        all_coins = np.fromiter(
+            (e.coin_id for e in examples), dtype=np.int64, count=n
+        )
 
-        # Group rows by ranking list: one market/sequence computation per list.
+        # Group rows by ranking list: one market/sequence computation and one
+        # set of batched array writes per list (no per-row Python iteration).
         order = np.argsort(list_id, kind="mergesort")
-        start = 0
-        while start < n:
-            stop = start
-            current = list_id[order[start]]
-            while stop < n and list_id[order[stop]] == current:
-                stop += 1
+        boundaries = np.flatnonzero(np.diff(list_id[order])) + 1
+        starts = np.concatenate(([0], boundaries)) if n else np.empty(0, np.int64)
+        stops = np.concatenate((boundaries, [n])) if n else np.empty(0, np.int64)
+        for start, stop in zip(starts, stops):
             rows = order[start:stop]
-            self._fill_list(rows, examples, market, channel_idx, coin_idx,
-                            numeric, seq_coin_idx, seq_numeric, seq_mask)
-            start = stop
+            self._fill_list(rows, examples, market, all_coins, channel_idx,
+                            coin_idx, numeric, seq_coin_idx, seq_numeric,
+                            seq_mask)
 
         # Standardize numerics (and sequence numerics) on train stats only.
         train_mask = split_name == "train"
@@ -157,13 +163,17 @@ class FeatureAssembler:
         )
 
     def _fill_list(self, rows: np.ndarray, examples: list[TargetCoinExample],
-                   market, channel_idx, coin_idx, numeric,
+                   market, all_coins, channel_idx, coin_idx, numeric,
                    seq_coin_idx, seq_numeric, seq_mask) -> None:
-        """Fill feature rows for one ranking list (shared channel + time)."""
+        """Fill feature rows for one ranking list (shared channel + time).
+
+        All writes are list-level batched assignments; the sequence encoding
+        (identical across the list's candidates) broadcasts over the rows.
+        """
         first = examples[rows[0]]
         time = first.time
         channel_id = first.channel_id
-        coins = np.array([examples[r].coin_id for r in rows], dtype=np.int64)
+        coins = all_coins[rows]
 
         channel_feature = np.log(self.subscribers.get(channel_id, 1000) + 1.0)
         coin_features = coin_feature_matrix(market, coins, time)
@@ -172,12 +182,10 @@ class FeatureAssembler:
             [np.full((len(rows), 1), channel_feature), coin_features, movement],
             axis=1,
         )
-        history = self.dataset.history_before(channel_id, time, self.sequence_length)
-        sequence = encode_history(market, history, self.sequence_length)
-        for i, r in enumerate(rows):
-            channel_idx[r] = self.channel_index[channel_id]
-            coin_idx[r] = coins[i]
-            numeric[r] = block[i]
-            seq_coin_idx[r] = sequence.coin_ids
-            seq_numeric[r] = sequence.numeric
-            seq_mask[r] = sequence.mask
+        sequence = self.sequence_cache.get(channel_id, time)
+        channel_idx[rows] = self.channel_index[channel_id]
+        coin_idx[rows] = coins
+        numeric[rows] = block
+        seq_coin_idx[rows] = sequence.coin_ids
+        seq_numeric[rows] = sequence.numeric
+        seq_mask[rows] = sequence.mask

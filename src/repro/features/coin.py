@@ -24,19 +24,22 @@ COIN_FEATURE_NAMES = (
 
 
 def coin_feature_matrix(market: MarketSimulator, coin_ids: np.ndarray,
-                        time: float) -> np.ndarray:
+                        time: float | np.ndarray) -> np.ndarray:
     """Stable statistics for candidate coins at a pump time.
 
     Returns ``(len(coin_ids), len(COIN_FEATURE_NAMES))``; price and volume
     are taken 72 hours before ``time`` so pre-pump movement cannot leak in.
+    ``time`` may be a scalar (one pump event) or an array aligned with
+    ``coin_ids`` (batched encoding of histories whose pumps happened at
+    different times).
     """
     coin_ids = np.asarray(coin_ids, dtype=np.int64)
     universe = market.universe
-    stable_hour = time - STABLE_LEAD_HOURS
-    log_price = market.log_close(coin_ids, np.full(len(coin_ids), stable_hour))
-    log_volume = np.log(
-        market.hourly_volume(coin_ids, np.full(len(coin_ids), stable_hour)) + 1e-12
+    stable_hour = np.broadcast_to(
+        np.asarray(time, dtype=np.float64) - STABLE_LEAD_HOURS, coin_ids.shape
     )
+    log_price = market.log_close(coin_ids, stable_hour)
+    log_volume = np.log(market.hourly_volume(coin_ids, stable_hour) + 1e-12)
     return np.stack(
         [
             np.log(universe.market_cap[coin_ids]),

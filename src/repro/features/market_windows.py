@@ -27,16 +27,27 @@ def market_feature_matrix(market: MarketSimulator, coin_ids: np.ndarray,
 
     Volume ratios compare each short window to the 72h window, capturing
     *abnormal* recent activity rather than absolute (cap-driven) levels.
+
+    All windows share two batched market queries: one log-price grid over
+    the window end/start hours and one 72-column hourly-volume grid whose
+    prefix means reproduce every ``window_volume`` span exactly — the same
+    numbers as per-window queries at a fraction of the cost.
     """
     coin_ids = np.asarray(coin_ids, dtype=np.int64)
+    # return = p(t-1) / p(t-x-1) - 1 for every window x, from one price grid.
+    hours = np.array([time - 1.0] + [time - x - 1.0 for x in WINDOW_HOURS])
+    logs = market.log_close(coin_ids[:, None], hours[None, :])
+    p_end = logs[:, 0]
     columns = [
-        market.window_return(coin_ids, time, x) for x in WINDOW_HOURS
+        np.exp(p_end - logs[:, 1 + i]) - 1.0 for i in range(len(WINDOW_HOURS))
     ]
-    base_volume = market.window_volume(coin_ids, time, 72)
+    volumes = market.window_volume_profile(coin_ids, time, 72)
+    base_volume = volumes.mean(axis=1)
     for x in (1, 3, 6, 12, 24):
-        ratio = market.window_volume(coin_ids, time, x) / np.maximum(
-            base_volume, 1e-12
-        )
+        ratio = volumes[:, :x].mean(axis=1) / np.maximum(base_volume, 1e-12)
         columns.append(np.log(ratio + 1e-9))
-    columns.append(np.log(market.window_trade_count(coin_ids, time, 24) + 1.0))
+    trade_count = market.trade_count_from_volume(
+        volumes[:, :24].mean(axis=1), coin_ids
+    )
+    columns.append(np.log(trade_count + 1.0))
     return np.stack(columns, axis=1)

@@ -9,8 +9,9 @@ zero numerics, with a mask distinguishing real positions.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -52,11 +53,58 @@ def encode_history(market: MarketSimulator, history: Sequence[PnDSample],
     recent = list(history)[-length:][::-1]  # newest first
     if recent:
         ids = np.array([s.coin_id for s in recent], dtype=np.int64)
+        times = np.array([s.time for s in recent], dtype=np.float64)
         coin_ids[: len(recent)] = ids
         mask[: len(recent)] = 1.0
-        # Stable stats are evaluated at each pump's own time.
-        for i, sample in enumerate(recent):
-            numeric[i] = coin_feature_matrix(
-                market, np.array([sample.coin_id]), sample.time
-            )[0]
+        # Stable stats are evaluated at each pump's own time; one batched
+        # query covers the whole history instead of one call per sample.
+        numeric[: len(recent)] = coin_feature_matrix(market, ids, times)
     return SequenceFeatures(coin_ids=coin_ids, numeric=numeric, mask=mask)
+
+
+# Signature of a pump-history lookup: (channel_id, time, length) -> samples
+# strictly before ``time``, chronological.  Matches
+# :meth:`repro.data.dataset.TargetCoinDataset.history_before`.
+HistoryLookup = Callable[[int, float, int], Sequence[PnDSample]]
+
+
+class SequenceFeatureCache:
+    """LRU of encoded channel pump histories keyed by ``(channel_id, time)``.
+
+    Feature assembly, scaler fitting and offline ranking all re-encode the
+    same channel history at the same announcement time; the encoding is a
+    market query per history sample, so memoizing it turns repeated lookups
+    into O(1).  Only valid over an *immutable* history source (the offline
+    dataset) — the serving layer, whose per-channel histories grow as
+    announcements stream in, bypasses the cache.
+    """
+
+    def __init__(self, market: MarketSimulator, history_fn: HistoryLookup,
+                 length: int, max_entries: int = 8192):
+        if length < 1:
+            raise ValueError("sequence length must be positive")
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.market = market
+        self.history_fn = history_fn
+        self.length = length
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._store: "OrderedDict[tuple[int, float], SequenceFeatures]" = OrderedDict()
+
+    def get(self, channel_id: int, time: float) -> SequenceFeatures:
+        """Encoded history of ``channel_id`` strictly before ``time``."""
+        key = (channel_id, time)
+        features = self._store.get(key)
+        if features is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return features
+        self.misses += 1
+        history = self.history_fn(channel_id, time, self.length)
+        features = encode_history(self.market, history, self.length)
+        self._store[key] = features
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        return features

@@ -27,6 +27,10 @@ from repro.ml.ranking import (
     ranking_report,
 )
 
+# Shared numerics: the overflow-safe sigmoid lives with the tensor math in
+# ``repro.nn`` and is re-exported here for classic-ML consumers.
+from repro.nn.tensor import stable_sigmoid
+
 __all__ = [
     "LogisticRegression",
     "DecisionTreeClassifier",
@@ -45,4 +49,5 @@ __all__ = [
     "mean_rank",
     "ndcg_at_k",
     "ranking_report",
+    "stable_sigmoid",
 ]

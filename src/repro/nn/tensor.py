@@ -38,6 +38,19 @@ def is_grad_enabled() -> bool:
     return _grad_enabled
 
 
+def stable_sigmoid(x) -> np.ndarray:
+    """Numerically stable two-branch sigmoid on raw numpy values.
+
+    ``1 / (1 + exp(-x))`` overflows (with a RuntimeWarning) for large
+    negative ``x``; evaluating ``exp(-|x|)`` keeps the argument bounded and
+    selects the algebraically equivalent branch per sign.  For ``x >= 0``
+    the result is bit-for-bit the naive formula.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    z = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0 / (1.0 + z), z / (1.0 + z))
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape``, inverting numpy broadcasting."""
     if grad.shape == shape:
@@ -69,6 +82,8 @@ class Tensor:
 
     # In-flight gradient table; non-None only while a backward pass runs.
     _pending: dict | None = None
+    # Keys of _pending whose arrays are owned by the pass (safe to mutate).
+    _pending_owned: set | None = None
 
     def __init__(self, data, requires_grad: bool = False, *, _parents: tuple = (), op: str = ""):
         self.data = np.asarray(data, dtype=np.float64)
@@ -156,6 +171,7 @@ class Tensor:
             else np.broadcast_to(np.asarray(grad, dtype=np.float64), self.shape).copy()
         }
         Tensor._pending = pending
+        Tensor._pending_owned = {id(self)}
         try:
             for node in reversed(topo):
                 node_grad = pending.pop(id(node), None)
@@ -166,12 +182,24 @@ class Tensor:
                     node._backward(node_grad)
         finally:
             Tensor._pending = None
+            Tensor._pending_owned = None
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Accumulate a gradient contribution during backward."""
+        """Accumulate a gradient contribution in place.
+
+        The first contribution is copied (the incoming array may be a view
+        of another tensor's buffer); later ones add into the owned array
+        without allocating.
+        """
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad = self.grad + grad
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape == self.data.shape:
+                self.grad = grad.copy()
+            else:
+                self.grad = np.zeros_like(self.data)
+                self.grad += grad
+        else:
+            self.grad += grad
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -446,10 +474,15 @@ class Tensor:
             self._accumulate(grad)
             return
         key = id(self)
-        if key in pending:
-            pending[key] = pending[key] + grad
-        else:
+        staged = pending.get(key)
+        if staged is None:
             pending[key] = grad
+        elif key in Tensor._pending_owned:
+            # The staged array was allocated by this pass: add in place.
+            staged += grad
+        else:
+            pending[key] = staged + grad
+            Tensor._pending_owned.add(key)
 
 
 # -- free functions ---------------------------------------------------------------

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.predictor import RankRequest, Ranking, TargetCoinPredictor
 from repro.data.sessions import PnDSample
+from repro.nn.compile import prewarm
 from repro.serving.cache import FeatureCache
 from repro.serving.online import Announcement
 from repro.serving.stats import ServiceStats
@@ -80,6 +81,12 @@ class PredictionService:
         if history_cutoff is None:
             history_cutoff = predictor.dataset.split_hours[1]
         self.history_cutoff = history_cutoff
+        # Trace AND verify the shared no-grad inference plan up front (on a
+        # synthetic batch): the streaming engine serves alerts through the
+        # same compiled plan batch evaluation uses (see repro.nn.compile),
+        # so the first announcement pays neither tracing nor the verify-time
+        # eager forward.
+        prewarm(predictor.model)
         # Candidate sets resolved by the has_candidates() gate, kept until
         # rank_batch() consumes them so the lookup runs once per alert.
         self._candidates_memo: "OrderedDict[tuple, np.ndarray]" = OrderedDict()

@@ -74,6 +74,103 @@ class PumpProfile:
     volume_peak_log: float         # pump-hour volume lift
 
 
+def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate integer ranges ``[start, start+count)`` into one index array.
+
+    Equivalent to ``np.concatenate([np.arange(s, s + c) for s, c in ...])``
+    without the Python loop; used to expand per-coin profile (and per-profile
+    VIP) ranges into flat gather indices.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return np.repeat(starts, counts) + within
+
+
+class _OverlayIndex:
+    """Flattened pump-profile table for vectorized overlay evaluation.
+
+    Profiles are stored per coin in registration order; VIP bumps per profile
+    in declaration order.  Keeping those orders lets the vectorized path
+    accumulate contributions with ``np.add.at`` in exactly the sequence the
+    per-coin loop used, so results are bit-for-bit identical.
+    """
+
+    def __init__(self, n_coins: int, profiles: dict[int, list[PumpProfile]]):
+        self.count = np.zeros(n_coins, dtype=np.int64)
+        self.start = np.zeros(n_coins, dtype=np.int64)
+        times, accum, peak, settle, tau, volpeak = [], [], [], [], [], []
+        vip_start, vip_count, vip_time, vip_size = [], [], [], []
+        pos = vpos = 0
+        for coin in sorted(profiles):
+            plist = profiles[coin]
+            self.start[coin] = pos
+            self.count[coin] = len(plist)
+            pos += len(plist)
+            for p in plist:
+                times.append(p.time)
+                accum.append(p.accum_log)
+                peak.append(p.peak_log)
+                settle.append(p.settle_log)
+                tau.append(p.dump_tau)
+                volpeak.append(p.volume_peak_log)
+                vip_start.append(vpos)
+                vip_count.append(len(p.vip_times))
+                vip_time.extend(p.vip_times)
+                vip_size.extend(p.vip_sizes)
+                vpos += len(p.vip_times)
+        self.time = np.asarray(times, dtype=np.float64)
+        self.accum = np.asarray(accum, dtype=np.float64)
+        self.peak = np.asarray(peak, dtype=np.float64)
+        self.settle = np.asarray(settle, dtype=np.float64)
+        self.tau = np.asarray(tau, dtype=np.float64)
+        self.volpeak = np.asarray(volpeak, dtype=np.float64)
+        self.vip_start = np.asarray(vip_start, dtype=np.int64)
+        self.vip_count = np.asarray(vip_count, dtype=np.int64)
+        self.vip_time = np.asarray(vip_time, dtype=np.float64)
+        self.vip_size = np.asarray(vip_size, dtype=np.float64)
+
+    def pairs(self, coin_ids: np.ndarray, hours: np.ndarray):
+        """Expand query elements into (element, profile) pairs.
+
+        Returns ``(sel, rep, prof, d)`` — the elements that have any profile,
+        the element index of each pair, the flat profile index of each pair,
+        and the hour offset from the pump — or ``None`` when no element's
+        coin has registered events.
+        """
+        counts = self.count[coin_ids]
+        sel = np.flatnonzero(counts)
+        if len(sel) == 0:
+            return None
+        c = counts[sel]
+        rep = np.repeat(sel, c)
+        prof = _concat_ranges(self.start[coin_ids[sel]], c)
+        d = hours[rep] - self.time[prof]
+        return sel, rep, prof, d
+
+    def vip_sum(self, prof: np.ndarray, d: np.ndarray,
+                width: float, scale: float) -> np.ndarray:
+        """Per-pair sum of pre-pump VIP bumps, accumulated in VIP order."""
+        vip = np.zeros_like(d)
+        vcount = self.vip_count[prof]
+        vsel = np.flatnonzero(vcount)
+        if len(vsel):
+            vc = vcount[vsel]
+            vrep = np.repeat(vsel, vc)
+            vidx = _concat_ranges(self.vip_start[prof[vsel]], vc)
+            dv = d[vrep]
+            bump = np.where(
+                dv < 0,
+                self.vip_size[vidx] * scale
+                * np.exp(-0.5 * ((dv - self.vip_time[vidx]) / width) ** 2),
+                0.0,
+            )
+            np.add.at(vip, vrep, bump)
+        return vip
+
+
 class MarketSimulator:
     """Deterministic OHLCV oracle for every coin at hour/minute resolution."""
 
@@ -98,6 +195,7 @@ class MarketSimulator:
         self._volume_base = 0.72 * np.log(universe.market_cap) - 6.0
         self._volume_sigma = rng.uniform(0.4, 0.8, n)
         self._profiles: dict[int, list[PumpProfile]] = {}
+        self._overlay_index: _OverlayIndex | None = None
 
     # -- event registration -----------------------------------------------------
 
@@ -105,6 +203,12 @@ class MarketSimulator:
         """Register pump events; each must expose ``coin_id`` and ``profile``."""
         for event in events:
             self._profiles.setdefault(int(event.coin_id), []).append(event.profile)
+        self._overlay_index = None  # flattened table rebuilt lazily
+
+    def _overlays(self) -> _OverlayIndex:
+        if self._overlay_index is None:
+            self._overlay_index = _OverlayIndex(self.universe.n_coins, self._profiles)
+        return self._overlay_index
 
     def profiles_for(self, coin_id: int) -> list[PumpProfile]:
         """Registered pump profiles of one coin (possibly empty)."""
@@ -118,40 +222,45 @@ class MarketSimulator:
         return self._amp1[c] * np.sin(2 * np.pi * h / self._period1[c] + self._phase1[c]) \
             + self._amp2[c] * np.sin(2 * np.pi * h / self._period2[c] + self._phase2[c])
 
-    def _price_overlay_single(self, coin_id: int, hours: np.ndarray) -> np.ndarray:
-        """Sum of event overlays for one coin over fractional hours."""
-        overlay = np.zeros_like(hours, dtype=float)
-        for profile in self._profiles.get(int(coin_id), ()):
-            d = hours - profile.time
-            # Pre-accumulation micro-premium: makes returns measured from
-            # x=72 slightly smaller than from x=60, as in Figure 4(c).
-            pre = np.where((d >= -76) & (d < -61), 0.012, 0.0)
-            # Accumulation ramp over [-61, 0).
-            ramp_frac = np.clip((d + 61.0) / 60.0, 0.0, 1.0)
-            accum = np.where(d < 0, profile.accum_log * ramp_frac, 0.0)
-            # VIP pre-pump hikes: short gaussian bumps.
-            vip = np.zeros_like(d)
-            for t_vip, size in zip(profile.vip_times, profile.vip_sizes):
-                vip += np.where(
-                    d < 0, size * np.exp(-0.5 * ((d - t_vip) / 0.8) ** 2), 0.0
-                )
-            # Pump spike and dump decay.
-            peak_at = PUMP_PEAK_MINUTES / 60.0
-            rise = np.where(
-                (d >= 0) & (d < peak_at),
-                profile.accum_log + (profile.peak_log - profile.accum_log)
-                * (d / peak_at),
-                0.0,
-            )
-            decay = np.where(
-                d >= peak_at,
-                profile.settle_log
-                + (profile.peak_log - profile.settle_log)
-                * np.exp(-np.maximum(d - peak_at, 0.0) / profile.dump_tau),
-                0.0,
-            )
-            overlay += pre + accum + vip + rise + decay
-        return overlay
+    def _add_price_overlay(self, out: np.ndarray, coin_ids: np.ndarray,
+                           hours: np.ndarray) -> None:
+        """Add event overlays to flat log-prices, vectorized over all coins.
+
+        Every (query element, pump profile) pair is expanded into flat
+        arrays, evaluated with the same elementwise formulas as the original
+        per-coin loop, and accumulated with ``np.add.at`` in registration
+        order — bit-for-bit identical to looping coins and profiles.
+        """
+        pairs = self._overlays().pairs(coin_ids, hours)
+        if pairs is None:
+            return
+        ix = self._overlays()
+        sel, rep, prof, d = pairs
+        # Pre-accumulation micro-premium: makes returns measured from
+        # x=72 slightly smaller than from x=60, as in Figure 4(c).
+        pre = np.where((d >= -76) & (d < -61), 0.012, 0.0)
+        # Accumulation ramp over [-61, 0).
+        ramp_frac = np.clip((d + 61.0) / 60.0, 0.0, 1.0)
+        accum = np.where(d < 0, ix.accum[prof] * ramp_frac, 0.0)
+        # VIP pre-pump hikes: short gaussian bumps.
+        vip = ix.vip_sum(prof, d, width=0.8, scale=1.0)
+        # Pump spike and dump decay.
+        peak_at = PUMP_PEAK_MINUTES / 60.0
+        rise = np.where(
+            (d >= 0) & (d < peak_at),
+            ix.accum[prof] + (ix.peak[prof] - ix.accum[prof]) * (d / peak_at),
+            0.0,
+        )
+        decay = np.where(
+            d >= peak_at,
+            ix.settle[prof]
+            + (ix.peak[prof] - ix.settle[prof])
+            * np.exp(-np.maximum(d - peak_at, 0.0) / ix.tau[prof]),
+            0.0,
+        )
+        overlay = np.zeros_like(out)
+        np.add.at(overlay, rep, pre + accum + vip + rise + decay)
+        out[sel] += overlay[sel]
 
     def _octave_noise(self, coin_ids: np.ndarray, hours: np.ndarray) -> np.ndarray:
         """Brownian-like idiosyncratic price noise, O(octaves) per query.
@@ -211,14 +320,9 @@ class MarketSimulator:
             )
         # Apply event overlays only for coins that have any.
         if self._profiles:
-            flat_ids = coin_ids.reshape(-1)
-            flat_hours = hours.reshape(-1)
-            flat_out = out.reshape(-1)
-            for coin in np.unique(flat_ids):
-                if int(coin) not in self._profiles:
-                    continue
-                mask = flat_ids == coin
-                flat_out[mask] += self._price_overlay_single(int(coin), flat_hours[mask])
+            flat_out = np.ascontiguousarray(out).reshape(-1)
+            self._add_price_overlay(flat_out, coin_ids.reshape(-1),
+                                    hours.reshape(-1))
             out = flat_out.reshape(out.shape)
         return out
 
@@ -239,29 +343,28 @@ class MarketSimulator:
 
     # -- volume ---------------------------------------------------------------
 
-    def _volume_overlay_single(self, coin_id: int, hours: np.ndarray) -> np.ndarray:
-        overlay = np.zeros_like(hours, dtype=float)
-        for profile in self._profiles.get(int(coin_id), ()):
-            d = hours - profile.time
-            # Frequent-trading onset ~57h before the pump (Figure 4b).
-            ramp = np.where(
-                (d >= -57) & (d < 0), 0.55 * np.clip((d + 57.0) / 57.0, 0, 1), 0.0
-            )
-            vip = np.zeros_like(d)
-            for t_vip, size in zip(profile.vip_times, profile.vip_sizes):
-                vip += np.where(
-                    d < 0,
-                    size * 28.0 * np.exp(-0.5 * ((d - t_vip) / 0.6) ** 2),
-                    0.0,
-                )
-            spike = np.where(
-                d >= 0,
-                profile.volume_peak_log * np.exp(-np.maximum(d, 0) / 0.45),
-                0.0,
-            )
-            aftermath = np.where(d >= 0, 0.8 * np.exp(-np.maximum(d, 0) / 24.0), 0.0)
-            overlay += ramp + vip + spike + aftermath
-        return overlay
+    def _add_volume_overlay(self, out: np.ndarray, coin_ids: np.ndarray,
+                            hours: np.ndarray) -> None:
+        """Add event overlays to flat log-volumes (see ``_add_price_overlay``)."""
+        pairs = self._overlays().pairs(coin_ids, hours)
+        if pairs is None:
+            return
+        ix = self._overlays()
+        sel, rep, prof, d = pairs
+        # Frequent-trading onset ~57h before the pump (Figure 4b).
+        ramp = np.where(
+            (d >= -57) & (d < 0), 0.55 * np.clip((d + 57.0) / 57.0, 0, 1), 0.0
+        )
+        vip = ix.vip_sum(prof, d, width=0.6, scale=28.0)
+        spike = np.where(
+            d >= 0,
+            ix.volpeak[prof] * np.exp(-np.maximum(d, 0) / 0.45),
+            0.0,
+        )
+        aftermath = np.where(d >= 0, 0.8 * np.exp(-np.maximum(d, 0) / 24.0), 0.0)
+        overlay = np.zeros_like(out)
+        np.add.at(overlay, rep, ramp + vip + spike + aftermath)
+        out[sel] += overlay[sel]
 
     def hourly_volume(self, coin_ids, hours) -> np.ndarray:
         """Traded volume (pairing-coin units) during the hour ending at ``h``."""
@@ -284,32 +387,46 @@ class MarketSimulator:
         tod = 0.25 * np.sin(2 * np.pi * (hours % 24) / 24.0 - 1.2)
         log_volume = self._volume_base[coin_ids] + tod + noise + bursts
         if self._profiles:
-            flat_ids = coin_ids.reshape(-1)
-            flat_hours = hours.reshape(-1)
-            flat = log_volume.reshape(-1)
-            for coin in np.unique(flat_ids):
-                if int(coin) not in self._profiles:
-                    continue
-                mask = flat_ids == coin
-                flat[mask] += self._volume_overlay_single(int(coin), flat_hours[mask])
+            flat = np.ascontiguousarray(log_volume).reshape(-1)
+            self._add_volume_overlay(flat, coin_ids.reshape(-1),
+                                     hours.reshape(-1))
             log_volume = flat.reshape(log_volume.shape)
         return np.exp(log_volume)
 
     def window_volume(self, coin_ids, pump_hour: float, x: int) -> np.ndarray:
         """Average hourly volume over the window ``(x+1, 1]`` before the pump."""
+        return self.window_volume_profile(coin_ids, pump_hour, x).mean(axis=1)
+
+    def window_volume_profile(self, coin_ids, pump_hour: float,
+                              max_hours: int) -> np.ndarray:
+        """Hourly volumes at offsets ``1..max_hours`` before the pump.
+
+        Returns ``(len(coin_ids), max_hours)``; the mean of the first ``x``
+        columns equals ``window_volume(coin_ids, pump_hour, x)`` exactly, so
+        one query serves every window span a feature matrix needs.
+        """
         coin_ids = np.asarray(coin_ids, dtype=np.int64)
-        offsets = np.arange(1, x + 1, dtype=float)  # hours before pump: 1..x
-        grid_hours = pump_hour - offsets  # (x,)
-        volumes = self.hourly_volume(
-            coin_ids[:, None], np.broadcast_to(grid_hours, (len(coin_ids), x))
+        offsets = np.arange(1, max_hours + 1, dtype=float)  # hours before pump
+        grid_hours = pump_hour - offsets  # (max_hours,)
+        return self.hourly_volume(
+            coin_ids[:, None],
+            np.broadcast_to(grid_hours, (len(coin_ids), max_hours)),
         )
-        return volumes.mean(axis=1)
+
+    def typical_trade_size(self, coin_ids) -> np.ndarray:
+        """Per-coin typical trade size used by the trade-count proxy."""
+        return np.exp(self._volume_base[np.asarray(coin_ids, dtype=np.int64)]) / 180.0
+
+    def trade_count_from_volume(self, volume: np.ndarray,
+                                coin_ids) -> np.ndarray:
+        """Proxy trade count for already-known volumes (single source of
+        truth for the formula, shared with the feature layer)."""
+        return volume / np.maximum(self.typical_trade_size(coin_ids), 1e-12)
 
     def window_trade_count(self, coin_ids, pump_hour: float, x: int) -> np.ndarray:
         """Proxy trade count: volume divided by a per-coin typical trade size."""
         volume = self.window_volume(coin_ids, pump_hour, x)
-        typical = np.exp(self._volume_base[np.asarray(coin_ids, dtype=np.int64)]) / 180.0
-        return volume / np.maximum(typical, 1e-12)
+        return self.trade_count_from_volume(volume, coin_ids)
 
     # -- OHLCV bars -------------------------------------------------------------
 

@@ -1,0 +1,174 @@
+"""Parity suite for the compiled no-grad inference path (repro.nn.compile).
+
+Compiled plans must reproduce the eager eval-mode forward for every
+supported ranker architecture, across seeds and across masked/padded
+sequence batches — ``allclose`` at rtol 1e-6 by contract, and in practice
+bit-for-bit (asserted separately so a regression to merely-close is
+visible).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Batch, SNNConfig, make_model
+from repro.nn import (
+    CompileError,
+    Tensor,
+    compile_inference,
+    get_compiled,
+    no_grad,
+    prewarm,
+    run_compiled,
+    stable_sigmoid,
+    synthetic_batch,
+)
+from repro.nn.module import Module
+
+CONFIG = SNNConfig(
+    n_channels=5, n_coin_ids=13, n_numeric=7, seq_len=6, n_seq_numeric=6
+)
+PAD_ID = CONFIG.n_coin_ids - 1
+DEEP_MODELS = ("snn", "dnn", "lstm", "bilstm", "gru", "bigru", "tcn")
+
+
+def random_batch(rng: np.random.Generator, batch_size: int = 17,
+                 padded: bool = False) -> Batch:
+    """A random model batch; ``padded`` left-pads variable-length histories."""
+    seq_ids = rng.integers(0, PAD_ID, size=(batch_size, CONFIG.seq_len))
+    mask = np.ones((batch_size, CONFIG.seq_len))
+    if padded:
+        # Random history lengths, including fully-empty histories.
+        for i in range(batch_size):
+            real = rng.integers(0, CONFIG.seq_len + 1)
+            mask[i, real:] = 0.0
+            seq_ids[i, real:] = PAD_ID
+    return Batch(
+        channel_idx=rng.integers(0, CONFIG.n_channels, size=batch_size),
+        coin_idx=rng.integers(0, PAD_ID, size=batch_size),
+        numeric=rng.normal(size=(batch_size, CONFIG.n_numeric)),
+        seq_coin_idx=seq_ids,
+        seq_numeric=rng.normal(
+            size=(batch_size, CONFIG.seq_len, CONFIG.n_seq_numeric)
+        ) * mask[:, :, None],
+        seq_mask=mask,
+        label=np.zeros(batch_size),
+    )
+
+
+def eager_logits(model, batch) -> np.ndarray:
+    model.eval()
+    with no_grad():
+        return model(batch).numpy()
+
+
+@pytest.mark.parametrize("name", DEEP_MODELS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_compiled_matches_eager(name, seed):
+    model = make_model(name, CONFIG, seed=seed)
+    plan = compile_inference(model)
+    rng = np.random.default_rng(1000 + seed)
+    for padded in (False, True):
+        batch = random_batch(rng, padded=padded)
+        eager = eager_logits(model, batch)
+        compiled = plan.logits(batch)
+        assert compiled.shape == eager.shape
+        assert np.allclose(compiled, eager, rtol=1e-6, atol=1e-9)
+
+
+@pytest.mark.parametrize("name", DEEP_MODELS)
+def test_compiled_is_bitwise_exact(name):
+    model = make_model(name, CONFIG, seed=3)
+    plan = compile_inference(model)
+    batch = random_batch(np.random.default_rng(7), padded=True)
+    assert np.array_equal(plan.logits(batch), eager_logits(model, batch))
+
+
+def test_probabilities_use_stable_sigmoid():
+    model = make_model("snn", CONFIG, seed=0)
+    plan = compile_inference(model)
+    batch = random_batch(np.random.default_rng(2))
+    probs = plan.probabilities(batch)
+    expected = stable_sigmoid(eager_logits(model, batch))
+    assert np.array_equal(probs, expected)
+    assert ((probs > 0) & (probs < 1)).all()
+
+
+def test_varying_batch_sizes_reuse_one_plan():
+    model = make_model("snn", CONFIG, seed=0)
+    plan = compile_inference(model)
+    rng = np.random.default_rng(5)
+    for batch_size in (1, 4, 33, 4, 33):
+        batch = random_batch(rng, batch_size=batch_size, padded=True)
+        assert np.array_equal(plan.logits(batch), eager_logits(model, batch))
+
+
+def test_plan_tracks_parameter_updates():
+    """Plans read parameters live, so training between calls is safe."""
+    model = make_model("snn", CONFIG, seed=0)
+    plan = compile_inference(model)
+    batch = random_batch(np.random.default_rng(3))
+    before = plan.logits(batch).copy()
+    for param in model.parameters():
+        param.data += 0.05
+    after = plan.logits(batch)
+    assert not np.allclose(before, after)
+    assert np.array_equal(after, eager_logits(model, batch))
+
+
+def test_verification_runs_on_sample_batch():
+    model = make_model("dnn", CONFIG, seed=0)
+    batch = random_batch(np.random.default_rng(11))
+    plan = compile_inference(model, sample_batch=batch)
+    assert np.array_equal(plan.logits(batch), eager_logits(model, batch))
+
+
+def test_get_compiled_memoizes_per_model():
+    model = make_model("gru", CONFIG, seed=0)
+    assert get_compiled(model) is get_compiled(model)
+    other = make_model("gru", CONFIG, seed=0)
+    assert get_compiled(other) is not get_compiled(model)
+
+
+def test_swapped_submodule_is_detected_and_retraced():
+    """Replacing a traced submodule must not silently score with old weights."""
+    from repro.nn import PositionalAttention
+
+    model = make_model("snn", CONFIG, seed=0)
+    batch = random_batch(np.random.default_rng(4), padded=True)
+    plan = get_compiled(model)
+    assert np.array_equal(plan.logits(batch), eager_logits(model, batch))
+    # Swap the attention layer (the ablation-study pattern).
+    rng = np.random.default_rng(9)
+    model.attention = PositionalAttention(
+        CONFIG.seq_len, CONFIG.n_seq_features,
+        channels=CONFIG.attention_channels, rng=rng,
+    )
+    model.attention.logits.data += rng.normal(size=model.attention.logits.shape)
+    assert plan.stale()
+    with pytest.raises(CompileError):
+        plan.logits(batch)
+    # run_compiled retraces once and matches the new eager forward.
+    out = run_compiled(model, batch)
+    assert out is not None
+    assert np.array_equal(out, eager_logits(model, batch))
+
+
+def test_prewarm_returns_verified_plan():
+    model = make_model("bigru", CONFIG, seed=0)
+    plan = prewarm(model)
+    assert plan is not None
+    assert plan is get_compiled(model)
+    batch = synthetic_batch(CONFIG)
+    assert np.array_equal(plan.logits(batch), eager_logits(model, batch))
+
+
+def test_unsupported_module_raises_and_run_compiled_falls_back():
+    class Opaque(Module):
+        def forward(self, batch):
+            return Tensor(np.zeros(len(batch)))
+
+    model = Opaque()
+    with pytest.raises(CompileError):
+        compile_inference(model)
+    assert get_compiled(model) is None
+    assert run_compiled(model, random_batch(np.random.default_rng(0))) is None
