@@ -1,0 +1,79 @@
+"""Service cold-start: boot-from-artifact vs retrain-from-scratch.
+
+The registry's reason to exist (ISSUE 3): a serving process should start
+in the time it takes to read weights and re-verify the compiled plan, not
+the time it takes to train a model.  This benchmark measures both boot
+paths to a ready :class:`PredictionService` — identical predictors, since
+artifact round-trips are bit-for-bit — and reports the speedup alongside
+the existing latency/throughput benches.
+
+A tiny world is built locally (like the throughput benchmark); world
+generation and data collection are shared setup and excluded from both
+timings, because a long-running serving host amortizes them while
+training cost is paid per model.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks._reporting import report
+from benchmarks.conftest import run_once
+from repro.core import train_predictor
+from repro.data import collect
+from repro.registry import save_artifact
+from repro.serving import PredictionService
+from repro.simulation import SyntheticWorld
+from repro.utils import ReproConfig
+
+EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "8"))
+
+
+@pytest.fixture(scope="module")
+def startup_setup(tmp_path_factory):
+    world = SyntheticWorld.generate(ReproConfig.tiny())
+    collection = collect(world)
+    artifact_dir = tmp_path_factory.mktemp("bench-artifacts") / "snn"
+    save_artifact(
+        train_predictor(world, collection, epochs=EPOCHS, seed=0),
+        artifact_dir,
+    )
+    return world, collection, artifact_dir
+
+
+def test_service_startup(benchmark, startup_setup):
+    world, collection, artifact_dir = startup_setup
+
+    def retrain_boot():
+        predictor = train_predictor(world, collection, epochs=EPOCHS, seed=0)
+        return PredictionService(predictor)
+
+    def artifact_boot():
+        return PredictionService.from_artifact(
+            artifact_dir, world, collection.dataset
+        )
+
+    started = time.perf_counter()
+    retrained = retrain_boot()
+    retrain_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    loaded = run_once(benchmark, artifact_boot)
+    artifact_seconds = time.perf_counter() - started
+
+    # Both boots produce a service over the same channel universe.
+    channel = next(iter(loaded.predictor._channel_index))
+    assert retrained.knows_channel(channel) and loaded.knows_channel(channel)
+
+    speedup = retrain_seconds / artifact_seconds if artifact_seconds else 0.0
+    report(
+        "bench_service_startup",
+        f"service boot, retrain-from-scratch ({EPOCHS} epochs): "
+        f"{retrain_seconds:.2f}s\n"
+        f"service boot, cold-start-from-artifact: {artifact_seconds*1000:.0f} ms "
+        f"(load + integrity check + compiled-plan re-verification)\n"
+        f"speedup: {speedup:.1f}x",
+    )
+    # The whole point of the artifact path: strictly faster than training.
+    assert artifact_seconds < retrain_seconds

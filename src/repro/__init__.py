@@ -22,6 +22,11 @@ Subpackages
     §5.1 feature generation.
 ``repro.core``
     §5-§6: SNN, baselines, training, HR@k evaluation, cold-start fix.
+``repro.registry``
+    Model lifecycle: schema-versioned predictor artifacts and the
+    versioned model registry (train once, serve anywhere).
+``repro.serving``
+    Real-time streaming prediction service over the trained predictor.
 ``repro.forecasting``
     §7: sentiment-enhanced BTC price forecasting.
 ``repro.analysis``

@@ -5,19 +5,25 @@ Commands
 ``world``     — generate a synthetic world and print its summary.
 ``collect``   — run the §3 data-collection pipeline (Tables 1-4 summaries).
 ``analyze``   — run the §4 observational studies (Figures 3-6 numbers).
-``train``     — train a ranker and report HR@k; optionally save weights.
-``serve``     — train, then replay the test period through the streaming
-                prediction service (``repro.serving``), emitting ranked
-                alerts and service metrics.
+``train``     — train a ranker, report HR@k; ``--save`` writes a full
+                servable artifact (``repro.registry``) and ``--register``
+                publishes it into the model registry.
+``serve``     — replay the test period through the streaming prediction
+                service (``repro.serving``); ``--load`` boots from a saved
+                artifact (path or ``name[@version]``) without retraining.
+``models``    — list / inspect / validate registry contents.
 ``forecast``  — run the §7 BTC forecasting comparison (Table 8-lite).
 
-All commands accept ``--scale {tiny,small,paper}`` and ``--seed N``.
+All world-building commands accept ``--scale {tiny,small,paper}`` and
+``--seed N``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 
 from repro.utils import ReproConfig, format_table
 
@@ -25,6 +31,57 @@ from repro.utils import ReproConfig, format_table
 # The deep rankers make_model() can build (classic lr/rf go through
 # ClassicRanker and cannot drive the predictor's Batch interface).
 DEEP_MODEL_CHOICES = ("dnn", "lstm", "bilstm", "gru", "bigru", "tcn", "snn")
+
+DEFAULT_REGISTRY = "models"
+
+
+def _fail(command: str, message: str) -> int:
+    """Uniform operational-error exit: message to stderr, code 2."""
+    print(f"repro {command}: {message}", file=sys.stderr)
+    return 2
+
+
+def _resolve_artifact_path(ref: str, registry_root: str, command: str):
+    """Resolve ``--load`` (a path or ``name[@version]``) to an artifact dir.
+
+    A ref containing a path separator is always a filesystem path; a bare
+    ref resolves against the registry first, falling back to a local
+    directory of that name — so a stray ``./snn`` directory in the cwd
+    cannot silently shadow the registered model ``snn``.
+
+    Returns ``(path, error_code)``; exactly one is ``None``.
+    """
+    from repro.registry import ModelRegistry, RegistryError, parse_ref
+
+    candidate = Path(ref)
+    if "/" in ref or os.sep in ref:
+        if candidate.exists():
+            return candidate, None
+        return None, _fail(
+            command, f"cannot load {ref!r}: no such artifact directory"
+        )
+    name, version = parse_ref(ref)
+    registry = ModelRegistry(registry_root)
+    try:
+        return registry.resolve(name, version), None
+    except RegistryError as exc:
+        # Fall back to a local directory only when the registry has no
+        # model of this name at all — a registered-but-broken entry (or a
+        # typo'd version) must surface its real error, not be silently
+        # shadowed by a same-named cwd directory.
+        try:
+            known = bool(registry.versions(name))
+        except RegistryError:
+            known = False
+        if known:
+            return None, _fail(command, f"cannot load {ref!r}: {exc}")
+    if candidate.exists():
+        return candidate, None
+    return None, _fail(
+        command,
+        f"cannot load {ref!r}: not a registered model under "
+        f"{registry_root!r}, and not an artifact directory",
+    )
 
 
 def _config(args) -> ReproConfig:
@@ -102,6 +159,7 @@ def cmd_analyze(args) -> int:
 
 def cmd_train(args) -> int:
     from repro.core import (
+        TargetCoinPredictor,
         Trainer,
         evaluate_scores,
         make_model,
@@ -110,10 +168,33 @@ def cmd_train(args) -> int:
     )
     from repro.data import collect
     from repro.features import FeatureAssembler
+    from repro.registry import ModelRegistry, RegistryError
     from repro.simulation import SyntheticWorld
 
+    # Fail fast on unusable save/register targets: don't spend the
+    # training run to find out.
+    if args.register:
+        try:
+            ModelRegistry.check_name(args.register)
+        except RegistryError as exc:
+            return _fail("train", str(exc))
+        if Path(args.registry).is_file():
+            return _fail(
+                "train",
+                f"--registry target {args.registry!r} is an existing file, "
+                "not a directory",
+            )
+    if args.save:
+        from repro.registry import check_save_target
+
+        problem = check_save_target(args.save)
+        if problem is not None:
+            return _fail("train", f"--save: {problem}")
+
     world = SyntheticWorld.generate(_config(args))
-    assembled = FeatureAssembler(world, collect(world).dataset).assemble()
+    dataset = collect(world).dataset
+    assembler = FeatureAssembler(world, dataset)
+    assembled = assembler.assemble()
     model = make_model(args.model, snn_config_for(assembled), seed=args.seed)
     trainer = Trainer(epochs=args.epochs, seed=args.seed)
     trainer.fit(model, assembled.train, assembled.validation)
@@ -122,27 +203,79 @@ def cmd_train(args) -> int:
         ["metric", "value"], [[f"HR@{k}", f"{v:.3f}"] for k, v in hr.items()],
         title=f"{args.model} on the test split",
     ))
-    if args.save:
-        from repro.nn.serialize import save_module
+    if args.save or args.register:
+        from repro.registry import ArtifactError, save_artifact
 
-        save_module(model, args.save)
-        print(f"weights saved to {args.save}")
+        predictor = TargetCoinPredictor(world, dataset, model, assembler)
+        provenance = {
+            "model": args.model, "epochs": args.epochs, "seed": args.seed,
+            "scale": args.scale,
+            "hr": {str(k): round(v, 4) for k, v in hr.items()},
+        }
+        step = "save artifact"
+        try:
+            if args.save:
+                path = save_artifact(predictor, args.save,
+                                     provenance=provenance)
+                print(f"artifact saved to {path} "
+                      f"(serve it with: repro serve --load {path})")
+            if args.register:
+                step = "register artifact"
+                registry = ModelRegistry(args.registry)
+                if args.save:
+                    # Reuse the bundle just written: one snapshot, and the
+                    # registered copy is byte-identical to the saved one.
+                    entry = registry.import_artifact(path, args.register)
+                else:
+                    entry = registry.publish(predictor, args.register,
+                                             provenance=provenance)
+                print(f"registered {entry.name}@{entry.version} "
+                      f"under {args.registry} (latest)")
+        except (ArtifactError, RegistryError, OSError) as exc:
+            # A failed registration does not undo a successful --save —
+            # the step name keeps the diagnostic truthful either way.
+            return _fail("train", f"cannot {step}: {exc}")
     return 0
 
 
 def cmd_serve(args) -> int:
     if args.max_batch < 1:
-        print("repro serve: --max-batch must be >= 1", file=sys.stderr)
-        return 2
+        return _fail("serve", "--max-batch must be >= 1")
+    if args.top_k < 1:
+        return _fail("serve", "--top-k must be >= 1")
     from repro.core import train_predictor
     from repro.data import collect
+    from repro.registry import ArtifactError, load_predictor
     from repro.serving import ConsoleAlertSink, JsonLinesAlertSink, replay_test_period
     from repro.simulation import SyntheticWorld
 
+    artifact_path = None
+    if args.load:
+        if args.model is not None or args.epochs is not None:
+            print("repro serve: --model/--epochs are ignored with --load "
+                  "(the artifact fixes the architecture and weights)",
+                  file=sys.stderr)
+        artifact_path, error = _resolve_artifact_path(
+            args.load, args.registry, "serve"
+        )
+        if error is not None:
+            return error
+
     world = SyntheticWorld.generate(_config(args))
     collection = collect(world)
-    predictor = train_predictor(world, collection, model=args.model,
-                                epochs=args.epochs, seed=args.seed)
+    if artifact_path is not None:
+        try:
+            predictor = load_predictor(artifact_path, world, collection.dataset)
+        except ArtifactError as exc:
+            return _fail("serve", f"cannot load {artifact_path}: {exc}")
+        print(f"serving from artifact {artifact_path} (no training)")
+    else:
+        predictor = train_predictor(
+            world, collection,
+            model=args.model if args.model is not None else "snn",
+            epochs=args.epochs if args.epochs is not None else 8,
+            seed=args.seed,
+        )
 
     sinks = [ConsoleAlertSink(top_k=args.top_k)]
     if args.jsonl:
@@ -170,6 +303,123 @@ def cmd_serve(args) -> int:
     if args.jsonl:
         print(f"alert records appended to {args.jsonl}")
     return 0
+
+
+def cmd_models(args) -> int:
+    from repro.registry import (
+        ArtifactError,
+        ModelRegistry,
+        RegistryError,
+        parse_ref,
+    )
+
+    registry = ModelRegistry(args.registry)
+
+    if args.models_command == "list":
+        if not Path(args.registry).is_dir():
+            # Same contract as `validate`: a typo'd root must not read as
+            # an empty-but-healthy registry.
+            return _fail("models",
+                         f"registry {args.registry!r} does not exist")
+        rows = []
+        broken = 0
+        for name in registry.models():
+            versions = registry.versions(name)
+            if not versions:
+                continue
+            latest = registry.latest(name)
+            for version in versions:
+                mark = "*" if version == latest else ""
+                try:
+                    entry = registry.entry(name, version)
+                    provenance = entry.provenance
+                    hr = provenance.get("hr")
+                    rows.append([
+                        name, version, mark,
+                        entry.model_name, entry.n_parameters,
+                        provenance.get("scale", "?"),
+                        hr.get("10", "") if isinstance(hr, dict) else "",
+                    ])
+                except (ArtifactError, RegistryError, TypeError,
+                        ValueError, AttributeError):
+                    # One corrupt bundle (bad manifest, malformed fields,
+                    # missing files, …) must not take down the listing —
+                    # `models validate` prints the full diagnostic.
+                    broken += 1
+                    rows.append([name, version, mark, "(unreadable)", "", "", ""])
+        if not rows:
+            print(f"no models registered under {args.registry!r}")
+            return 0
+        print(format_table(
+            ["model", "version", "latest", "arch", "params", "scale", "HR@10"],
+            rows, title=f"registry {args.registry}",
+        ))
+        if broken:
+            print(f"{broken} artifact(s) unreadable — run "
+                  f"`repro models --registry {args.registry} validate` "
+                  "for diagnostics", file=sys.stderr)
+        return 0
+
+    if args.models_command == "inspect":
+        from repro.registry import read_manifest, verify_files
+
+        path, error = _resolve_artifact_path(args.ref, args.registry, "models")
+        if error is not None:
+            return error
+        try:
+            # Manifest-only: same integrity guarantee as a full load, but
+            # no decompression of the parameter arrays.
+            manifest = read_manifest(path)
+            verify_files(path, manifest)
+            rows = [
+                ["path", str(path)],
+                ["schema_version", manifest["schema_version"]],
+                ["model", manifest["model"]["name"]],
+                ["n_parameters", manifest["model"]["n_parameters"]],
+                ["n_channels", manifest["features"]["n_channels"]],
+                ["n_coin_ids",
+                 manifest["model"]["config"].get("n_coin_ids", "?")],
+                ["sequence_length", manifest["features"]["sequence_length"]],
+            ]
+            provenance = manifest.get("provenance")
+            if isinstance(provenance, dict):
+                rows += [[f"provenance.{key}", value]
+                         for key, value in sorted(provenance.items())]
+        except (ArtifactError, KeyError, TypeError, AttributeError) as exc:
+            return _fail("models", f"cannot inspect {path}: {exc!r}")
+        print(format_table(["field", "value"], rows, title="artifact"))
+        return 0
+
+    if args.models_command == "validate":
+        if not Path(args.registry).is_dir():
+            # A green check against a typo'd root would be worse than an
+            # error — there is nothing there to validate.
+            return _fail("models",
+                         f"registry {args.registry!r} does not exist")
+        try:
+            if args.ref:
+                name, version = parse_ref(args.ref)
+                problems = registry.validate(name, version)
+                checked = len([version] if version
+                              else registry.versions(name))
+            else:
+                problems = registry.validate()
+                checked = sum(len(registry.versions(n))
+                              for n in registry.models())
+        except RegistryError as exc:
+            return _fail("models", str(exc))
+        if problems:
+            for problem in problems:
+                print(f"INVALID  {problem}", file=sys.stderr)
+            return 1
+        if not checked:
+            print(f"no models registered under {args.registry!r}")
+            return 0
+        print(f"registry {args.registry!r}: {checked} artifact(s) verified, "
+              "no problems")
+        return 0
+
+    raise AssertionError(f"unhandled models subcommand {args.models_command}")
 
 
 def cmd_forecast(args) -> int:
@@ -214,15 +464,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_train)
     p_train.add_argument("--model", default="snn", choices=DEEP_MODEL_CHOICES)
     p_train.add_argument("--epochs", type=int, default=8)
-    p_train.add_argument("--save", default="", help="path to save weights (.npz)")
+    p_train.add_argument("--save", default="",
+                         help="directory to save a full servable artifact "
+                              "(weights + scalers + vocab + provenance)")
+    p_train.add_argument("--register", default="", metavar="NAME",
+                         help="publish the artifact into the model registry "
+                              "under this name")
+    p_train.add_argument("--registry", default=DEFAULT_REGISTRY,
+                         help="model registry root directory")
     p_train.set_defaults(fn=cmd_train)
 
     p_serve = sub.add_parser(
         "serve", help="replay the test period through the streaming service"
     )
     _add_common(p_serve)
-    p_serve.add_argument("--model", default="snn", choices=DEEP_MODEL_CHOICES)
-    p_serve.add_argument("--epochs", type=int, default=8)
+    # Defaults are applied in cmd_serve (snn / 8 epochs) so an explicit
+    # --model/--epochs combined with --load can be flagged as ignored.
+    p_serve.add_argument("--model", default=None, choices=DEEP_MODEL_CHOICES)
+    p_serve.add_argument("--epochs", type=int, default=None)
     p_serve.add_argument("--top-k", type=int, default=3,
                          help="coins shown per alert")
     p_serve.add_argument("--jsonl", default="",
@@ -233,7 +492,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable feature memoization")
     p_serve.add_argument("--max-batch", type=int, default=64,
                          help="max concurrent announcements per forward pass")
+    p_serve.add_argument("--load", default="", metavar="REF",
+                         help="boot from a saved artifact instead of "
+                              "training: a directory path or a registry "
+                              "name[@version]")
+    p_serve.add_argument("--registry", default=DEFAULT_REGISTRY,
+                         help="model registry root used to resolve --load")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_models = sub.add_parser(
+        "models", help="list / inspect / validate saved predictor artifacts"
+    )
+    p_models.add_argument("--registry", default=DEFAULT_REGISTRY,
+                          help="model registry root directory")
+    models_sub = p_models.add_subparsers(dest="models_command", required=True)
+    models_sub.add_parser("list", help="list registered models and versions")
+    p_inspect = models_sub.add_parser(
+        "inspect", help="show one artifact's manifest summary"
+    )
+    p_inspect.add_argument("ref", help="artifact directory or name[@version]")
+    p_validate = models_sub.add_parser(
+        "validate", help="integrity-check artifacts (schema + checksums)"
+    )
+    p_validate.add_argument("ref", nargs="?", default="",
+                            help="name[@version]; omit to check everything")
+    p_models.set_defaults(fn=cmd_models)
 
     p_forecast = sub.add_parser("forecast", help="run the §7 comparison")
     _add_common(p_forecast)

@@ -89,6 +89,7 @@ class RNNRanker(_DeepRanker):
         encoder = make_rnn(kind, config.n_seq_features, RNN_HIDDEN_DIM, rng)
         super().__init__(config, rng, sequence_encoder=encoder,
                          seq_summary_dim=encoder.output_dim)
+        self.kind = kind
 
 
 class TCNRanker(_DeepRanker):
@@ -102,18 +103,25 @@ class TCNRanker(_DeepRanker):
 
 
 def make_model(name: str, config: SNNConfig, seed: int = 0) -> Module:
-    """Factory for every deep competitor of Table 5."""
+    """Factory for every deep competitor of Table 5.
+
+    The returned module carries its factory name as ``model_name`` so the
+    artifact layer (:mod:`repro.registry`) can rebuild the architecture.
+    """
     rng = np.random.default_rng(seed)
     name = name.lower()
     if name == "snn":
-        return SNN(config, rng)
-    if name == "dnn":
-        return DNNRanker(config, rng)
-    if name in ("lstm", "bilstm", "gru", "bigru"):
-        return RNNRanker(name, config, rng)
-    if name == "tcn":
-        return TCNRanker(config, rng)
-    raise ValueError(f"unknown model {name!r}; choose from {DEEP_MODEL_NAMES}")
+        model = SNN(config, rng)
+    elif name == "dnn":
+        model = DNNRanker(config, rng)
+    elif name in ("lstm", "bilstm", "gru", "bigru"):
+        model = RNNRanker(name, config, rng)
+    elif name == "tcn":
+        model = TCNRanker(config, rng)
+    else:
+        raise ValueError(f"unknown model {name!r}; choose from {DEEP_MODEL_NAMES}")
+    model.model_name = name
+    return model
 
 
 class ClassicRanker:

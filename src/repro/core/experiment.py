@@ -52,6 +52,8 @@ def train_predictor(world: SyntheticWorld, collection=None, *,
     place.  Pass an existing :class:`CollectionResult` to skip re-running
     the data pipeline.
     """
+    import time
+
     from repro.core.predictor import TargetCoinPredictor
     from repro.data.pipeline import collect
     from repro.features.assembler import FeatureAssembler
@@ -61,10 +63,20 @@ def train_predictor(world: SyntheticWorld, collection=None, *,
     assembler = FeatureAssembler(world, collection.dataset)
     assembled = assembler.assemble()
     ranker = make_model(model, snn_config_for(assembled), seed=seed)
+    started = time.perf_counter()
     Trainer(epochs=epochs, seed=seed).fit(
         ranker, assembled.train, assembled.validation
     )
-    return TargetCoinPredictor(world, collection.dataset, ranker, assembler)
+    predictor = TargetCoinPredictor(world, collection.dataset, ranker, assembler)
+    # Recorded into saved artifacts (repro.registry) as training provenance.
+    predictor.provenance = {
+        "model": model,
+        "epochs": epochs,
+        "seed": seed,
+        "world_seed": world.config.seed,
+        "train_seconds": round(time.perf_counter() - started, 3),
+    }
+    return predictor
 
 
 @dataclass

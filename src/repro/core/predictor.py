@@ -98,22 +98,33 @@ class TargetCoinPredictor:
         A trained deep ranker (SNN or any Table 5 competitor).
     assembler:
         The fitted :class:`FeatureAssembler`; rebuilt if omitted.
+    scalers:
+        Pre-fitted ``(numeric_scaler, seq_scaler)`` pair, e.g. restored
+        from a :mod:`repro.registry` artifact; fitted on the dataset's
+        train split when omitted.
     """
 
     def __init__(self, world: SyntheticWorld, dataset: TargetCoinDataset,
-                 model: Module, assembler: FeatureAssembler | None = None):
+                 model: Module, assembler: FeatureAssembler | None = None,
+                 scalers: tuple[StandardScaler, StandardScaler] | None = None):
         self.world = world
         self.dataset = dataset
         self.model = model
         self.assembler = assembler or FeatureAssembler(world, dataset)
         self._channel_index = self.assembler.channel_index
         self._subscribers = self.assembler.subscribers
+        # Training provenance carried into saved artifacts (set by
+        # train_predictor / from_artifact; stays empty for ad-hoc builds).
+        self.provenance: dict = {}
         # Shared with the assembler: encodings computed during assembly are
         # reused by scaler fitting and offline ranking (and vice versa).
         self._sequence_cache = self.assembler.sequence_cache
-        self._numeric_scaler = StandardScaler()
-        self._seq_scaler = StandardScaler()
-        self._fit_scalers()
+        if scalers is not None:
+            self._numeric_scaler, self._seq_scaler = scalers
+        else:
+            self._numeric_scaler = StandardScaler()
+            self._seq_scaler = StandardScaler()
+            self._fit_scalers()
 
     def _fit_scalers(self) -> None:
         """Fit feature scalers on raw train-split features."""
@@ -165,6 +176,33 @@ class TargetCoinPredictor:
         return np.concatenate([
             np.full((len(coins), 1), channel_feature), block,
         ], axis=1)
+
+    # -- artifact lifecycle (see repro.registry) -----------------------------
+
+    def to_artifact(self, provenance: dict | None = None):
+        """Snapshot this predictor into a servable, saveable bundle.
+
+        Returns a :class:`repro.registry.PredictorArtifact`; call its
+        ``save(path)`` (or :func:`repro.registry.save_artifact`) to
+        persist it.
+        """
+        from repro.registry import PredictorArtifact
+
+        return PredictorArtifact.from_predictor(self, provenance=provenance)
+
+    @classmethod
+    def from_artifact(cls, artifact, world: SyntheticWorld,
+                      dataset: TargetCoinDataset) -> "TargetCoinPredictor":
+        """Reconstruct a predictor from an artifact — no training involved.
+
+        ``artifact`` is a :class:`repro.registry.PredictorArtifact` or a
+        path to a saved artifact directory.
+        """
+        from repro.registry import PredictorArtifact
+
+        if not isinstance(artifact, PredictorArtifact):
+            artifact = PredictorArtifact.load(artifact)
+        return artifact.to_predictor(world, dataset)
 
     def candidates(self, exchange_id: int, pump_time: float) -> np.ndarray:
         """Eligible coins: listed on the exchange, not a pairing major."""

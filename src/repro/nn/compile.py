@@ -498,11 +498,17 @@ def prewarm(model: Module) -> CompiledInference | None:
     config, so the first production batch pays neither tracing nor the
     verify-time eager forward.  Returns the verified plan, or ``None`` when
     the model is unsupported or failed verification (callers then use the
-    eager path via :func:`run_compiled`'s fallback).
+    eager path via :func:`run_compiled`'s fallback).  A plan that already
+    passed verification is returned as-is — stacked prewarms (e.g. artifact
+    load followed by service construction) pay the eager forward once.
     """
     plan = get_compiled(model)
     if plan is None:
         return None
+    if getattr(plan, "_verified", False):
+        # Already proven against eager — by an earlier prewarm or by the
+        # plan's own first execution.
+        return plan
     config = getattr(model, "config", None)
     if config is None:
         return plan

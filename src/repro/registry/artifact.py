@@ -1,0 +1,600 @@
+"""PredictorArtifact — the schema-versioned train/serve contract.
+
+A trained :class:`~repro.core.predictor.TargetCoinPredictor` is more than
+its ranker weights: scoring a live announcement also needs the fitted
+feature scalers, the channel vocabulary the embeddings were built over,
+the per-channel subscriber counts that feed the channel feature, and the
+architecture hyper-parameters to rebuild the network at all.  Persisting
+only ``state_dict`` weights (the legacy ``nn.serialize`` path) therefore
+produces archives that *cannot be served* — every consumer silently
+retrained from scratch.
+
+An artifact is a directory bundling everything needed to reconstruct a
+working predictor::
+
+    <artifact>/
+        manifest.json   # schema version, model name + config, vocab
+                        # metadata, training provenance, file checksums
+        weights.npz     # ranker parameters (via nn.serialize.save_module)
+        state.npz       # fitted scaler statistics (exact float64)
+
+Loading re-verifies integrity (sha256 per file) and schema compatibility
+before any array is trusted, rebuilds the ranker via
+:func:`~repro.core.baselines.make_model`, loads the weights strictly
+(name/shape mismatches fail loudly), restores the scalers bit-for-bit
+from ``state.npz``, and re-verifies the compiled no-grad inference plan
+against an eager forward (:func:`repro.nn.compile.prewarm`) so a loaded
+model never serves through an unverified fast path.
+
+Schema version policy
+---------------------
+``SCHEMA_VERSION`` is a single integer, bumped on **any** change to the
+manifest layout, the file set, or the meaning of a persisted field.
+Loading an artifact whose ``schema_version`` differs from the library's
+raises :class:`ArtifactSchemaError` — there is no silent best-effort
+migration: a version mismatch means the train/serve contract changed and
+the artifact must be regenerated (or explicitly migrated) rather than
+reinterpreted.  Weights tampering, truncation, or a missing file raise
+:class:`ArtifactIntegrityError` before any score is produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import time
+import uuid
+import zipfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.baselines import DEEP_MODEL_NAMES, make_model
+from repro.core.snn import SNNConfig
+from repro.ml.scaling import StandardScaler
+from repro.nn.compile import prewarm
+from repro.nn.module import Module
+from repro.nn.serialize import read_state_dict, save_state_dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.predictor import TargetCoinPredictor
+    from repro.data.dataset import TargetCoinDataset
+    from repro.simulation.world import SyntheticWorld
+
+SCHEMA_VERSION = 1
+ARTIFACT_KIND = "repro/predictor-artifact"
+
+MANIFEST_NAME = "manifest.json"
+WEIGHTS_NAME = "weights.npz"
+STATE_NAME = "state.npz"
+
+# state.npz keys holding the fitted scaler statistics.
+_STATE_KEYS = ("numeric_mean", "numeric_std", "seq_mean", "seq_std")
+
+
+class ArtifactError(RuntimeError):
+    """Base error: the path is not a loadable predictor artifact."""
+
+
+class ArtifactSchemaError(ArtifactError):
+    """The artifact was written under an incompatible schema version."""
+
+
+class ArtifactIntegrityError(ArtifactError):
+    """A bundled file is missing, truncated, or fails its checksum."""
+
+
+def check_save_target(path: str | Path) -> str | None:
+    """Why ``path`` cannot receive an artifact, or ``None`` if it can.
+
+    The single source of the overwrite-safety policy: an existing file is
+    never replaceable; an existing directory only if it is empty or holds
+    a previous artifact.  ``PredictorArtifact.save`` enforces it; the CLI
+    uses it as a pre-training fail-fast.
+    """
+    path = Path(path)
+    if path.is_file():
+        return (f"{path} is an existing file; artifacts are directories "
+                "(a legacy weights .npz cannot be overwritten in place)")
+    if path.is_dir() and any(path.iterdir()) and not is_artifact_dir(path):
+        return (f"refusing to overwrite {path}: it exists and is not a "
+                "predictor artifact — pick a fresh directory")
+    return None
+
+
+def is_artifact_dir(path: str | Path) -> bool:
+    """True when ``path`` holds a repro predictor-artifact manifest.
+
+    Checks the manifest's ``kind`` marker, not just the filename —
+    ``manifest.json`` is a common name (browser extensions, web apps) and
+    a foreign one must never make a directory look replaceable.
+    """
+    manifest_path = Path(path) / MANIFEST_NAME
+    if not manifest_path.is_file():
+        return False
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+        return False
+    return isinstance(manifest, dict) and manifest.get("kind") == ARTIFACT_KIND
+
+
+def _guarded_read(path: Path, reader):
+    """Run an npz reader, keeping parse failures inside the taxonomy.
+
+    A checksum-consistent but unparseable archive (e.g. hand-edited
+    alongside its recorded sha256) must surface as an integrity
+    diagnostic, not a raw ``BadZipFile``/``OSError`` traceback.
+    """
+    try:
+        return reader()
+    except ArtifactIntegrityError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError) as exc:
+        raise ArtifactIntegrityError(
+            f"{path} cannot be read ({exc!r}) — the artifact is corrupt "
+            "or was tampered with"
+        ) from exc
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _model_name(model: Module) -> str:
+    """The ``make_model`` name that rebuilds this ranker's architecture."""
+    name = getattr(model, "model_name", None)
+    if name is None:
+        # Models constructed directly (not via make_model) fall back to
+        # class-based detection; RNNRanker records its cell kind itself.
+        from repro.core.baselines import DNNRanker, RNNRanker, TCNRanker
+        from repro.core.snn import SNN
+
+        if isinstance(model, SNN):
+            name = "snn"
+        elif isinstance(model, DNNRanker):
+            name = "dnn"
+        elif isinstance(model, TCNRanker):
+            name = "tcn"
+        elif isinstance(model, RNNRanker):
+            name = getattr(model, "kind", None)
+    if name not in DEEP_MODEL_NAMES:
+        raise ArtifactError(
+            f"cannot determine a servable architecture for {type(model).__name__}; "
+            f"artifacts support the deep rankers {DEEP_MODEL_NAMES}"
+        )
+    return name
+
+
+def _scaler_state(scaler: StandardScaler) -> tuple[np.ndarray, np.ndarray]:
+    if scaler.mean_ is None or scaler.std_ is None:
+        raise ArtifactError("predictor scalers are not fitted")
+    return scaler.mean_, scaler.std_
+
+
+def _restore_scaler(mean: np.ndarray, std: np.ndarray) -> StandardScaler:
+    scaler = StandardScaler()
+    scaler.mean_ = np.asarray(mean, dtype=float)
+    scaler.std_ = np.asarray(std, dtype=float)
+    return scaler
+
+
+def _snapshot_scaler(scaler: StandardScaler) -> StandardScaler:
+    """An independent copy of a fitted scaler's statistics."""
+    mean, std = _scaler_state(scaler)
+    return _restore_scaler(mean.copy(), std.copy())
+
+
+@dataclass
+class PredictorArtifact:
+    """Everything needed to reconstruct a servable predictor.
+
+    In memory the weights live as a plain ``state_dict``; :meth:`save`
+    persists the bundle, :meth:`load` restores it with schema + integrity
+    verification, and :meth:`to_predictor` rebinds it to a world/dataset.
+    """
+
+    model_name: str
+    config: SNNConfig
+    state: dict[str, np.ndarray]
+    numeric_scaler: StandardScaler
+    seq_scaler: StandardScaler
+    channel_index: dict[int, int]
+    subscribers: dict[int, int]
+    sequence_length: int
+    provenance: dict = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_predictor(cls, predictor: "TargetCoinPredictor",
+                       provenance: dict | None = None) -> "PredictorArtifact":
+        """Snapshot a trained predictor into an artifact bundle."""
+        merged = dict(getattr(predictor, "provenance", None) or {})
+        merged.update(provenance or {})
+        return cls(
+            model_name=_model_name(predictor.model),
+            config=predictor.model.config,
+            state=predictor.model.state_dict(),
+            # Snapshots, like the weights above: later mutation of the
+            # live predictor must not change what this artifact persists.
+            numeric_scaler=_snapshot_scaler(predictor._numeric_scaler),
+            seq_scaler=_snapshot_scaler(predictor._seq_scaler),
+            channel_index=dict(predictor._channel_index),
+            subscribers=dict(predictor._subscribers),
+            sequence_length=predictor.assembler.sequence_length,
+            provenance=merged,
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Write the bundle to directory ``path`` (created if needed).
+
+        The bundle is staged in a sibling temp directory and renamed into
+        place, so a crash mid-save never leaves a torn artifact — and
+        re-saving over an existing artifact replaces it whole instead of
+        corrupting it file by file.  Caveat: replacing an existing
+        artifact is two renames (POSIX offers no atomic directory swap);
+        a hard kill in that window leaves the path briefly absent with
+        the old bundle recoverable from a sibling ``.<name>.old-*``
+        directory.  Registry publishes never replace (versions are
+        immutable), so this only affects deliberate in-place re-saves.
+        """
+        path = Path(path)
+        problem = check_save_target(path)
+        if problem is not None:
+            raise ArtifactError(problem)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        staging = path.parent / (
+            f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        )
+        staging.mkdir()
+        try:
+            self._write_bundle(staging)
+            if path.exists():
+                displaced = path.parent / (
+                    f".{path.name}.old-{uuid.uuid4().hex[:8]}"
+                )
+                path.rename(displaced)
+                try:
+                    staging.rename(path)
+                except BaseException:
+                    # Put the original bundle back before propagating —
+                    # a failed replace must not leave the path empty.
+                    try:
+                        displaced.rename(path)
+                    except OSError:
+                        pass  # a concurrent writer re-created the path
+                    raise
+                shutil.rmtree(displaced, ignore_errors=True)
+            else:
+                staging.rename(path)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return path
+
+    def _write_bundle(self, path: Path) -> None:
+        save_state_dict(self.state, path / WEIGHTS_NAME,
+                        container=ARTIFACT_KIND)
+        numeric = _scaler_state(self.numeric_scaler)
+        seq = _scaler_state(self.seq_scaler)
+        np.savez_compressed(
+            path / STATE_NAME,
+            numeric_mean=numeric[0], numeric_std=numeric[1],
+            seq_mean=seq[0], seq_std=seq[1],
+        )
+        manifest = {
+            "kind": ARTIFACT_KIND,
+            "schema_version": self.schema_version,
+            "created_unix": int(time.time()),
+            "model": {
+                "name": self.model_name,
+                "config": asdict(self.config),
+                "n_parameters": int(sum(a.size for a in self.state.values())),
+            },
+            "features": {
+                "sequence_length": int(self.sequence_length),
+                "n_channels": len(self.channel_index),
+                "channel_index": {str(k): int(v)
+                                  for k, v in self.channel_index.items()},
+                "subscribers": {str(k): int(v)
+                                for k, v in self.subscribers.items()},
+            },
+            "provenance": self.provenance,
+            "files": {
+                name: {"sha256": _sha256(path / name)}
+                for name in (WEIGHTS_NAME, STATE_NAME)
+            },
+        }
+        (path / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PredictorArtifact":
+        """Load and verify a saved bundle (schema, then checksums)."""
+        path = Path(path)
+        manifest = read_manifest(path)
+        verify_files(path, manifest)
+
+        def read_scalers():
+            with np.load(path / STATE_NAME) as archive:
+                missing = [key for key in _STATE_KEYS if key not in archive]
+                if missing:
+                    raise ArtifactIntegrityError(
+                        f"{path / STATE_NAME} is missing scaler arrays: "
+                        f"{missing}"
+                    )
+                return {key: archive[key] for key in _STATE_KEYS}
+
+        state_arrays = _guarded_read(path / STATE_NAME, read_scalers)
+        weights = _guarded_read(
+            path / WEIGHTS_NAME,
+            lambda: read_state_dict(path / WEIGHTS_NAME),
+        )
+        # The manifest itself carries no checksum, so its *content* can be
+        # hand-edited into shapes the structural check can't anticipate
+        # (wrong config keys, non-dict vocab, …) — keep every failure
+        # inside the ArtifactError taxonomy rather than a raw traceback.
+        try:
+            features = manifest["features"]
+            config = SNNConfig(**{
+                **manifest["model"]["config"],
+                "hidden_dims":
+                    tuple(manifest["model"]["config"]["hidden_dims"]),
+            })
+            return cls(
+                model_name=manifest["model"]["name"],
+                config=config,
+                state=weights,
+                numeric_scaler=_restore_scaler(
+                    state_arrays["numeric_mean"], state_arrays["numeric_std"]
+                ),
+                seq_scaler=_restore_scaler(
+                    state_arrays["seq_mean"], state_arrays["seq_std"]
+                ),
+                channel_index={int(k): int(v)
+                               for k, v in features["channel_index"].items()},
+                subscribers={int(k): int(v)
+                             for k, v in features["subscribers"].items()},
+                sequence_length=int(features["sequence_length"]),
+                provenance=dict(manifest.get("provenance", {})),
+                schema_version=int(manifest["schema_version"]),
+            )
+        except ArtifactError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ArtifactIntegrityError(
+                f"{path / MANIFEST_NAME} has malformed content "
+                f"({exc!r}) — the artifact is corrupt or was tampered with"
+            ) from exc
+
+    # -- reconstruction ------------------------------------------------------
+
+    def build_model(self) -> Module:
+        """Rebuild the ranker and re-verify its compiled inference plan.
+
+        ``load_state_dict`` is strict: a weights archive that doesn't match
+        the manifest's architecture (names or shapes) fails loudly here.
+        """
+        model = make_model(self.model_name, self.config)
+        try:
+            model.load_state_dict(self.state)
+        except (KeyError, ValueError) as exc:
+            raise ArtifactIntegrityError(
+                f"weights do not match the manifest's "
+                f"{self.model_name!r} architecture: {exc}"
+            ) from exc
+        model.eval()
+        # Trace + verify the no-grad plan against an eager forward now, so
+        # a reloaded model never serves through an unverified fast path
+        # (and the first real announcement pays no tracing cost).
+        prewarm(model)
+        return model
+
+    def to_predictor(self, world: "SyntheticWorld",
+                     dataset: "TargetCoinDataset") -> "TargetCoinPredictor":
+        """Bind the artifact to a world/dataset — no training, no refitting.
+
+        The dataset must describe the same channel universe the model was
+        trained on (its embedding rows are positional); a vocabulary
+        mismatch fails loudly instead of silently scoring with shuffled
+        channel embeddings.
+        """
+        from repro.core.predictor import TargetCoinPredictor
+        from repro.features.assembler import FeatureAssembler
+
+        assembler = FeatureAssembler(world, dataset)
+        if assembler.channel_index != self.channel_index:
+            raise ArtifactError(
+                "artifact/world vocabulary drift: the dataset's channel "
+                f"index ({len(assembler.channel_index)} channels) does not "
+                f"match the artifact's ({len(self.channel_index)} channels); "
+                "was this artifact trained on a different world or scale?"
+            )
+        if assembler.sequence_length != self.sequence_length:
+            raise ArtifactError(
+                f"artifact sequence_length={self.sequence_length} but the "
+                f"world uses {assembler.sequence_length}"
+            )
+        # The manifest carries no checksum, so its subscriber counts must
+        # agree with the world's ground truth — they feed the channel
+        # feature directly, and silent drift would mean silently different
+        # scores, not a diagnostic.
+        if {int(k): int(v) for k, v in assembler.subscribers.items()} != \
+                self.subscribers:
+            raise ArtifactError(
+                "artifact/world vocabulary drift: the artifact's recorded "
+                "subscriber counts do not match the world's; the manifest "
+                "is stale or was tampered with"
+            )
+        predictor = TargetCoinPredictor(
+            world, dataset, self.build_model(), assembler,
+            scalers=(_snapshot_scaler(self.numeric_scaler),
+                     _snapshot_scaler(self.seq_scaler)),
+        )
+        predictor.provenance = dict(self.provenance)
+        return predictor
+
+    def summary(self) -> dict:
+        """Flat inspection view of a loaded artifact.
+
+        ``repro models inspect`` prints the same fields but reads them
+        manifest-only (no array decompression); keep the two in step.
+        """
+        out = {
+            "schema_version": self.schema_version,
+            "model": self.model_name,
+            "n_parameters": int(sum(a.size for a in self.state.values())),
+            "n_channels": len(self.channel_index),
+            "n_coin_ids": self.config.n_coin_ids,
+            "sequence_length": self.sequence_length,
+        }
+        for key, value in sorted(self.provenance.items()):
+            out[f"provenance.{key}"] = value
+        return out
+
+
+# -- manifest / verification helpers ----------------------------------------
+
+
+def read_manifest(path: str | Path) -> dict:
+    """Read and schema-check an artifact directory's manifest."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if path.is_file():
+        raise ArtifactError(
+            f"{path} is a file, not an artifact directory; bare-weights "
+            ".npz archives hold no scaler/vocab state and cannot be "
+            "served — retrain with `repro train --save <dir>` to produce "
+            "a full artifact"
+        )
+    if not manifest_path.is_file():
+        raise ArtifactError(f"{path} is not a predictor artifact "
+                            f"(missing {MANIFEST_NAME})")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactIntegrityError(
+            f"{manifest_path} is not valid JSON: {exc}"
+        ) from exc
+    if manifest.get("kind") != ARTIFACT_KIND:
+        raise ArtifactError(
+            f"{manifest_path} is not a {ARTIFACT_KIND} manifest"
+        )
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ArtifactSchemaError(
+            f"artifact schema v{version} is not loadable by this library "
+            f"(supports v{SCHEMA_VERSION}); regenerate the artifact with "
+            "`repro train --save`"
+        )
+    # Structural validation: a right-versioned manifest must still carry
+    # every section the loaders index, and checksums for the canonical
+    # file set — a partial write or hand edit degrades to a diagnostic,
+    # not a KeyError (or worse, silently skipped checksum protection).
+    problems = []
+    for section, keys in (("model", ("name", "config", "n_parameters")),
+                          ("features", ("sequence_length", "n_channels",
+                                        "channel_index", "subscribers"))):
+        body = manifest.get(section)
+        if not isinstance(body, dict):
+            problems.append(f"section {section!r}")
+        else:
+            problems += [f"{section}.{key}" for key in keys
+                         if key not in body]
+    model = manifest.get("model")
+    if isinstance(model, dict):
+        if "name" in model and model["name"] not in DEEP_MODEL_NAMES:
+            problems.append(
+                f"model.name {model['name']!r} (not one of {DEEP_MODEL_NAMES})"
+            )
+        if "config" in model and not isinstance(model["config"], dict):
+            problems.append("model.config (not a mapping)")
+    files = manifest.get("files")
+    if not isinstance(files, dict):
+        problems.append("section 'files'")
+    else:
+        problems += [
+            f"files[{name!r}].sha256" for name in (WEIGHTS_NAME, STATE_NAME)
+            if not isinstance(files.get(name), dict)
+            or "sha256" not in files[name]
+        ]
+    if problems:
+        raise ArtifactIntegrityError(
+            f"{manifest_path} is structurally invalid (bad or missing "
+            f"{', '.join(problems)}) — the artifact is corrupt or was "
+            "tampered with"
+        )
+    return manifest
+
+
+def verify_files(path: str | Path, manifest: dict | None = None) -> None:
+    """Check every bundled file exists and matches its recorded sha256.
+
+    ``read_manifest`` guarantees checksums exist for the canonical file
+    set (weights + state), so an emptied ``files`` section cannot
+    silently disable tamper protection.
+    """
+    path = Path(path)
+    if manifest is None:
+        manifest = read_manifest(path)
+    for name, meta in manifest["files"].items():
+        if not isinstance(meta, dict):
+            raise ArtifactIntegrityError(
+                f"manifest files entry {name!r} is malformed (expected a "
+                "mapping with a sha256) — the artifact is corrupt or was "
+                "tampered with"
+            )
+        if Path(name).name != name or name in (".", ".."):
+            # Artifacts are untrusted input: a crafted entry must not
+            # point the checksum walk outside the artifact directory
+            # (hash/existence oracle on arbitrary readable files).
+            raise ArtifactIntegrityError(
+                f"manifest files entry {name!r} is not a plain file name "
+                "— the artifact is corrupt or was tampered with"
+            )
+        file_path = path / name
+        if not file_path.is_file():
+            raise ArtifactIntegrityError(f"artifact file missing: {file_path}")
+        digest = _sha256(file_path)
+        if digest != meta.get("sha256"):
+            raise ArtifactIntegrityError(
+                f"checksum mismatch for {file_path}: manifest records "
+                f"{meta.get('sha256', '?')[:12]}…, file hashes "
+                f"{digest[:12]}… — the artifact is corrupt or was "
+                "tampered with"
+            )
+
+
+# -- module-level convenience API --------------------------------------------
+
+
+def save_artifact(predictor: "TargetCoinPredictor", path: str | Path,
+                  provenance: dict | None = None) -> Path:
+    """Persist ``predictor`` as a full artifact directory at ``path``."""
+    return PredictorArtifact.from_predictor(
+        predictor, provenance=provenance
+    ).save(path)
+
+
+def load_artifact(path: str | Path) -> PredictorArtifact:
+    """Load (and verify) an artifact bundle from disk."""
+    return PredictorArtifact.load(path)
+
+
+def load_predictor(path: str | Path, world: "SyntheticWorld",
+                   dataset: "TargetCoinDataset") -> "TargetCoinPredictor":
+    """One-call boot: artifact directory → servable predictor."""
+    return PredictorArtifact.load(path).to_predictor(world, dataset)

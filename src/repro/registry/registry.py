@@ -1,0 +1,361 @@
+"""ModelRegistry — named, versioned predictor artifacts on disk.
+
+A registry is a plain directory tree; no daemon, no database::
+
+    <root>/
+        <name>/
+            v0001/          # one PredictorArtifact directory per version
+            v0002/
+            LATEST          # text file naming the current version
+
+Versions are immutable once published — ``publish`` always allocates the
+next ``vNNNN`` and atomically repoints ``LATEST`` afterwards, so a serving
+fleet resolving ``name@latest`` either sees the old complete version or
+the new complete version, never a half-written one.  ``validate`` walks
+every bundle's manifest + checksums so drift (manual edits, partial
+copies, schema bumps) is caught by ``repro models validate`` instead of
+by a wrong ranking in production.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import re
+import shutil
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.registry.artifact import (
+    ArtifactError,
+    MANIFEST_NAME,
+    PredictorArtifact,
+    read_manifest,
+    save_artifact,
+    verify_files,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.predictor import TargetCoinPredictor
+
+LATEST_NAME = "LATEST"
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_RE = re.compile(r"^v\d{4,}$")
+
+
+class RegistryError(RuntimeError):
+    """A registry lookup or publish failed."""
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One (name, version) artifact plus its parsed manifest."""
+
+    name: str
+    version: str
+    path: Path
+    manifest: dict
+
+    @property
+    def model_name(self) -> str:
+        return self.manifest["model"]["name"]
+
+    @property
+    def n_parameters(self) -> int:
+        return int(self.manifest["model"]["n_parameters"])
+
+    @property
+    def provenance(self) -> dict:
+        recorded = self.manifest.get("provenance")
+        return dict(recorded) if isinstance(recorded, dict) else {}
+
+
+def parse_ref(ref: str) -> tuple[str, str | None]:
+    """Split ``name`` / ``name@version`` / ``name@latest`` references."""
+    name, sep, version = ref.partition("@")
+    if not sep or version == "latest":
+        version = None
+    return name, version or None
+
+
+class ModelRegistry:
+    """Filesystem registry of versioned predictor artifacts."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # -- naming --------------------------------------------------------------
+
+    @staticmethod
+    def check_name(name: str) -> str:
+        """Validate a model name (raises :class:`RegistryError`).
+
+        Public so callers can fail fast — e.g. ``repro train --register``
+        rejects a bad name *before* spending the training run.
+        """
+        if not _NAME_RE.match(name):
+            raise RegistryError(
+                f"invalid model name {name!r}: use letters, digits, "
+                "'.', '_' or '-'"
+            )
+        return name
+
+    def _model_dir(self, name: str) -> Path:
+        return self.root / self.check_name(name)
+
+    # -- publishing ----------------------------------------------------------
+
+    def publish(self, predictor: "TargetCoinPredictor", name: str,
+                provenance: dict | None = None) -> RegistryEntry:
+        """Save ``predictor`` as the next version of ``name``."""
+        version = self._next_version(name)
+        staging = self._stage(name, version)
+        try:
+            save_artifact(predictor, staging, provenance=provenance)
+        except BaseException:
+            self._discard_stage(name, staging)
+            raise
+        return self._commit(name, version, staging)
+
+    def import_artifact(self, artifact_dir: str | Path,
+                        name: str) -> RegistryEntry:
+        """Copy an existing artifact directory in as the next version.
+
+        The source is fully verified (schema + checksums) first: a
+        corrupt bundle must not become ``LATEST`` and break every serving
+        process resolving it.
+        """
+        artifact_dir = Path(artifact_dir)
+        verify_files(artifact_dir, read_manifest(artifact_dir))
+        version = self._next_version(name)
+        staging = self._stage(name, version)
+        try:
+            shutil.copytree(artifact_dir, staging)
+        except BaseException:
+            self._discard_stage(name, staging)
+            raise
+        return self._commit(name, version, staging)
+
+    def _stage(self, name: str, version: str) -> Path:
+        """A fresh staging path (not yet created) for one publish attempt.
+
+        Artifacts are written here and renamed into their final ``vNNNN``
+        directory only when complete: a crash mid-publish leaves a
+        ``.staging-*`` directory that no reader (``versions``, ``latest``,
+        ``validate``) ever matches, not a half-written version.  The name
+        is unique per attempt (pid + random), so concurrent publishers of
+        the same model never write into each other's staging area.
+        """
+        staging = self._model_dir(name) / (
+            f".staging-{version}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        )
+        staging.parent.mkdir(parents=True, exist_ok=True)
+        return staging
+
+    def _discard_stage(self, name: str, staging: Path) -> None:
+        """Drop a failed publish attempt; remove the model dir if empty."""
+        shutil.rmtree(staging, ignore_errors=True)
+        try:
+            self._model_dir(name).rmdir()
+        except OSError:
+            pass  # not empty (has published versions) — keep it
+
+    def _commit(self, name: str, version: str, staging: Path) -> RegistryEntry:
+        final = self._model_dir(name) / version
+        try:
+            if final.exists():
+                raise FileExistsError(errno.EEXIST, "version exists",
+                                      str(final))
+            # rename() still races a concurrent winner between the check
+            # and here; on POSIX it then fails ENOTEMPTY/EEXIST, which is
+            # handled identically to the fast-path check.
+            staging.rename(final)
+        except OSError as exc:
+            if exc.errno not in (errno.EEXIST, errno.ENOTEMPTY):
+                # A genuine I/O failure (disk full, permissions, …): keep
+                # the staged bundle — it is the only copy of the trained
+                # artifact — and surface the real error.
+                raise
+            # A concurrent publisher won the version: discard our staging
+            # rather than overwrite the (immutable) committed bundle.
+            shutil.rmtree(staging, ignore_errors=True)
+            raise RegistryError(
+                f"{name}@{version} already exists (concurrent publish?); "
+                "published versions are immutable — retry to get the next "
+                "version number"
+            ) from None
+        self._advance_latest(name, version)
+        return self.entry(name, version)
+
+    def _advance_latest(self, name: str, version: str) -> None:
+        """Publish-path pointer update: never moves LATEST backwards.
+
+        A publisher that stalls between committing its version and writing
+        the pointer must not later overwrite a newer publisher's pointer;
+        explicit rollback stays available via :meth:`set_latest`.  The
+        read-compare-write runs under an advisory file lock so two
+        publishers cannot interleave between the read and the replace
+        (best-effort on platforms without ``fcntl``).
+        """
+        lock_path = self._model_dir(name) / ".latest.lock"
+        with open(lock_path, "w") as lock:
+            try:
+                import fcntl
+
+                fcntl.flock(lock, fcntl.LOCK_EX)
+            except (ImportError, OSError):  # pragma: no cover - non-POSIX
+                pass
+            pointer = self._model_dir(name) / LATEST_NAME
+            if pointer.is_file():
+                current = pointer.read_text().strip()
+                if (_VERSION_RE.match(current)
+                        and current in self.versions(name)
+                        and int(current[1:]) > int(version[1:])):
+                    return
+            self.set_latest(name, version)
+
+    def _next_version(self, name: str) -> str:
+        existing = self.versions(name)
+        next_number = 1
+        if existing:
+            next_number = int(existing[-1][1:]) + 1
+        return f"v{next_number:04d}"
+
+    # -- resolution ----------------------------------------------------------
+
+    def models(self) -> list[str]:
+        """All model names in the registry, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_dir() and _NAME_RE.match(p.name)
+        )
+
+    def versions(self, name: str) -> list[str]:
+        """Published versions of ``name``, oldest first.
+
+        Ordered numerically, not lexicographically — past ``v9999`` the
+        zero-padding stops sorting on its own ('v10000' < 'v9999' as
+        strings), and a wrong tail here would make ``publish`` reallocate
+        an existing version.
+        """
+        model_dir = self._model_dir(name)
+        if not model_dir.is_dir():
+            return []
+        return sorted(
+            (p.name for p in model_dir.iterdir()
+             if p.is_dir() and _VERSION_RE.match(p.name)),
+            key=lambda version: int(version[1:]),
+        )
+
+    def latest(self, name: str) -> str:
+        """The version ``LATEST`` points at (validated to exist)."""
+        pointer = self._model_dir(name) / LATEST_NAME
+        versions = self.versions(name)
+        if not versions:
+            raise RegistryError(f"model {name!r} has no published versions "
+                                f"under {self.root}")
+        if pointer.is_file():
+            version = pointer.read_text().strip()
+            if version in versions:
+                return version
+        # A missing/stale pointer degrades to the newest *loadable*
+        # version on disk — a ghost directory (e.g. an interrupted manual
+        # copy with no manifest) must not shadow a healthy older version.
+        for version in reversed(versions):
+            if (self._model_dir(name) / version / MANIFEST_NAME).is_file():
+                return version
+        return versions[-1]
+
+    def set_latest(self, name: str, version: str) -> None:
+        if version not in self.versions(name):
+            raise RegistryError(f"{name}@{version} does not exist")
+        pointer = self._model_dir(name) / LATEST_NAME
+        # Per-attempt unique temp name: concurrent publishers must not
+        # consume each other's pending pointer write.
+        tmp = pointer.with_name(
+            f".{LATEST_NAME}-{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp"
+        )
+        tmp.write_text(version + "\n")
+        tmp.replace(pointer)
+
+    def resolve(self, name: str, version: str | None = None) -> Path:
+        """Path of ``name@version`` (``None``/``latest`` → the pointer)."""
+        if version is not None and not _VERSION_RE.match(version):
+            # Mirrors check_name: a ref must not escape the registry tree
+            # or reach internal (e.g. staging) directories.
+            raise RegistryError(
+                f"invalid version {version!r}: expected the form v0001"
+            )
+        version = version or self.latest(name)
+        path = self._model_dir(name) / version
+        if not (path / MANIFEST_NAME).is_file():
+            raise RegistryError(f"{name}@{version} not found under {self.root}")
+        return path
+
+    def entry(self, name: str, version: str | None = None) -> RegistryEntry:
+        path = self.resolve(name, version)
+        return RegistryEntry(name=name, version=path.name, path=path,
+                             manifest=read_manifest(path))
+
+    def entries(self) -> Iterable[RegistryEntry]:
+        """Every (name, version) bundle, newest version last per model."""
+        for name in self.models():
+            for version in self.versions(name):
+                yield RegistryEntry(
+                    name=name, version=version,
+                    path=self._model_dir(name) / version,
+                    manifest=read_manifest(self._model_dir(name) / version),
+                )
+
+    def load(self, name: str, version: str | None = None) -> PredictorArtifact:
+        """Load (and integrity-check) one registered artifact."""
+        return PredictorArtifact.load(self.resolve(name, version))
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self, name: str | None = None,
+                 version: str | None = None) -> list[str]:
+        """Integrity-check bundles; returns human-readable problems.
+
+        With no arguments every version of every model is checked; an
+        empty list means the registry is sound.
+        """
+        problems: list[str] = []
+        if name is not None:
+            if version is not None and not _VERSION_RE.match(version):
+                # Same guard as resolve(): a crafted ref must not probe
+                # paths outside the registry tree or staging directories.
+                return [f"{name}@{version}: invalid version "
+                        "(expected the form v0001)"]
+            targets = [(name, v) for v in
+                       ([version] if version else self.versions(name))]
+            if not targets:
+                return [f"model {name!r} has no published versions"]
+        else:
+            targets = [(n, v) for n in self.models() for v in self.versions(n)]
+        for model_name, model_version in targets:
+            path = self._model_dir(model_name) / model_version
+            try:
+                manifest = read_manifest(path)
+                verify_files(path, manifest)
+            except ArtifactError as exc:
+                problems.append(f"{model_name}@{model_version}: {exc}")
+        # Pointer health is per model, independent of bundle health — a
+        # dangling LATEST must surface even when every version is broken
+        # or gone entirely (zero versions left on disk).
+        pointer_models = [name] if name is not None else self.models()
+        for model_name in pointer_models:
+            pointer = self._model_dir(model_name) / LATEST_NAME
+            if pointer.is_file():
+                target = pointer.read_text().strip()
+                if target not in self.versions(model_name):
+                    problems.append(
+                        f"{model_name}: LATEST points at missing "
+                        f"version {target!r}"
+                    )
+        return sorted(problems)

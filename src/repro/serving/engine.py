@@ -99,16 +99,25 @@ class StreamEngine:
 
 
 def build_engine(world: SyntheticWorld, collection: CollectionResult,
-                 predictor: TargetCoinPredictor, *,
+                 predictor, *,
                  sinks: tuple[AlertSink, ...] = (), bucket_hours: float = 1.0,
                  cache_entries: int = 512, max_batch: int = 64,
                  history_cutoff: float | None = None,
                  detector_threshold: float | None = None) -> StreamEngine:
     """Wire a stream engine from the offline pipeline's artefacts.
 
+    ``predictor`` is either an in-memory :class:`TargetCoinPredictor` or a
+    saved-artifact reference (a :class:`repro.registry.PredictorArtifact`
+    or a path to an artifact directory), so a serving process can boot
+    straight from disk without retraining.
+
     One :class:`ServiceStats` instance is shared by every component, so the
     resulting engine's ``stats`` reflects the whole serving path.
     """
+    if not isinstance(predictor, TargetCoinPredictor):
+        predictor = TargetCoinPredictor.from_artifact(
+            predictor, world, collection.dataset
+        )
     stats = ServiceStats()
     detector_kwargs = {}
     if detector_threshold is not None:
@@ -130,7 +139,7 @@ def build_engine(world: SyntheticWorld, collection: CollectionResult,
 
 
 def replay_test_period(world: SyntheticWorld, collection: CollectionResult,
-                       predictor: TargetCoinPredictor, *,
+                       predictor, *,
                        sinks: tuple[AlertSink, ...] = (),
                        bucket_hours: float = 1.0, cache_entries: int = 512,
                        max_batch: int = 64) -> EngineResult:
@@ -138,7 +147,9 @@ def replay_test_period(world: SyntheticWorld, collection: CollectionResult,
 
     Streams every explored channel's messages from the validation/test
     boundary onwards — the same horizon the offline test split covers, so
-    alert quality is directly comparable to Table 5 metrics.
+    alert quality is directly comparable to Table 5 metrics.  Like
+    :func:`build_engine`, ``predictor`` may be an in-memory predictor or a
+    saved-artifact reference.
     """
     start = collection.dataset.split_hours[1]
     engine = build_engine(

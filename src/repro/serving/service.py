@@ -96,6 +96,26 @@ class PredictionService:
             if seeded:
                 self._history[channel_id] = seeded
 
+    @classmethod
+    def from_artifact(cls, artifact, world, dataset,
+                      **kwargs) -> "PredictionService":
+        """Boot a service from a saved predictor artifact — no training.
+
+        ``artifact`` is a :class:`repro.registry.PredictorArtifact` or a
+        path to an artifact directory; ``world``/``dataset`` supply the
+        market oracle and channel histories the features read from.  All
+        keyword arguments are forwarded to the constructor, so a cold
+        start is one call::
+
+            service = PredictionService.from_artifact(
+                "models/snn/v0001", world, collection.dataset
+            )
+        """
+        from repro.core.predictor import TargetCoinPredictor
+
+        predictor = TargetCoinPredictor.from_artifact(artifact, world, dataset)
+        return cls(predictor, **kwargs)
+
     # -- state ---------------------------------------------------------------
 
     def knows_channel(self, channel_id: int) -> bool:

@@ -28,6 +28,11 @@ class TestParser:
         assert args.bucket_hours == 1.0
         assert args.no_cache is False
         assert args.max_batch == 64
+        assert args.load == ""
+
+    def test_models_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["models"])
 
 
 class TestCommands:
@@ -37,16 +42,19 @@ class TestCommands:
         assert "events" in out
         assert "synthetic world" in out
 
-    def test_train_command_saves_weights(self, tmp_path, capsys):
-        path = tmp_path / "dnn.npz"
+    def test_train_command_saves_artifact(self, tmp_path, capsys):
+        path = tmp_path / "dnn-artifact"
         code = main([
             "train", "--scale", "tiny", "--model", "dnn", "--epochs", "1",
             "--save", str(path),
         ])
         assert code == 0
-        assert path.exists()
+        assert (path / "manifest.json").exists()
+        assert (path / "weights.npz").exists()
+        assert (path / "state.npz").exists()
         out = capsys.readouterr().out
         assert "HR@10" in out
+        assert "artifact saved" in out
 
     def test_serve_command_streams_alerts(self, tmp_path, capsys):
         path = tmp_path / "alerts.jsonl"
@@ -60,3 +68,244 @@ class TestCommands:
         assert "cache_hit_rate" in out
         assert path.exists()
         assert path.read_text().count("\n") >= 1
+
+
+class TestModelLifecycle:
+    """train --register → models list/inspect/validate → serve --load."""
+
+    @pytest.fixture(scope="class")
+    def registry_root(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("registry")
+        code = main([
+            "train", "--scale", "tiny", "--model", "dnn", "--epochs", "1",
+            "--save", str(root.parent / "exported"),
+            "--register", "dnn", "--registry", str(root),
+        ])
+        assert code == 0
+        return root
+
+    def test_saved_and_registered_copies_identical(self, registry_root):
+        # --save + --register snapshot once: the registered bundle is a
+        # verified byte-for-byte copy of the saved directory.
+        exported = registry_root.parent / "exported"
+        registered = registry_root / "dnn" / "v0001"
+        for name in ("manifest.json", "weights.npz", "state.npz"):
+            assert (exported / name).read_bytes() == \
+                (registered / name).read_bytes()
+
+    def test_models_list(self, registry_root, capsys):
+        assert main(["models", "--registry", str(registry_root), "list"]) == 0
+        out = capsys.readouterr().out
+        assert "dnn" in out
+        assert "v0001" in out
+
+    def test_models_inspect(self, registry_root, capsys):
+        code = main([
+            "models", "--registry", str(registry_root), "inspect", "dnn",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schema_version" in out
+        assert "provenance.scale" in out
+
+    def test_models_validate_clean(self, registry_root, capsys):
+        code = main([
+            "models", "--registry", str(registry_root), "validate",
+        ])
+        assert code == 0
+        assert "no problems" in capsys.readouterr().out
+
+    def test_serve_from_artifact_without_training(self, registry_root,
+                                                  capsys):
+        code = main([
+            "serve", "--scale", "tiny", "--load", "dnn",
+            "--registry", str(registry_root),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving from artifact" in out
+        assert "serving metrics" in out
+
+    def test_models_validate_detects_tampering(self, registry_root, capsys):
+        weights = registry_root / "dnn" / "v0001" / "weights.npz"
+        pristine = weights.read_bytes()
+        blob = bytearray(pristine)
+        blob[12] ^= 0xFF
+        try:
+            weights.write_bytes(bytes(blob))
+            code = main([
+                "models", "--registry", str(registry_root), "validate",
+            ])
+        finally:
+            weights.write_bytes(pristine)  # class-scoped fixture: restore
+        assert code == 1
+        assert "checksum mismatch" in capsys.readouterr().err
+
+    def test_serve_rejects_tampered_artifact(self, registry_root, capsys):
+        weights = registry_root / "dnn" / "v0001" / "weights.npz"
+        pristine = weights.read_bytes()
+        blob = bytearray(pristine)
+        blob[13] ^= 0xFF
+        try:
+            weights.write_bytes(bytes(blob))
+            code = main([
+                "serve", "--scale", "tiny", "--load", "dnn",
+                "--registry", str(registry_root),
+            ])
+        finally:
+            weights.write_bytes(pristine)
+        assert code == 2
+        assert "checksum mismatch" in capsys.readouterr().err
+
+    def test_bare_ref_prefers_registry_over_cwd(self, registry_root,
+                                                tmp_path, monkeypatch,
+                                                capsys):
+        # A stray ./dnn directory must not shadow the registered model.
+        (tmp_path / "dnn").mkdir()
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "models", "--registry", str(registry_root), "inspect", "dnn",
+        ])
+        assert code == 0
+        assert str(registry_root) in capsys.readouterr().out
+
+    def test_broken_registry_entry_not_shadowed_by_cwd(self, registry_root,
+                                                       tmp_path, monkeypatch,
+                                                       capsys):
+        # A registered-but-broken entry must report its real error, not
+        # silently fall back to a same-named local directory.
+        manifest = registry_root / "dnn" / "v0001" / "manifest.json"
+        pristine = manifest.read_text()
+        (tmp_path / "dnn").mkdir()
+        monkeypatch.chdir(tmp_path)
+        try:
+            manifest.unlink()
+            code = main([
+                "models", "--registry", str(registry_root), "inspect", "dnn",
+            ])
+        finally:
+            manifest.write_text(pristine)
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_models_validate_bad_ref_exits_cleanly(self, registry_root,
+                                                   capsys):
+        code = main([
+            "models", "--registry", str(registry_root), "validate",
+            "./not/a/name",
+        ])
+        assert code == 2
+        assert "invalid model name" in capsys.readouterr().err
+
+    def test_models_list_survives_corrupt_manifest(self, registry_root,
+                                                   capsys):
+        manifest = registry_root / "dnn" / "v0001" / "manifest.json"
+        pristine = manifest.read_text()
+        try:
+            manifest.write_text("{ not json")
+            code = main(["models", "--registry", str(registry_root), "list"])
+        finally:
+            manifest.write_text(pristine)
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "(unreadable)" in captured.out
+        assert "validate" in captured.err
+
+    def test_models_list_survives_malformed_provenance(self, registry_root,
+                                                       capsys):
+        import json
+
+        manifest = registry_root / "dnn" / "v0001" / "manifest.json"
+        pristine = manifest.read_text()
+        doc = json.loads(pristine)
+        doc["provenance"] = {"hr": 0.71}  # hr as a number, not a dict
+        try:
+            manifest.write_text(json.dumps(doc))
+            code = main(["models", "--registry", str(registry_root), "list"])
+        finally:
+            manifest.write_text(pristine)
+        assert code == 0
+        assert "dnn" in capsys.readouterr().out
+
+    def test_models_list_survives_manifestless_version_dir(self,
+                                                           registry_root,
+                                                           capsys):
+        ghost = registry_root / "dnn" / "v0099"
+        ghost.mkdir()
+        try:
+            code = main(["models", "--registry", str(registry_root), "list"])
+        finally:
+            ghost.rmdir()
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "(unreadable)" in captured.out
+        assert "v0001" in captured.out  # the healthy version still lists
+
+
+class TestServeValidation:
+    def test_top_k_must_be_positive(self, capsys):
+        assert main(["serve", "--top-k", "0"]) == 2
+        assert "--top-k" in capsys.readouterr().err
+
+    def test_max_batch_must_be_positive(self, capsys):
+        assert main(["serve", "--max-batch", "0"]) == 2
+        assert "--max-batch" in capsys.readouterr().err
+
+    def test_missing_load_path_exits_cleanly(self, capsys):
+        assert main(["serve", "--load", "/does/not/exist"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot load" in err
+
+    def test_load_with_model_flag_warns_ignored(self, capsys):
+        code = main(["serve", "--load", "/does/not/exist", "--model", "dnn"])
+        assert code == 2
+        assert "ignored with --load" in capsys.readouterr().err
+
+    def test_train_register_bad_name_fails_before_training(self, capsys):
+        # Rejected up front — no world generation, no training run.
+        code = main(["train", "--register", "bad/name"])
+        assert code == 2
+        assert "invalid model name" in capsys.readouterr().err
+
+    def test_train_save_onto_file_fails_before_training(self, tmp_path,
+                                                        capsys):
+        legacy = tmp_path / "weights.npz"
+        legacy.write_bytes(b"old format")
+        code = main(["train", "--save", str(legacy)])
+        assert code == 2
+        assert "existing file" in capsys.readouterr().err
+
+    def test_train_save_onto_unrelated_dir_fails_before_training(
+            self, tmp_path, capsys):
+        target = tmp_path / "notes"
+        target.mkdir()
+        (target / "todo.txt").write_text("keep me")
+        code = main(["train", "--save", str(target)])
+        assert code == 2
+        assert "not a predictor artifact" in capsys.readouterr().err
+        assert (target / "todo.txt").read_text() == "keep me"
+
+    def test_train_registry_file_fails_before_training(self, tmp_path,
+                                                       capsys):
+        not_a_dir = tmp_path / "registry"
+        not_a_dir.write_bytes(b"file")
+        code = main([
+            "train", "--register", "snn", "--registry", str(not_a_dir),
+        ])
+        assert code == 2
+        assert "existing file" in capsys.readouterr().err
+
+    def test_models_validate_missing_registry_errors(self, capsys):
+        code = main(["models", "--registry", "/typo/registry", "validate"])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_models_list_missing_registry_errors(self, capsys):
+        code = main(["models", "--registry", "/typo/registry", "list"])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_models_validate_empty_registry_says_so(self, tmp_path, capsys):
+        code = main(["models", "--registry", str(tmp_path), "validate"])
+        assert code == 0
+        assert "no models registered" in capsys.readouterr().out
