@@ -15,6 +15,9 @@ Subpackages
 ``repro.simulation``
     The synthetic world: coins, markets, channels, events, messages — the
     Telegram/Binance/CoinGecko substitute.
+``repro.sources``
+    The data-plane abstraction: backend protocols, the synthetic-world
+    adapter, the file-backed dump loader and ``repro ingest``.
 ``repro.data``
     The §3 data-collection pipeline: exploration, detection, sessions,
     dataset construction.

@@ -11,11 +11,16 @@ Commands
 ``serve``     — replay the test period through the streaming prediction
                 service (``repro.serving``); ``--load`` boots from a saved
                 artifact (path or ``name[@version]``) without retraining.
+``ingest``    — build a canonical file dump (``repro.sources``): either
+                export a synthetic replay or normalize raw CSV/JSONL files.
 ``models``    — list / inspect / validate registry contents.
 ``forecast``  — run the §7 BTC forecasting comparison (Table 8-lite).
 
-All world-building commands accept ``--scale {tiny,small,paper}`` and
-``--seed N``.
+``train`` and ``serve`` accept ``--source synthetic`` (default) or
+``--source file:<dump-dir>`` — the data plane is pluggable end to end, so
+a model trained on one backend can be served from another through the
+registry.  All world-building commands accept ``--scale
+{tiny,small,paper}`` and ``--seed N``.
 """
 
 from __future__ import annotations
@@ -82,6 +87,23 @@ def _resolve_artifact_path(ref: str, registry_root: str, command: str):
         f"cannot load {ref!r}: not a registered model under "
         f"{registry_root!r}, and not an artifact directory",
     )
+
+
+def _build_source(args, command: str):
+    """Resolve ``--source`` into a data backend.
+
+    Returns ``(source, error_code)``; exactly one is ``None``.  The
+    synthetic backend is generated from ``--scale``/``--seed``; a file
+    backend ignores both (the dump fixes its own universe).
+    """
+    from repro.sources import SourceDataError, parse_source_spec
+
+    try:
+        return parse_source_spec(
+            getattr(args, "source", "synthetic"), config=_config(args)
+        ), None
+    except SourceDataError as exc:
+        return None, _fail(command, str(exc))
 
 
 def _config(args) -> ReproConfig:
@@ -169,7 +191,6 @@ def cmd_train(args) -> int:
     from repro.data import collect
     from repro.features import FeatureAssembler
     from repro.registry import ModelRegistry, RegistryError
-    from repro.simulation import SyntheticWorld
 
     # Fail fast on unusable save/register targets: don't spend the
     # training run to find out.
@@ -191,10 +212,19 @@ def cmd_train(args) -> int:
         if problem is not None:
             return _fail("train", f"--save: {problem}")
 
-    world = SyntheticWorld.generate(_config(args))
-    dataset = collect(world).dataset
-    assembler = FeatureAssembler(world, dataset)
-    assembled = assembler.assemble()
+    from repro.sources import SourceDataError
+
+    source, error = _build_source(args, "train")
+    if error is not None:
+        return error
+    try:
+        # A file dump with gaps surfaces here (collection, assembly or
+        # scaler fitting query the candle grid) — diagnostic, not traceback.
+        dataset = collect(source).dataset
+        assembler = FeatureAssembler(source, dataset)
+        assembled = assembler.assemble()
+    except SourceDataError as exc:
+        return _fail("train", str(exc))
     model = make_model(args.model, snn_config_for(assembled), seed=args.seed)
     trainer = Trainer(epochs=args.epochs, seed=args.seed)
     trainer.fit(model, assembled.train, assembled.validation)
@@ -206,12 +236,19 @@ def cmd_train(args) -> int:
     if args.save or args.register:
         from repro.registry import ArtifactError, save_artifact
 
-        predictor = TargetCoinPredictor(world, dataset, model, assembler)
+        try:
+            predictor = TargetCoinPredictor(source, dataset, model, assembler)
+        except SourceDataError as exc:
+            return _fail("train", str(exc))
         provenance = {
             "model": args.model, "epochs": args.epochs, "seed": args.seed,
-            "scale": args.scale,
+            "data_source": source.descriptor(),
             "hr": {str(k): round(v, 4) for k, v in hr.items()},
         }
+        if source.kind == "synthetic":
+            # --scale only shapes the synthetic backend; recording it for a
+            # file dump would claim a world size that never applied.
+            provenance["scale"] = args.scale
         step = "save artifact"
         try:
             if args.save:
@@ -247,7 +284,6 @@ def cmd_serve(args) -> int:
     from repro.data import collect
     from repro.registry import ArtifactError, load_predictor
     from repro.serving import ConsoleAlertSink, JsonLinesAlertSink, replay_test_period
-    from repro.simulation import SyntheticWorld
 
     artifact_path = None
     if args.load:
@@ -261,32 +297,42 @@ def cmd_serve(args) -> int:
         if error is not None:
             return error
 
-    world = SyntheticWorld.generate(_config(args))
-    collection = collect(world)
-    if artifact_path is not None:
-        try:
-            predictor = load_predictor(artifact_path, world, collection.dataset)
-        except ArtifactError as exc:
-            return _fail("serve", f"cannot load {artifact_path}: {exc}")
-        print(f"serving from artifact {artifact_path} (no training)")
-    else:
-        predictor = train_predictor(
-            world, collection,
-            model=args.model if args.model is not None else "snn",
-            epochs=args.epochs if args.epochs is not None else 8,
-            seed=args.seed,
-        )
+    from repro.sources import SourceDataError
+
+    source, error = _build_source(args, "serve")
+    if error is not None:
+        return error
+    try:
+        collection = collect(source)
+        if artifact_path is not None:
+            try:
+                predictor = load_predictor(artifact_path, source,
+                                           collection.dataset)
+            except ArtifactError as exc:
+                return _fail("serve", f"cannot load {artifact_path}: {exc}")
+            print(f"serving from artifact {artifact_path} (no training)")
+        else:
+            predictor = train_predictor(
+                source, collection,
+                model=args.model if args.model is not None else "snn",
+                epochs=args.epochs if args.epochs is not None else 8,
+                seed=args.seed,
+            )
+    except SourceDataError as exc:
+        return _fail("serve", str(exc))
 
     sinks = [ConsoleAlertSink(top_k=args.top_k)]
     if args.jsonl:
         sinks.append(JsonLinesAlertSink(args.jsonl, top_k=args.top_k))
     try:
         result = replay_test_period(
-            world, collection, predictor, sinks=tuple(sinks),
+            source, collection, predictor, sinks=tuple(sinks),
             bucket_hours=args.bucket_hours,
             cache_entries=0 if args.no_cache else 512,
             max_batch=args.max_batch,
         )
+    except SourceDataError as exc:
+        return _fail("serve", str(exc))
     finally:
         for sink in sinks:
             sink.close()
@@ -383,8 +429,14 @@ def cmd_models(args) -> int:
             ]
             provenance = manifest.get("provenance")
             if isinstance(provenance, dict):
-                rows += [[f"provenance.{key}", value]
-                         for key, value in sorted(provenance.items())]
+                # One level of nesting is flattened so structured entries
+                # (e.g. the data-source descriptor) stay grep-able rows.
+                for key, value in sorted(provenance.items()):
+                    if isinstance(value, dict):
+                        rows += [[f"provenance.{key}.{sub}", nested]
+                                 for sub, nested in sorted(value.items())]
+                    else:
+                        rows.append([f"provenance.{key}", value])
         except (ArtifactError, KeyError, TypeError, AttributeError) as exc:
             return _fail("models", f"cannot inspect {path}: {exc!r}")
         print(format_table(["field", "value"], rows, title="artifact"))
@@ -420,6 +472,57 @@ def cmd_models(args) -> int:
         return 0
 
     raise AssertionError(f"unhandled models subcommand {args.models_command}")
+
+
+def cmd_ingest(args) -> int:
+    from repro.sources import SourceDataError, export_synthetic_dump, ingest_raw
+
+    raw_inputs = args.messages or args.candles or args.coins
+    if args.from_synthetic and raw_inputs:
+        return _fail("ingest", "--from-synthetic and raw --messages/--candles/"
+                               "--coins inputs are mutually exclusive")
+    if not args.from_synthetic and not raw_inputs:
+        return _fail("ingest", "nothing to ingest: pass --from-synthetic or "
+                               "raw --messages/--candles/--coins files")
+    try:
+        if args.from_synthetic:
+            from repro.simulation import SyntheticWorld
+
+            config = _config(args)
+            if args.horizon is not None:
+                if args.horizon < 1:
+                    return _fail("ingest", "--horizon must be >= 1")
+                config = config.with_(horizon_hours=args.horizon)
+            world = SyntheticWorld.generate(config)
+            source = export_synthetic_dump(
+                world, args.out, hours=args.hours, compress=args.compress,
+            )
+        else:
+            missing = [name for name, value in
+                       (("--messages", args.messages),
+                        ("--candles", args.candles),
+                        ("--coins", args.coins)) if not value]
+            if missing:
+                return _fail("ingest",
+                             f"raw ingestion needs {', '.join(missing)}")
+            source = ingest_raw(
+                args.out,
+                messages=args.messages, candles=args.candles,
+                coins=args.coins, channels=args.channels or None,
+                listings=args.listings or None,
+                seed=args.seed, sequence_length=args.sequence_length,
+                max_negatives_per_event=args.max_negatives,
+                compress=args.compress,
+            )
+    except SourceDataError as exc:
+        return _fail("ingest", str(exc))
+    descriptor = source.descriptor()
+    print(format_table(
+        ["field", "value"], sorted(descriptor.items()),
+        title=f"dump written to {args.out}",
+    ))
+    print(f"train from it with: repro train --source file:{args.out}")
+    return 0
 
 
 def cmd_forecast(args) -> int:
@@ -462,6 +565,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_train = sub.add_parser("train", help="train a target-coin ranker")
     _add_common(p_train)
+    p_train.add_argument("--source", default="synthetic", metavar="SPEC",
+                         help="data backend: 'synthetic' (generated from "
+                              "--scale/--seed) or 'file:<dump-dir>'")
     p_train.add_argument("--model", default="snn", choices=DEEP_MODEL_CHOICES)
     p_train.add_argument("--epochs", type=int, default=8)
     p_train.add_argument("--save", default="",
@@ -478,6 +584,9 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="replay the test period through the streaming service"
     )
     _add_common(p_serve)
+    p_serve.add_argument("--source", default="synthetic", metavar="SPEC",
+                         help="data backend: 'synthetic' (generated from "
+                              "--scale/--seed) or 'file:<dump-dir>'")
     # Defaults are applied in cmd_serve (snn / 8 epochs) so an explicit
     # --model/--epochs combined with --load can be flagged as ignored.
     p_serve.add_argument("--model", default=None, choices=DEEP_MODEL_CHOICES)
@@ -517,6 +626,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_validate.add_argument("ref", nargs="?", default="",
                             help="name[@version]; omit to check everything")
     p_models.set_defaults(fn=cmd_models)
+
+    p_ingest = sub.add_parser(
+        "ingest", help="build a canonical file dump for --source file:..."
+    )
+    _add_common(p_ingest)
+    p_ingest.add_argument("--out", required=True,
+                          help="output dump directory")
+    p_ingest.add_argument("--from-synthetic", action="store_true",
+                          help="export a synthetic replay (world built from "
+                               "--scale/--seed) as a file dump")
+    p_ingest.add_argument("--horizon", type=int, default=None,
+                          help="override the synthetic world's horizon "
+                               "hours (smaller = smaller dump)")
+    p_ingest.add_argument("--hours", choices=("needed", "all"),
+                          default="needed",
+                          help="candle hours to export: only those the "
+                               "extracted samples query, or the full grid")
+    p_ingest.add_argument("--messages", default="",
+                          help="raw messages JSONL to normalize")
+    p_ingest.add_argument("--candles", default="",
+                          help="raw hourly-candles CSV to normalize")
+    p_ingest.add_argument("--coins", default="",
+                          help="raw coin-catalog CSV to normalize")
+    p_ingest.add_argument("--channels", default="",
+                          help="optional raw channels CSV")
+    p_ingest.add_argument("--listings", default="",
+                          help="optional raw listings CSV")
+    p_ingest.add_argument("--sequence-length", type=int, default=20,
+                          help="pump-history length recorded in meta.json")
+    p_ingest.add_argument("--max-negatives", type=int, default=80,
+                          help="negative-sampling cap recorded in meta.json")
+    p_ingest.add_argument("--compress", action="store_true",
+                          help="gzip the candle/message files")
+    p_ingest.set_defaults(fn=cmd_ingest)
 
     p_forecast = sub.add_parser("forecast", help="run the §7 comparison")
     _add_common(p_forecast)

@@ -17,27 +17,30 @@ import numpy as np
 from repro.core.snn import Batch, SNNConfig
 from repro.features.assembler import AssembledSplit
 from repro.nn import MLP, Embedding, Module, Tensor
-from repro.simulation.world import SyntheticWorld
+from repro.sources.base import as_source
 from repro.text import Word2Vec, sentences_to_tokens
 
 
-def train_coin_embeddings(world: SyntheticWorld, mode: str = "skipgram",
+def train_coin_embeddings(source, mode: str = "skipgram",
                           dim: int = 8, epochs: int = 2,
                           seed: int = 0) -> tuple[np.ndarray, Word2Vec]:
     """Pre-train word vectors on the Telegram corpus; extract coin rows.
 
-    Returns ``(matrix, model)`` where ``matrix`` has ``n_coins + 1`` rows
-    (the last is the PAD row, all zeros).  Symbols missing from the corpus
-    fall back to zeros — still far better than a random untrained embedding
-    because zero is a *consistent* neutral point (cf. Figure 9c-d).
+    ``source`` is any data backend (or a bare synthetic world); the
+    corpus is its full message stream.  Returns ``(matrix, model)`` where
+    ``matrix`` has ``n_coins + 1`` rows (the last is the PAD row, all
+    zeros).  Symbols missing from the corpus fall back to zeros — still far
+    better than a random untrained embedding because zero is a *consistent*
+    neutral point (cf. Figure 9c-d).
     """
-    corpus = sentences_to_tokens(world.telegram_corpus())
+    source = as_source(source)
+    corpus = sentences_to_tokens([m.text for m in source.messages()])
     model = Word2Vec(corpus, dim=dim, mode=mode, epochs=epochs, min_count=2,
                      seed=seed)
-    n = world.coins.n_coins
+    n = source.coins.n_coins
     matrix = np.zeros((n + 1, dim))
     covered = 0
-    for coin_id, symbol in enumerate(world.coins.symbols):
+    for coin_id, symbol in enumerate(source.coins.symbols):
         token = symbol.lower()
         if token in model:
             matrix[coin_id] = model.vector(token)

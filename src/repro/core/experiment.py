@@ -21,7 +21,7 @@ from repro.core.evaluate import HR_KS, evaluate_scores
 from repro.core.snn import SNN, SNNConfig
 from repro.core.train import Trainer, predict_scores
 from repro.features.assembler import AssembledDataset
-from repro.simulation.world import SyntheticWorld
+from repro.sources.base import as_source
 
 
 def snn_config_for(assembled: AssembledDataset, **overrides) -> SNNConfig:
@@ -42,15 +42,16 @@ def snn_config_for(assembled: AssembledDataset, **overrides) -> SNNConfig:
     return SNNConfig(**defaults)
 
 
-def train_predictor(world: SyntheticWorld, collection=None, *,
+def train_predictor(source, collection=None, *,
                     model: str = "snn", epochs: int = 8,
                     seed: int = 0) -> "TargetCoinPredictor":
-    """The standard world → collect → assemble → train → predictor wiring.
+    """The standard source → collect → assemble → train → predictor wiring.
 
-    Shared by the ``serve`` CLI command, the live-monitoring example and
-    the serving tests/benchmarks, so the training contract lives in one
-    place.  Pass an existing :class:`CollectionResult` to skip re-running
-    the data pipeline.
+    ``source`` is any :class:`repro.sources.DataSource` backend (or a bare
+    synthetic world).  Shared by the ``serve`` CLI command, the
+    live-monitoring example and the serving tests/benchmarks, so the
+    training contract lives in one place.  Pass an existing
+    :class:`CollectionResult` to skip re-running the data pipeline.
     """
     import time
 
@@ -58,22 +59,25 @@ def train_predictor(world: SyntheticWorld, collection=None, *,
     from repro.data.pipeline import collect
     from repro.features.assembler import FeatureAssembler
 
+    source = as_source(source)
     if collection is None:
-        collection = collect(world)
-    assembler = FeatureAssembler(world, collection.dataset)
+        collection = collect(source)
+    assembler = FeatureAssembler(source, collection.dataset)
     assembled = assembler.assemble()
     ranker = make_model(model, snn_config_for(assembled), seed=seed)
     started = time.perf_counter()
     Trainer(epochs=epochs, seed=seed).fit(
         ranker, assembled.train, assembled.validation
     )
-    predictor = TargetCoinPredictor(world, collection.dataset, ranker, assembler)
+    predictor = TargetCoinPredictor(source, collection.dataset, ranker,
+                                    assembler)
     # Recorded into saved artifacts (repro.registry) as training provenance.
     predictor.provenance = {
         "model": model,
         "epochs": epochs,
         "seed": seed,
-        "world_seed": world.config.seed,
+        "world_seed": source.seed,
+        "data_source": source.descriptor(),
         "train_seconds": round(time.perf_counter() - started, 3),
     }
     return predictor
@@ -122,7 +126,7 @@ EMBEDDING_VARIANTS = ("e2e", "cbow", "sg", "snn", "snn_c", "snn_s")
 
 
 def run_coin_embedding_experiment(
-    world: SyntheticWorld,
+    source,
     assembled: AssembledDataset,
     trainer: Trainer | None = None,
     seed: int = 0,
@@ -144,11 +148,11 @@ def run_coin_embedding_experiment(
     vectors = {}
     if needed & {"cbow", "snn_c"}:
         vectors["cbow"], _ = train_coin_embeddings(
-            world, mode="cbow", dim=config.coin_emb_dim, seed=seed
+            source, mode="cbow", dim=config.coin_emb_dim, seed=seed
         )
     if needed & {"sg", "snn_s"}:
         vectors["sg"], _ = train_coin_embeddings(
-            world, mode="skipgram", dim=config.coin_emb_dim, seed=seed
+            source, mode="skipgram", dim=config.coin_emb_dim, seed=seed
         )
 
     outcome = ExperimentOutcome()

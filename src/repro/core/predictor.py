@@ -7,9 +7,12 @@ the pump — "real-time efficiency to ensure the timeliness" (§1).
 The predictor wraps a trained ranker with the feature assembly it was
 trained on, so scoring a new announcement is a single call:
 
->>> predictor = TargetCoinPredictor(world, dataset, model)      # doctest: +SKIP
+>>> predictor = TargetCoinPredictor(source, dataset, model)     # doctest: +SKIP
 >>> ranking = predictor.rank(channel_id, exchange_id=0, pump_time=t)  # doctest: +SKIP
 >>> ranking.top(5)                                              # doctest: +SKIP
+
+``source`` is any :class:`repro.sources.DataSource` backend (or a bare
+synthetic world, coerced) — the predictor itself is backend-agnostic.
 """
 
 from __future__ import annotations
@@ -25,10 +28,10 @@ from repro.features.assembler import FeatureAssembler
 from repro.features.coin import coin_feature_matrix
 from repro.features.market_windows import market_feature_matrix
 from repro.features.sequence import encode_history
+from repro.markets import PAIR_SYMBOLS
 from repro.ml.scaling import StandardScaler
 from repro.nn import Module, no_grad, run_compiled, stable_sigmoid
-from repro.simulation.coins import PAIR_SYMBOLS
-from repro.simulation.world import SyntheticWorld
+from repro.sources.base import as_source
 
 
 @dataclass(frozen=True)
@@ -89,8 +92,9 @@ class TargetCoinPredictor:
 
     Parameters
     ----------
-    world:
-        The market/universe oracle used to compute features.
+    source:
+        The data backend (market/universe oracle) used to compute features;
+        a :class:`repro.sources.DataSource` or a bare synthetic world.
     dataset:
         The extracted P&D dataset (provides per-channel pump histories and
         split statistics for feature standardization).
@@ -104,13 +108,13 @@ class TargetCoinPredictor:
         train split when omitted.
     """
 
-    def __init__(self, world: SyntheticWorld, dataset: TargetCoinDataset,
+    def __init__(self, source, dataset: TargetCoinDataset,
                  model: Module, assembler: FeatureAssembler | None = None,
                  scalers: tuple[StandardScaler, StandardScaler] | None = None):
-        self.world = world
+        self.source = as_source(source)
         self.dataset = dataset
         self.model = model
-        self.assembler = assembler or FeatureAssembler(world, dataset)
+        self.assembler = assembler or FeatureAssembler(self.source, dataset)
         self._channel_index = self.assembler.channel_index
         self._subscribers = self.assembler.subscribers
         # Training provenance carried into saved artifacts (set by
@@ -162,7 +166,7 @@ class TargetCoinPredictor:
         Channel-independent, so a serving layer can memoize it per
         (exchange, time) and share it across concurrent announcements.
         """
-        market = self.world.market
+        market = self.source.market
         return np.concatenate([
             coin_feature_matrix(market, coins, time),
             market_feature_matrix(market, coins, time),
@@ -191,22 +195,24 @@ class TargetCoinPredictor:
         return PredictorArtifact.from_predictor(self, provenance=provenance)
 
     @classmethod
-    def from_artifact(cls, artifact, world: SyntheticWorld,
+    def from_artifact(cls, artifact, source,
                       dataset: TargetCoinDataset) -> "TargetCoinPredictor":
         """Reconstruct a predictor from an artifact — no training involved.
 
         ``artifact`` is a :class:`repro.registry.PredictorArtifact` or a
-        path to a saved artifact directory.
+        path to a saved artifact directory; ``source`` is the data backend
+        (which need not be the backend the model was trained on, as long
+        as it describes the same channel/coin universe).
         """
         from repro.registry import PredictorArtifact
 
         if not isinstance(artifact, PredictorArtifact):
             artifact = PredictorArtifact.load(artifact)
-        return artifact.to_predictor(world, dataset)
+        return artifact.to_predictor(source, dataset)
 
     def candidates(self, exchange_id: int, pump_time: float) -> np.ndarray:
         """Eligible coins: listed on the exchange, not a pairing major."""
-        listed = self.world.coins.listed_coins(exchange_id, pump_time)
+        listed = self.source.coins.listed_coins(exchange_id, pump_time)
         return listed[listed >= len(PAIR_SYMBOLS)]
 
     def knows_channel(self, channel_id: int) -> bool:
@@ -267,7 +273,7 @@ class TargetCoinPredictor:
                 # Caller-provided histories (e.g. the serving layer's growing
                 # per-channel cache) are mutable, so bypass the LRU.
                 history = history_fn(request.channel_id, request.pump_time)
-                seq = encode_history(self.world.market, history, seq_len)
+                seq = encode_history(self.source.market, history, seq_len)
             else:
                 seq = self._sequence_cache.get(
                     request.channel_id, request.pump_time
@@ -309,7 +315,7 @@ class TargetCoinPredictor:
             order = np.argsort(-slice_probs)
             scores = [
                 CoinScore(int(coins[i]),
-                          self.world.coins.symbols[int(coins[i])],
+                          self.source.coins.symbols[int(coins[i])],
                           float(slice_probs[i]))
                 for i in order
             ]

@@ -16,8 +16,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.data.sessions import PnDSample
-from repro.simulation.coins import PAIR_SYMBOLS
-from repro.simulation.world import SyntheticWorld
+from repro.markets import PAIR_SYMBOLS
+from repro.sources.base import as_source
 from repro.utils.config import ReproConfig
 
 # Positive-time quantiles of the split boundaries; chosen to match the
@@ -52,15 +52,17 @@ class TargetCoinDataset:
     # -- construction -------------------------------------------------------
 
     @classmethod
-    def build(cls, world: SyntheticWorld, samples: Sequence[PnDSample],
+    def build(cls, source, samples: Sequence[PnDSample],
               exchange_id: int = 0, pair: str = "BTC") -> "TargetCoinDataset":
         """Build the ranking dataset from extracted samples.
 
+        ``source`` is any data backend (or a bare ``SyntheticWorld``).
         Mirrors the paper: restrict to one exchange/pair, deduplicate
         channel-level samples into per-channel positives, generate listed-coin
         negatives, split temporally.
         """
-        config = world.config
+        source = as_source(source)
+        config = source.repro_config()
         rng = np.random.default_rng(config.seed * 60013 + 101)
         positives = [
             s for s in samples if s.exchange_id == exchange_id and s.pair == pair
@@ -85,7 +87,7 @@ class TargetCoinDataset:
                 else "validation" if sample.time <= t_val
                 else "test"
             )
-            listed = world.coins.listed_coins(exchange_id, sample.time)
+            listed = source.coins.listed_coins(exchange_id, sample.time)
             eligible = listed[listed >= len(PAIR_SYMBOLS)]
             negatives = eligible[eligible != sample.coin_id]
             cap = config.max_negatives_per_event

@@ -19,7 +19,7 @@ from repro.ml import (
     TfidfVectorizer,
     classification_report,
 )
-from repro.simulation.messages import Message
+from repro.types import Message
 from repro.text import KeywordFilter, tokenize
 
 DETECTION_THRESHOLD = 0.2  # the paper's deliberately low cut-off

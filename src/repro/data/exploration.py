@@ -14,8 +14,7 @@ from typing import Iterable, Mapping, Sequence
 
 import networkx as nx
 
-from repro.simulation.channels import ChannelPopulation
-from repro.simulation.messages import Message
+from repro.types import Message
 
 INVITE_LINK = re.compile(r"t\.me/joinchat/(\d+)")
 
@@ -60,8 +59,10 @@ class ChannelExplorer:
     message *text*, exactly like the Telethon-based crawler in the paper.
     """
 
-    def __init__(self, channels: ChannelPopulation, messages: Sequence[Message],
+    def __init__(self, channels, messages: Sequence[Message],
                  max_hops: int = 2):
+        """``channels`` is any :class:`repro.sources.ChannelDirectory`
+        (e.g. a ``ChannelPopulation`` or a dump's channel roster)."""
         if max_hops < 0:
             raise ValueError("max_hops must be non-negative")
         self.channels = channels
@@ -69,12 +70,8 @@ class ChannelExplorer:
         self._by_channel: dict[int, list[Message]] = {}
         for message in messages:
             self._by_channel.setdefault(message.channel_id, []).append(message)
-        self._dead = {
-            c.channel_id for c in channels.pump_channels if c.deleted
-        }
-        self._known = set(channels.all_channel_ids()) | {
-            c.channel_id for c in channels.pump_channels
-        }
+        self._dead = set(channels.dead_channel_ids())
+        self._known = set(channels.all_channel_ids())
 
     def is_alive(self, channel_id: int) -> bool:
         """Liveness check (the Telethon status call substitute)."""
@@ -116,9 +113,16 @@ class ChannelExplorer:
         )
 
     def collect_messages(self, result: ExplorationResult) -> list[Message]:
-        """All messages of every explored channel, chronological."""
+        """All messages of every explored channel, chronological.
+
+        The sort key is the canonical ``(time, channel_id, message_id)``
+        triple so the collected order — and everything seeded from it
+        (detector label sampling, session ordering) — is identical no
+        matter which backend supplied the messages or how it ordered
+        equal-time ties.
+        """
         collected: list[Message] = []
         for channel_id in result.explored_ids:
             collected.extend(self._by_channel.get(channel_id, ()))
-        collected.sort(key=lambda m: m.time)
+        collected.sort(key=lambda m: (m.time, m.channel_id, m.message_id))
         return collected

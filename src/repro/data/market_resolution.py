@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.data.sessions import PnDSample, Session, extract_sample
 from repro.simulation.market import MarketSimulator
-from repro.simulation.messages import OCR_IMAGE_TEXT
+from repro.types import OCR_IMAGE_TEXT
 
 POST_RELEASE_MINUTES = 5
 MIN_SPIKE_RETURN = 0.25  # a pump multiplies price; noise never reaches this

@@ -1,9 +1,11 @@
 """End-to-end data-collection pipeline (Figure 2, left half).
 
-``collect(world)`` chains exploration → message collection → keyword
+``collect(source)`` chains exploration → message collection → keyword
 filtering + detection → sessionization → sample extraction → dataset
 construction, returning every intermediate artefact so analyses and
-benchmarks can inspect each stage.
+benchmarks can inspect each stage.  ``source`` is any
+:class:`repro.sources.DataSource` backend — the synthetic world adapter
+or a recorded file dump — or a bare ``SyntheticWorld`` (coerced).
 """
 
 from __future__ import annotations
@@ -20,8 +22,7 @@ from repro.data.sessions import (
     extract_samples,
     sessionize,
 )
-from repro.simulation.coins import EXCHANGE_NAMES
-from repro.simulation.world import SyntheticWorld
+from repro.sources.base import as_source
 
 
 @dataclass
@@ -39,24 +40,26 @@ class CollectionResult:
         return dataset_statistics(self.samples)
 
 
-def collect(world: SyntheticWorld, max_hops: int = 2,
+def collect(source, max_hops: int = 2,
             n_label: int = 1600) -> CollectionResult:
-    """Run the full §3 pipeline on a synthetic world."""
-    explorer = ChannelExplorer(world.channels, world.messages, max_hops=max_hops)
-    exploration = explorer.explore(world.channels.seed_channel_ids())
+    """Run the full §3 pipeline against a data source."""
+    source = as_source(source)
+    explorer = ChannelExplorer(source.channels, source.messages(),
+                               max_hops=max_hops)
+    exploration = explorer.explore(source.channels.seed_channel_ids())
     collected = explorer.collect_messages(exploration)
 
-    exchange_names = EXCHANGE_NAMES[: world.config.n_exchanges]
+    exchange_names = list(source.exchange_names)
     detection = run_detection_pipeline(
         collected,
-        coin_symbols=world.coins.symbols,
+        coin_symbols=source.coins.symbols,
         exchange_names=exchange_names,
         n_label=n_label,
-        seed=world.config.seed,
+        seed=source.seed,
     )
     sessions = sessionize(detection.detected)
-    samples = extract_samples(sessions, world.coins.symbols, exchange_names)
-    dataset = TargetCoinDataset.build(world, samples)
+    samples = extract_samples(sessions, source.coins.symbols, exchange_names)
+    dataset = TargetCoinDataset.build(source, samples)
     return CollectionResult(
         exploration=exploration,
         detection=detection,

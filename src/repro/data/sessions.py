@@ -18,7 +18,7 @@ import re
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.simulation.messages import Message
+from repro.types import Message
 
 SESSION_GAP_HOURS = 24.0
 

@@ -19,7 +19,7 @@ from repro.data.sessions import (
     extract_samples,
     sessionize,
 )
-from repro.simulation.messages import Message
+from repro.types import Message
 
 
 @dataclass

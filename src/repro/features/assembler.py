@@ -27,7 +27,7 @@ from repro.features.sequence import (
     pad_coin_id,
 )
 from repro.ml.scaling import StandardScaler
-from repro.simulation.world import SyntheticWorld
+from repro.sources.base import as_source
 
 CHANNEL_FEATURE_NAMES = ("log_subscribers",)
 
@@ -78,29 +78,31 @@ class AssembledDataset:
 
 
 class FeatureAssembler:
-    """Build :class:`AssembledDataset` from a world + extracted dataset."""
+    """Build :class:`AssembledDataset` from a data source + extracted dataset.
 
-    def __init__(self, world: SyntheticWorld, dataset: TargetCoinDataset):
-        self.world = world
+    ``source`` is any :class:`repro.sources.DataSource` backend (or a bare
+    synthetic world, coerced for backward compatibility).
+    """
+
+    def __init__(self, source, dataset: TargetCoinDataset):
+        self.source = as_source(source)
         self.dataset = dataset
-        self.sequence_length = world.config.sequence_length
+        self.sequence_length = self.source.sequence_length
         # Channel vocabulary: every channel appearing anywhere in the data.
         channel_ids = sorted({e.channel_id for e in dataset.examples})
         self.channel_index = {cid: i for i, cid in enumerate(channel_ids)}
-        self.subscribers = {
-            c.channel_id: c.subscribers for c in world.channels.pump_channels
-        }
+        self.subscribers = self.source.channels.subscriber_counts()
         # Encoded pump histories, shared with the predictor built on top so
         # scaler fitting and offline ranking reuse assembly-time encodings.
         self.sequence_cache = SequenceFeatureCache(
-            world.market, dataset.history_before, self.sequence_length
+            self.source.market, dataset.history_before, self.sequence_length
         )
 
     # -- assembly -------------------------------------------------------------
 
     def assemble(self) -> AssembledDataset:
         examples = self.dataset.examples
-        market = self.world.market
+        market = self.source.market
         n = len(examples)
         n_numeric = len(NUMERIC_FEATURE_NAMES)
         channel_idx = np.zeros(n, dtype=np.int64)
@@ -157,7 +159,7 @@ class FeatureAssembler:
             validation=build(split_name == "validation"),
             test=build(split_name == "test"),
             n_channels=len(self.channel_index),
-            n_coin_ids=pad_coin_id(self.world.coins.n_coins) + 1,
+            n_coin_ids=pad_coin_id(self.source.coins.n_coins) + 1,
             sequence_length=seq_len,
             channel_index=dict(self.channel_index),
         )

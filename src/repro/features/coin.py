@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.simulation.market import MarketSimulator
+from repro.sources.base import MarketDataSource
 
 STABLE_LEAD_HOURS = 72  # "three days prior to the pump event"
 
@@ -23,7 +23,7 @@ COIN_FEATURE_NAMES = (
 )
 
 
-def coin_feature_matrix(market: MarketSimulator, coin_ids: np.ndarray,
+def coin_feature_matrix(market: MarketDataSource, coin_ids: np.ndarray,
                         time: float | np.ndarray) -> np.ndarray:
     """Stable statistics for candidate coins at a pump time.
 

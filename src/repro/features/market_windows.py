@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.simulation.market import MarketSimulator
+from repro.sources.base import MarketDataSource
 
 WINDOW_HOURS = (1, 3, 6, 12, 24, 48, 60, 72)
 
@@ -21,7 +21,7 @@ MARKET_FEATURE_NAMES = tuple(
 ) + ("log_trade_count_24h",)
 
 
-def market_feature_matrix(market: MarketSimulator, coin_ids: np.ndarray,
+def market_feature_matrix(market: MarketDataSource, coin_ids: np.ndarray,
                           time: float) -> np.ndarray:
     """Pre-pump movement features for candidates at a pump time.
 

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.data.sessions import PnDSample
 from repro.features.coin import COIN_FEATURE_NAMES, coin_feature_matrix
-from repro.simulation.market import MarketSimulator
+from repro.sources.base import MarketDataSource
 
 SEQUENCE_NUMERIC_NAMES = COIN_FEATURE_NAMES  # per-position numeric features
 N_SEQUENCE_FEATURES = 1 + len(SEQUENCE_NUMERIC_NAMES)  # + coin_id
@@ -37,7 +37,7 @@ def pad_coin_id(n_coins: int) -> int:
     return n_coins
 
 
-def encode_history(market: MarketSimulator, history: Sequence[PnDSample],
+def encode_history(market: MarketDataSource, history: Sequence[PnDSample],
                    length: int) -> SequenceFeatures:
     """Encode a channel's pump history, newest first.
 
@@ -79,7 +79,7 @@ class SequenceFeatureCache:
     announcements stream in, bypasses the cache.
     """
 
-    def __init__(self, market: MarketSimulator, history_fn: HistoryLookup,
+    def __init__(self, market: MarketDataSource, history_fn: HistoryLookup,
                  length: int, max_entries: int = 8192):
         if length < 1:
             raise ValueError("sequence length must be positive")

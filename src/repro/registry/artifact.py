@@ -63,7 +63,6 @@ from repro.nn.serialize import read_state_dict, save_state_dict
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.predictor import TargetCoinPredictor
     from repro.data.dataset import TargetCoinDataset
-    from repro.simulation.world import SyntheticWorld
 
 SCHEMA_VERSION = 1
 ARTIFACT_KIND = "repro/predictor-artifact"
@@ -403,44 +402,49 @@ class PredictorArtifact:
         prewarm(model)
         return model
 
-    def to_predictor(self, world: "SyntheticWorld",
+    def to_predictor(self, source,
                      dataset: "TargetCoinDataset") -> "TargetCoinPredictor":
-        """Bind the artifact to a world/dataset — no training, no refitting.
+        """Bind the artifact to a data source/dataset — no training, no
+        refitting.
 
-        The dataset must describe the same channel universe the model was
-        trained on (its embedding rows are positional); a vocabulary
-        mismatch fails loudly instead of silently scoring with shuffled
-        channel embeddings.
+        ``source`` is any :class:`repro.sources.DataSource` backend (or a
+        bare synthetic world, coerced) — it need *not* be the backend the
+        model was trained on; a model trained against the simulator can
+        serve a recorded file dump and vice versa, as long as both
+        describe the same channel/coin universe.  The dataset must
+        describe the same channel universe the model was trained on (its
+        embedding rows are positional); a vocabulary mismatch fails loudly
+        instead of silently scoring with shuffled channel embeddings.
         """
         from repro.core.predictor import TargetCoinPredictor
         from repro.features.assembler import FeatureAssembler
 
-        assembler = FeatureAssembler(world, dataset)
+        assembler = FeatureAssembler(source, dataset)
         if assembler.channel_index != self.channel_index:
             raise ArtifactError(
-                "artifact/world vocabulary drift: the dataset's channel "
+                "artifact/source vocabulary drift: the dataset's channel "
                 f"index ({len(assembler.channel_index)} channels) does not "
                 f"match the artifact's ({len(self.channel_index)} channels); "
-                "was this artifact trained on a different world or scale?"
+                "was this artifact trained on a different dataset or scale?"
             )
         if assembler.sequence_length != self.sequence_length:
             raise ArtifactError(
                 f"artifact sequence_length={self.sequence_length} but the "
-                f"world uses {assembler.sequence_length}"
+                f"data source uses {assembler.sequence_length}"
             )
         # The manifest carries no checksum, so its subscriber counts must
-        # agree with the world's ground truth — they feed the channel
+        # agree with the source's ground truth — they feed the channel
         # feature directly, and silent drift would mean silently different
         # scores, not a diagnostic.
         if {int(k): int(v) for k, v in assembler.subscribers.items()} != \
                 self.subscribers:
             raise ArtifactError(
-                "artifact/world vocabulary drift: the artifact's recorded "
-                "subscriber counts do not match the world's; the manifest "
-                "is stale or was tampered with"
+                "artifact/source vocabulary drift: the artifact's recorded "
+                "subscriber counts do not match the data source's; the "
+                "manifest is stale or was tampered with"
             )
         predictor = TargetCoinPredictor(
-            world, dataset, self.build_model(), assembler,
+            source, dataset, self.build_model(), assembler,
             scalers=(_snapshot_scaler(self.numeric_scaler),
                      _snapshot_scaler(self.seq_scaler)),
         )
@@ -594,7 +598,11 @@ def load_artifact(path: str | Path) -> PredictorArtifact:
     return PredictorArtifact.load(path)
 
 
-def load_predictor(path: str | Path, world: "SyntheticWorld",
+def load_predictor(path: str | Path, source,
                    dataset: "TargetCoinDataset") -> "TargetCoinPredictor":
-    """One-call boot: artifact directory → servable predictor."""
-    return PredictorArtifact.load(path).to_predictor(world, dataset)
+    """One-call boot: artifact directory → servable predictor.
+
+    ``source`` is any :class:`repro.sources.DataSource` backend (or a
+    bare synthetic world).
+    """
+    return PredictorArtifact.load(path).to_predictor(source, dataset)

@@ -6,8 +6,8 @@ the same stream timestamp are micro-batched into one model forward pass —
 coordinated P&Ds release across many channels simultaneously, so this is
 the common case, not a corner case.
 
-:func:`build_engine` wires an engine from the offline artefacts (world,
-collection, trained predictor); :func:`replay_test_period` is the
+:func:`build_engine` wires an engine from the offline artefacts (data
+source, collection, trained predictor); :func:`replay_test_period` is the
 one-call deployment simulation used by the CLI, the live-monitoring
 example and the end-to-end tests.
 """
@@ -23,8 +23,7 @@ from repro.serving.service import Alert, PredictionService
 from repro.serving.sinks import AlertSink
 from repro.serving.stats import ServiceStats
 from repro.serving.stream import MessageStream
-from repro.simulation.coins import EXCHANGE_NAMES
-from repro.simulation.world import SyntheticWorld
+from repro.sources.base import as_source
 
 # Two stream timestamps closer than this are "concurrent" for batching.
 _TIME_EPSILON = 1e-9
@@ -98,7 +97,7 @@ class StreamEngine:
         return EngineResult(alerts=alerts, stats=self.stats, skipped=skipped)
 
 
-def build_engine(world: SyntheticWorld, collection: CollectionResult,
+def build_engine(source, collection: CollectionResult,
                  predictor, *,
                  sinks: tuple[AlertSink, ...] = (), bucket_hours: float = 1.0,
                  cache_entries: int = 512, max_batch: int = 64,
@@ -106,17 +105,22 @@ def build_engine(world: SyntheticWorld, collection: CollectionResult,
                  detector_threshold: float | None = None) -> StreamEngine:
     """Wire a stream engine from the offline pipeline's artefacts.
 
-    ``predictor`` is either an in-memory :class:`TargetCoinPredictor` or a
-    saved-artifact reference (a :class:`repro.registry.PredictorArtifact`
-    or a path to an artifact directory), so a serving process can boot
-    straight from disk without retraining.
+    ``source`` is any :class:`repro.sources.DataSource` backend (or a
+    bare synthetic world) — the same seam the offline pipeline uses,
+    so an engine can serve recorded file dumps as easily as the
+    simulator.  ``predictor`` is either an in-memory
+    :class:`TargetCoinPredictor` or a saved-artifact reference (a
+    :class:`repro.registry.PredictorArtifact` or a path to an artifact
+    directory), so a serving process can boot straight from disk without
+    retraining.
 
     One :class:`ServiceStats` instance is shared by every component, so the
     resulting engine's ``stats`` reflects the whole serving path.
     """
+    source = as_source(source)
     if not isinstance(predictor, TargetCoinPredictor):
         predictor = TargetCoinPredictor.from_artifact(
-            predictor, world, collection.dataset
+            predictor, source, collection.dataset
         )
     stats = ServiceStats()
     detector_kwargs = {}
@@ -126,8 +130,8 @@ def build_engine(world: SyntheticWorld, collection: CollectionResult,
         collection.detection, stats=stats, **detector_kwargs
     )
     sessionizer = OnlineSessionizer(
-        world.coins.symbols,
-        EXCHANGE_NAMES[: world.config.n_exchanges],
+        source.coins.symbols,
+        list(source.exchange_names),
         stats=stats,
     )
     service = PredictionService(
@@ -138,7 +142,7 @@ def build_engine(world: SyntheticWorld, collection: CollectionResult,
                         max_batch=max_batch, stats=stats)
 
 
-def replay_test_period(world: SyntheticWorld, collection: CollectionResult,
+def replay_test_period(source, collection: CollectionResult,
                        predictor, *,
                        sinks: tuple[AlertSink, ...] = (),
                        bucket_hours: float = 1.0, cache_entries: int = 512,
@@ -148,17 +152,18 @@ def replay_test_period(world: SyntheticWorld, collection: CollectionResult,
     Streams every explored channel's messages from the validation/test
     boundary onwards — the same horizon the offline test split covers, so
     alert quality is directly comparable to Table 5 metrics.  Like
-    :func:`build_engine`, ``predictor`` may be an in-memory predictor or a
-    saved-artifact reference.
+    :func:`build_engine`, ``source`` may be any backend and ``predictor``
+    an in-memory predictor or a saved-artifact reference.
     """
+    source = as_source(source)
     start = collection.dataset.split_hours[1]
     engine = build_engine(
-        world, collection, predictor, sinks=sinks, bucket_hours=bucket_hours,
+        source, collection, predictor, sinks=sinks, bucket_hours=bucket_hours,
         cache_entries=cache_entries, max_batch=max_batch,
         history_cutoff=start,
     )
     stream = MessageStream.replay(
-        world, start=start,
+        source, start=start,
         channel_ids=collection.exploration.explored_ids,
     )
     return engine.run(stream)

@@ -33,7 +33,7 @@ from repro.data.sessions import (
     parse_release_symbol,
 )
 from repro.serving.stats import ServiceStats
-from repro.simulation.messages import Message
+from repro.types import Message
 from repro.text import KeywordFilter
 
 

@@ -97,23 +97,25 @@ class PredictionService:
                 self._history[channel_id] = seeded
 
     @classmethod
-    def from_artifact(cls, artifact, world, dataset,
+    def from_artifact(cls, artifact, source, dataset,
                       **kwargs) -> "PredictionService":
         """Boot a service from a saved predictor artifact — no training.
 
         ``artifact`` is a :class:`repro.registry.PredictorArtifact` or a
-        path to an artifact directory; ``world``/``dataset`` supply the
-        market oracle and channel histories the features read from.  All
-        keyword arguments are forwarded to the constructor, so a cold
-        start is one call::
+        path to an artifact directory; ``source``/``dataset`` supply the
+        market oracle and channel histories the features read from (any
+        :class:`repro.sources.DataSource` backend, not necessarily the
+        one the model trained on).  All keyword arguments are forwarded
+        to the constructor, so a cold start is one call::
 
             service = PredictionService.from_artifact(
-                "models/snn/v0001", world, collection.dataset
+                "models/snn/v0001", source, collection.dataset
             )
         """
         from repro.core.predictor import TargetCoinPredictor
 
-        predictor = TargetCoinPredictor.from_artifact(artifact, world, dataset)
+        predictor = TargetCoinPredictor.from_artifact(artifact, source,
+                                                      dataset)
         return cls(predictor, **kwargs)
 
     # -- state ---------------------------------------------------------------

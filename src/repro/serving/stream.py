@@ -2,18 +2,17 @@
 
 A :class:`MessageSource` is anything that yields :class:`Message` objects —
 the seam where a live Telegram feed would plug in.  :class:`ReplaySource`
-replays an in-memory message list (e.g. a :class:`SyntheticWorld`'s) in
-timestamp order, optionally windowed in time and restricted to a monitored
-channel set.  :class:`MessageStream` wraps a source and enforces the
-engine's one contract: timestamps never go backwards.
+replays an in-memory message list (e.g. a data backend's) in timestamp
+order, optionally windowed in time and restricted to a monitored channel
+set.  :class:`MessageStream` wraps a source and enforces the engine's one
+contract: timestamps never go backwards.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
-from repro.simulation.messages import Message
-from repro.simulation.world import SyntheticWorld
+from repro.types import Message
 
 
 class MessageSource:
@@ -71,11 +70,22 @@ class MessageStream:
         self.consumed = 0
 
     @classmethod
-    def replay(cls, world: SyntheticWorld | Sequence[Message], *,
+    def replay(cls, source, *,
                start: float | None = None, stop: float | None = None,
                channel_ids: Sequence[int] | None = None) -> "MessageStream":
-        """A stream replaying a world's (or raw list's) messages."""
-        messages = world.messages if isinstance(world, SyntheticWorld) else world
+        """A stream replaying a data source's (or raw list's) messages.
+
+        ``source`` may be a :class:`repro.sources.DataSource` backend, a
+        synthetic world (anything with a ``messages`` feed), or a plain
+        message sequence.
+        """
+        feed = getattr(source, "messages", None)
+        if callable(feed):
+            messages = feed()          # a DataSource backend
+        elif feed is not None:
+            messages = feed            # a world-style .messages attribute
+        else:
+            messages = source          # a raw message sequence
         return cls(ReplaySource(messages, start=start, stop=stop,
                                 channel_ids=channel_ids))
 

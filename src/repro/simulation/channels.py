@@ -196,6 +196,18 @@ class ChannelPopulation:
     def pump_by_id(self) -> dict[int, PumpChannel]:
         return {c.channel_id: c for c in self.pump_channels}
 
+    def dead_channel_ids(self) -> set[int]:
+        """Channels a liveness probe would report deleted/inaccessible."""
+        return {c.channel_id for c in self.pump_channels if c.deleted}
+
+    def subscriber_counts(self) -> dict[int, int]:
+        """channel_id -> subscribers, for channels whose size is known.
+
+        Only pump channels carry subscriber counts in the simulation;
+        feature code falls back to a default for anything absent here.
+        """
+        return {c.channel_id: c.subscribers for c in self.pump_channels}
+
     def alive_pump_channels(self) -> list[PumpChannel]:
         return [c for c in self.pump_channels if not c.deleted]
 

@@ -20,15 +20,9 @@ import numpy as np
 
 from repro.utils.config import ReproConfig
 
-# Names of the simulated exchanges; index = exchange_id.  The first four
-# mirror the paper's Table: Binance, Yobit, Hotbit, Kucoin.
-EXCHANGE_NAMES = [
-    "Binance", "Yobit", "Hotbit", "Kucoin", "Bittrex", "Gateio",
-    "Okex", "Huobi", "Poloniex", "Bitmax", "Bilaxy", "Mexc",
-    "Latoken", "Probit", "Coinex", "Bigone", "Whitebit", "Bitmart",
-]
-
-PAIR_SYMBOLS = ["BTC", "ETH", "USDT"]
+# Exchange names and pairing majors are backend-neutral domain constants;
+# they live in repro.markets and are re-exported here for compatibility.
+from repro.markets import EXCHANGE_NAMES, PAIR_SYMBOLS  # noqa: F401
 
 _ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
 

@@ -16,7 +16,6 @@ Produces the full message stream the data-collection pipeline consumes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -28,11 +27,13 @@ from repro.simulation.market import MarketSimulator
 from repro.utils.config import ReproConfig
 from repro.utils.timeutil import to_timestamp
 
-# Message kinds; the first five are ground-truth "pump messages" (§3.2).
-PUMP_KINDS = frozenset({"announcement", "countdown", "final_call", "release", "review"})
-ALL_KINDS = PUMP_KINDS | {"vip_release", "topic", "sentiment", "invite", "generic"}
+# Message and its kind taxonomy are backend-neutral (a recorded dump or a
+# live feed yields the same type) and live in repro.types; re-exported here
+# for backward compatibility.
+from repro.types import ALL_KINDS, OCR_IMAGE_TEXT, PUMP_KINDS, Message  # noqa: E402
 
-OCR_IMAGE_TEXT = "[OCR-proof image]"
+__all__ = ["ALL_KINDS", "OCR_IMAGE_TEXT", "PUMP_KINDS", "Message",
+           "MessageGenerator"]
 
 _COUNTDOWN_OFFSETS = (36.0, 24.0, 12.0, 6.0, 3.0, 1.0, 0.5)
 
@@ -101,23 +102,6 @@ _HARD_NEGATIVE_BANK = (
     "30 minutes left!",
     "10 minutes left!",
 )
-
-
-@dataclass(frozen=True)
-class Message:
-    """A single Telegram message in the simulated world."""
-
-    message_id: int
-    channel_id: int
-    time: float          # fractional hours since world epoch
-    text: str
-    kind: str            # one of ALL_KINDS
-    event_id: int = -1   # owning pump event, if any
-
-    @property
-    def is_pump_message(self) -> bool:
-        """Ground-truth pump-message label (§3.2's annotation)."""
-        return self.kind in PUMP_KINDS
 
 
 class MessageGenerator:

@@ -99,3 +99,88 @@ class TestServiceStatsUnit:
         stats.forward_passes = 2
         stats.alerts = 5
         assert stats.mean_batch_size() == 2.5
+
+
+class _AlwaysPumpDetector:
+    """Stub: every message is a pump message."""
+
+    def is_pump(self, message):
+        return True
+
+
+class _OneShotSessionizer:
+    """Stub: every message immediately becomes its own announcement."""
+
+    def add(self, message):
+        from repro.serving.online import Announcement
+
+        return None, Announcement(
+            channel_id=message.channel_id, coin_id=0, exchange_id=0,
+            pair="BTC", time=message.time,
+        )
+
+    def flush(self):
+        return []
+
+
+class _BatchRecordingService:
+    """Stub: records the size of every micro-batch it is asked to score."""
+
+    def __init__(self):
+        self.batch_sizes = []
+
+    def knows_channel(self, channel_id):
+        return True
+
+    def has_candidates(self, announcement):
+        return True
+
+    def rank_batch(self, announcements):
+        self.batch_sizes.append(len(announcements))
+        return []
+
+
+class TestTimeEpsilonBoundary:
+    """Regression: the micro-batching boundary is *strictly greater than*
+    ``_TIME_EPSILON`` — two announcements exactly epsilon apart share one
+    forward pass; just beyond it they must not.
+    """
+
+    @staticmethod
+    def _run(times):
+        from repro.serving.engine import StreamEngine
+        from repro.serving.stream import MessageStream
+        from repro.types import Message
+
+        service = _BatchRecordingService()
+        engine = StreamEngine(
+            _AlwaysPumpDetector(), _OneShotSessionizer(), service,
+        )
+        messages = [
+            Message(message_id=i, channel_id=100 + i, time=t,
+                    text="Coin: XYZ", kind="release")
+            for i, t in enumerate(times)
+        ]
+        engine.run(MessageStream.replay(messages))
+        return service.batch_sizes
+
+    def test_exactly_epsilon_apart_share_a_batch(self):
+        from repro.serving.engine import _TIME_EPSILON
+
+        base = 100.0
+        assert self._run([base, base + _TIME_EPSILON]) == [2]
+
+    def test_just_beyond_epsilon_splits_the_batch(self):
+        from repro.serving.engine import _TIME_EPSILON
+
+        base = 100.0
+        assert self._run([base, base + 2.5 * _TIME_EPSILON]) == [1, 1]
+
+    def test_chain_of_epsilon_steps_batches_from_the_last_arrival(self):
+        """The boundary compares against the *latest* pending announcement,
+        so a chain of epsilon-spaced arrivals keeps extending one batch."""
+        from repro.serving.engine import _TIME_EPSILON
+
+        base = 100.0
+        times = [base, base + _TIME_EPSILON, base + 2 * _TIME_EPSILON]
+        assert self._run(times) == [3]

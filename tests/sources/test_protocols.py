@@ -1,0 +1,107 @@
+"""The protocol seam: coercion, adapter surface, descriptors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sources import (
+    ChannelDirectory,
+    CoinCatalog,
+    MarketDataSource,
+    SourceDataError,
+    SyntheticWorldSource,
+    as_source,
+    parse_source_spec,
+)
+
+
+class TestAsSource:
+    def test_world_is_wrapped(self, short_world):
+        source = as_source(short_world)
+        assert isinstance(source, SyntheticWorldSource)
+        assert source.kind == "synthetic"
+        assert source.world is short_world
+
+    def test_source_passes_through(self, short_world):
+        source = as_source(short_world)
+        assert as_source(source) is source
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError, match="cannot build a data source"):
+            as_source(42)
+
+
+class TestSyntheticAdapter:
+    def test_zero_copy_components(self, short_world):
+        source = as_source(short_world)
+        assert source.market is short_world.market
+        assert source.coins is short_world.coins
+        assert source.channels is short_world.channels
+        assert list(source.messages()) == list(short_world.messages)
+
+    def test_protocol_conformance(self, short_world):
+        source = as_source(short_world)
+        assert isinstance(source.market, MarketDataSource)
+        assert isinstance(source.coins, CoinCatalog)
+        assert isinstance(source.channels, ChannelDirectory)
+
+    def test_config_knobs(self, short_world):
+        source = as_source(short_world)
+        config = short_world.config
+        assert source.seed == config.seed
+        assert source.sequence_length == config.sequence_length
+        assert source.max_negatives_per_event == config.max_negatives_per_event
+        assert source.n_exchanges == config.n_exchanges
+        assert len(source.exchange_names) == config.n_exchanges
+        assert source.repro_config() is config
+
+    def test_descriptor_is_stable(self, short_world):
+        a = as_source(short_world).descriptor()
+        b = as_source(short_world).descriptor()
+        assert a == b
+        assert a["backend"] == "synthetic"
+        assert a["fingerprint"].startswith("synthetic:")
+
+    def test_channel_directory_protocol(self, short_world):
+        directory = as_source(short_world).channels
+        subs = directory.subscriber_counts()
+        pump_ids = {c.channel_id for c in short_world.channels.pump_channels}
+        assert set(subs) == pump_ids
+        assert directory.dead_channel_ids() <= pump_ids
+        assert set(directory.seed_channel_ids()) <= set(
+            directory.all_channel_ids()
+        )
+
+
+class TestParseSourceSpec:
+    def test_synthetic(self, short_world):
+        source = parse_source_spec("synthetic", config=short_world.config)
+        assert source.kind == "synthetic"
+        assert source.seed == short_world.config.seed
+
+    def test_file(self, dump_dir):
+        source = parse_source_spec(f"file:{dump_dir}")
+        assert source.kind == "file"
+        assert source.coins.n_coins > 0
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SourceDataError, match="unknown source spec"):
+            parse_source_spec("postgres://nope")
+
+    def test_rejects_empty_file_path(self):
+        with pytest.raises(SourceDataError, match="needs a dump directory"):
+            parse_source_spec("file:")
+
+
+class TestMarketParity:
+    """The adapter must answer market queries through the same object."""
+
+    def test_log_close_identical(self, short_world):
+        source = as_source(short_world)
+        coins = np.array([5, 9, 30])
+        hours = np.array([100.0, 500.5, 2000.25])
+        np.testing.assert_array_equal(
+            source.market.log_close(coins, hours),
+            short_world.market.log_close(coins, hours),
+        )

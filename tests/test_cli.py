@@ -309,3 +309,123 @@ class TestServeValidation:
         code = main(["models", "--registry", str(tmp_path), "validate"])
         assert code == 0
         assert "no models registered" in capsys.readouterr().out
+
+
+class TestSourceFlag:
+    def test_parser_defaults_to_synthetic(self):
+        args = build_parser().parse_args(["train"])
+        assert args.source == "synthetic"
+        args = build_parser().parse_args(["serve"])
+        assert args.source == "synthetic"
+
+    def test_unknown_source_spec_exits_cleanly(self, capsys):
+        assert main(["train", "--source", "postgres://x", "--epochs", "1"]) == 2
+        assert "unknown source spec" in capsys.readouterr().err
+
+    def test_missing_dump_exits_cleanly(self, capsys):
+        assert main(["serve", "--source", "file:/nonexistent-dump"]) == 2
+        assert "not a dump directory" in capsys.readouterr().err
+
+
+class TestIngestCommand:
+    def test_requires_an_input_mode(self, capsys):
+        assert main(["ingest", "--out", "x"]) == 2
+        assert "nothing to ingest" in capsys.readouterr().err
+
+    def test_modes_are_exclusive(self, capsys, tmp_path):
+        assert main(["ingest", "--out", str(tmp_path / "d"),
+                     "--from-synthetic", "--messages", "m.jsonl"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_raw_mode_requires_all_three_inputs(self, capsys, tmp_path):
+        assert main(["ingest", "--out", str(tmp_path / "d"),
+                     "--messages", "m.jsonl"]) == 2
+        assert "--candles" in capsys.readouterr().err
+
+
+class TestFileSourceRoundtrip:
+    """ingest → train --source file → registry → serve --source file."""
+
+    @pytest.fixture(scope="class")
+    def dump(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("cli-dump") / "dump"
+        code = main(["ingest", "--scale", "tiny", "--seed", "7",
+                     "--horizon", "2600", "--from-synthetic",
+                     "--out", str(out)])
+        assert code == 0
+        return out
+
+    def test_ingest_reports_fingerprint(self, dump, capsys):
+        assert (dump / "meta.json").is_file()
+        assert (dump / "candles.csv").is_file()
+
+    def test_train_register_serve_from_file(self, dump, tmp_path_factory,
+                                            capsys):
+        registry = tmp_path_factory.mktemp("cli-registry")
+        code = main(["train", "--source", f"file:{dump}", "--model", "dnn",
+                     "--epochs", "1", "--register", "dnn",
+                     "--registry", str(registry)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "registered dnn@v0001" in out
+
+        code = main(["serve", "--source", f"file:{dump}", "--load", "dnn",
+                     "--registry", str(registry), "--top-k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving from artifact" in out
+        assert "alerts:" in out
+
+        code = main(["models", "--registry", str(registry), "inspect", "dnn"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "provenance.data_source.backend" in out
+        assert "file" in out
+        assert "provenance.data_source.fingerprint" in out
+
+
+class TestDataPlaneErrorHandling:
+    """SourceDataError raised mid-pipeline must exit 2, not traceback."""
+
+    @pytest.fixture()
+    def gappy_dump(self, tmp_path):
+        import shutil
+
+        code = main(["ingest", "--scale", "tiny", "--seed", "7",
+                     "--horizon", "2600", "--from-synthetic",
+                     "--out", str(tmp_path / "full")])
+        assert code == 0
+        clone = tmp_path / "gappy"
+        shutil.copytree(tmp_path / "full", clone)
+        lines = (clone / "candles.csv").read_text().splitlines()
+        (clone / "candles.csv").write_text("\n".join(lines[:11]) + "\n")
+        return clone
+
+    def test_train_on_gappy_dump_exits_cleanly(self, gappy_dump, capsys):
+        assert main(["train", "--source", f"file:{gappy_dump}",
+                     "--epochs", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "repro train:" in err
+        assert "candle" in err
+
+    def test_serve_on_gappy_dump_exits_cleanly(self, gappy_dump, capsys):
+        assert main(["serve", "--source", f"file:{gappy_dump}",
+                     "--epochs", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "repro serve:" in err
+
+    def test_file_trained_artifact_omits_scale_provenance(self, tmp_path,
+                                                          capsys):
+        code = main(["ingest", "--scale", "tiny", "--seed", "7",
+                     "--horizon", "2600", "--from-synthetic",
+                     "--out", str(tmp_path / "d")])
+        assert code == 0
+        code = main(["train", "--source", f"file:{tmp_path / 'd'}",
+                     "--model", "dnn", "--epochs", "1",
+                     "--save", str(tmp_path / "art")])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["models", "inspect", str(tmp_path / "art")]) == 0
+        out = capsys.readouterr().out
+        assert "provenance.scale" not in out
+        assert "provenance.data_source.backend" in out
