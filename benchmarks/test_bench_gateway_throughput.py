@@ -1,0 +1,141 @@
+"""Gateway wire overhead: concurrent HTTP clients vs in-process calls.
+
+ISSUE 5's operational question: what does the JSON-over-HTTP hop cost
+relative to calling :class:`PredictionService` directly?  Both paths
+score the *same* fixed announcement mix through the same trained ranker;
+the in-process baseline runs the calls sequentially in-process, the
+gateway path hammers ``POST /v1/rank`` from several threads of
+:class:`GatewayClient`s against a real :class:`ThreadingHTTPServer`.
+
+Announcements carry the ``coin_id=-1`` sentinel so neither path mutates
+channel history — the workload is stationary and every request is
+directly comparable.  Reported: req/s plus client-observed p50/p99
+latency for both paths (``benchmarks/results/bench_gateway_throughput``).
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._reporting import report
+from benchmarks.conftest import run_once
+from repro.core import train_predictor
+from repro.data import collect
+from repro.gateway import GatewayApp, GatewayClient, serve_in_thread
+from repro.serving import Announcement, PredictionService
+from repro.simulation import SyntheticWorld
+from repro.utils import ReproConfig
+
+EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "8"))
+CLIENT_THREADS = 4
+REQUESTS_PER_CLIENT = 25
+
+
+@pytest.fixture(scope="module")
+def gateway_setup():
+    world = SyntheticWorld.generate(ReproConfig.tiny())
+    collection = collect(world)
+    predictor = train_predictor(world, collection, epochs=EPOCHS, seed=0)
+    positives = [
+        e for e in collection.dataset.examples
+        if e.label == 1 and e.split == "test"
+    ]
+    announcements = [
+        Announcement(channel_id=e.channel_id, coin_id=-1, exchange_id=0,
+                     pair="BTC", time=e.time)
+        for e in positives[:8]
+    ]
+    assert announcements, "tiny world produced no test positives"
+    return world, collection, predictor, announcements
+
+
+def percentiles(latencies_ms):
+    return (float(np.percentile(latencies_ms, 50)),
+            float(np.percentile(latencies_ms, 99)))
+
+
+def test_gateway_throughput(benchmark, gateway_setup):
+    world, collection, predictor, announcements = gateway_setup
+    total = CLIENT_THREADS * REQUESTS_PER_CLIENT
+    workload = [announcements[i % len(announcements)] for i in range(total)]
+
+    # -- in-process baseline -------------------------------------------------
+    baseline_service = PredictionService(predictor)
+    baseline_latencies = []
+    started = time.perf_counter()
+    for announcement in workload:
+        tick = time.perf_counter()
+        alert = baseline_service.rank_one(announcement)
+        baseline_latencies.append((time.perf_counter() - tick) * 1000.0)
+        assert alert.ranking.scores
+    baseline_seconds = time.perf_counter() - started
+    baseline_rps = total / baseline_seconds
+
+    # -- gateway: concurrent clients over real HTTP --------------------------
+    gateway_service = PredictionService(predictor)
+    app = GatewayApp(gateway_service)
+    server, _thread = serve_in_thread(app)
+    try:
+        shared_latencies = [[] for _ in range(CLIENT_THREADS)]
+        errors: list[BaseException] = []
+        start_line = threading.Barrier(CLIENT_THREADS + 1)
+
+        def hammer(worker: int) -> None:
+            client = GatewayClient(server.url)
+            chunk = workload[worker::CLIENT_THREADS]
+            try:
+                start_line.wait(timeout=60)
+                for announcement in chunk:
+                    tick = time.perf_counter()
+                    alert = client.rank(announcement)
+                    shared_latencies[worker].append(
+                        (time.perf_counter() - tick) * 1000.0
+                    )
+                    assert alert.ranking.scores
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=hammer, args=(index,))
+            for index in range(CLIENT_THREADS)
+        ]
+        for worker in workers:
+            worker.start()
+
+        def run_gateway_side():
+            start_line.wait(timeout=60)
+            for worker in workers:
+                worker.join()
+
+        started = time.perf_counter()
+        run_once(benchmark, run_gateway_side)
+        gateway_seconds = time.perf_counter() - started
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    assert not errors, f"gateway requests failed: {errors[:3]}"
+    gateway_latencies = [l for per in shared_latencies for l in per]
+    assert len(gateway_latencies) == total
+    gateway_rps = total / gateway_seconds
+
+    base_p50, base_p99 = percentiles(baseline_latencies)
+    gate_p50, gate_p99 = percentiles(gateway_latencies)
+    overhead_ms = gate_p50 - base_p50
+    report(
+        "bench_gateway_throughput",
+        f"workload: {total} rank requests, {len(announcements)} distinct "
+        f"announcements, {EPOCHS}-epoch snn\n"
+        f"in-process PredictionService (sequential): "
+        f"{baseline_rps:.0f} req/s, p50 {base_p50:.2f} ms, "
+        f"p99 {base_p99:.2f} ms\n"
+        f"HTTP gateway ({CLIENT_THREADS} concurrent clients): "
+        f"{gateway_rps:.0f} req/s, p50 {gate_p50:.2f} ms, "
+        f"p99 {gate_p99:.2f} ms\n"
+        f"wire + scheduling overhead at p50: {overhead_ms:.2f} ms",
+    )
+    # Sanity floor only — CI machines vary too much for a speed threshold.
+    assert gateway_rps > 0

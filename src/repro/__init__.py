@@ -30,6 +30,9 @@ Subpackages
     versioned model registry (train once, serve anywhere).
 ``repro.serving``
     Real-time streaming prediction service over the trained predictor.
+``repro.gateway``
+    Versioned HTTP/JSON serving API over the prediction service and the
+    model registry, plus the Python client SDK.
 ``repro.forecasting``
     §7: sentiment-enhanced BTC price forecasting.
 ``repro.analysis``

@@ -10,7 +10,11 @@ Commands
                 publishes it into the model registry.
 ``serve``     — replay the test period through the streaming prediction
                 service (``repro.serving``); ``--load`` boots from a saved
-                artifact (path or ``name[@version]``) without retraining.
+                artifact (path or ``name[@version]``) without retraining;
+                ``--gateway URL`` replays against a remote gateway instead.
+``gateway``   — serve the versioned HTTP/JSON prediction API
+                (``repro.gateway``): rank/observe/models/reload/healthz/
+                stats endpoints over a hot-swappable registry artifact.
 ``ingest``    — build a canonical file dump (``repro.sources``): either
                 export a synthetic replay or normalize raw CSV/JSONL files.
 ``models``    — list / inspect / validate registry contents.
@@ -275,11 +279,78 @@ def cmd_train(args) -> int:
     return 0
 
 
+def _print_replay_outcome(result, args) -> None:
+    """Shared epilogue of a local or remote test-period replay."""
+    print(format_table(
+        ["metric", "value"],
+        list(result.stats.summary().items()),
+        title="serving metrics",
+    ))
+    hits = [a for a in result.alerts if 0 < a.announced_rank <= args.top_k]
+    if result.alerts:
+        print(f"alerts: {len(result.alerts)}; released coin in "
+              f"top-{args.top_k}: {len(hits) / len(result.alerts):.0%}")
+    if args.jsonl:
+        print(f"alert records appended to {args.jsonl}")
+
+
+def _serve_remote(args) -> int:
+    """``repro serve --gateway URL``: replay against a remote gateway."""
+    from repro.data import collect
+    from repro.gateway import (
+        GatewayClient,
+        GatewayClientError,
+        GatewayConnectionError,
+        replay_against_gateway,
+    )
+    from repro.serving import ConsoleAlertSink, JsonLinesAlertSink
+    from repro.sources import SourceDataError
+
+    if args.load or args.model is not None or args.epochs is not None:
+        print("repro serve: --load/--model/--epochs are ignored with "
+              "--gateway (the remote gateway owns the model)",
+              file=sys.stderr)
+    try:
+        client = GatewayClient(args.gateway)
+    except ValueError as exc:
+        return _fail("serve", f"bad --gateway URL: {exc}")
+    try:
+        health = client.healthz()
+    except GatewayClientError as exc:
+        return _fail("serve", str(exc))
+    model = health.model or {}
+    print(f"replaying against gateway {client.base_url} "
+          f"(model {model.get('ref') or model.get('arch') or '?'})")
+    source, error = _build_source(args, "serve")
+    if error is not None:
+        return error
+    sinks = [ConsoleAlertSink(top_k=args.top_k)]
+    if args.jsonl:
+        sinks.append(JsonLinesAlertSink(args.jsonl, top_k=args.top_k))
+    try:
+        collection = collect(source)
+        result = replay_against_gateway(
+            source, collection, client, sinks=tuple(sinks),
+            max_batch=args.max_batch,
+        )
+    except SourceDataError as exc:
+        return _fail("serve", str(exc))
+    except GatewayClientError as exc:
+        return _fail("serve", str(exc))
+    finally:
+        for sink in sinks:
+            sink.close()
+    _print_replay_outcome(result, args)
+    return 0
+
+
 def cmd_serve(args) -> int:
     if args.max_batch < 1:
         return _fail("serve", "--max-batch must be >= 1")
     if args.top_k < 1:
         return _fail("serve", "--top-k must be >= 1")
+    if args.gateway:
+        return _serve_remote(args)
     from repro.core import train_predictor
     from repro.data import collect
     from repro.registry import ArtifactError, load_predictor
@@ -337,17 +408,81 @@ def cmd_serve(args) -> int:
         for sink in sinks:
             sink.close()
 
-    print(format_table(
-        ["metric", "value"],
-        list(result.stats.summary().items()),
-        title="serving metrics",
-    ))
-    hits = [a for a in result.alerts if 0 < a.announced_rank <= args.top_k]
-    if result.alerts:
-        print(f"alerts: {len(result.alerts)}; released coin in "
-              f"top-{args.top_k}: {len(hits) / len(result.alerts):.0%}")
-    if args.jsonl:
-        print(f"alert records appended to {args.jsonl}")
+    _print_replay_outcome(result, args)
+    return 0
+
+
+def cmd_gateway(args) -> int:
+    if args.max_batch < 1:
+        return _fail("gateway", "--max-batch must be >= 1")
+    if not 0 <= args.port <= 65535:
+        return _fail("gateway", "--port must be in [0, 65535]")
+
+    artifact_path, error = _resolve_artifact_path(
+        args.load, args.registry, "gateway"
+    )
+    if error is not None:
+        return error
+    source, error = _build_source(args, "gateway")
+    if error is not None:
+        return error
+
+    from repro.data import collect
+    from repro.gateway import GatewayApp, describe_model, make_server
+    from repro.registry import (
+        ArtifactError,
+        ModelRegistry,
+        parse_ref,
+        read_manifest,
+    )
+    from repro.serving import PredictionService
+    from repro.sources import SourceDataError
+
+    service_options = {
+        "bucket_hours": args.bucket_hours,
+        "cache_entries": 0 if args.no_cache else 512,
+    }
+    try:
+        collection = collect(source)
+        try:
+            manifest = read_manifest(artifact_path)
+            service = PredictionService.from_artifact(
+                artifact_path, source, collection.dataset, **service_options,
+            )
+        except ArtifactError as exc:
+            return _fail("gateway", f"cannot load {artifact_path}: {exc}")
+    except SourceDataError as exc:
+        return _fail("gateway", str(exc))
+
+    # A bare/registry ref keeps its name; a path ref records only the path.
+    name = None
+    if "/" not in args.load and os.sep not in args.load:
+        name, _version = parse_ref(args.load)
+    descriptor = describe_model(
+        args.load, artifact_path, manifest,
+        name=name, version=artifact_path.name if name else None,
+    )
+    app = GatewayApp(
+        service, registry=ModelRegistry(args.registry), model=descriptor,
+        max_batch=args.max_batch, service_options=service_options,
+    )
+    try:
+        server = make_server(app, args.host, args.port, verbose=args.verbose)
+    except OSError as exc:
+        return _fail("gateway",
+                     f"cannot bind {args.host}:{args.port}: {exc}")
+    host, port = server.server_address[:2]
+    print(f"gateway listening on http://{host}:{port} "
+          f"(model {args.load}, registry {args.registry})")
+    print("endpoints: POST /v1/rank  POST /v1/rank/batch  POST /v1/observe")
+    print("           GET /v1/models  POST /v1/models/reload  "
+          "GET /v1/healthz  GET /v1/stats")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("gateway: shutting down")
+    finally:
+        server.server_close()
     return 0
 
 
@@ -367,6 +502,16 @@ def cmd_models(args) -> int:
             # an empty-but-healthy registry.
             return _fail("models",
                          f"registry {args.registry!r} does not exist")
+        if args.json:
+            import json
+
+            from repro.registry import registry_payload
+
+            # The exact document GET /v1/models serves (sans "current"):
+            # one serializer, so the CLI and HTTP views cannot drift.
+            print(json.dumps(registry_payload(registry), indent=2,
+                             sort_keys=True))
+            return 0
         rows = []
         broken = 0
         for name in registry.models():
@@ -417,6 +562,14 @@ def cmd_models(args) -> int:
             # no decompression of the parameter arrays.
             manifest = read_manifest(path)
             verify_files(path, manifest)
+            if args.json:
+                import json
+
+                from repro.registry import manifest_payload
+
+                print(json.dumps(manifest_payload(path, manifest), indent=2,
+                                 sort_keys=True))
+                return 0
             rows = [
                 ["path", str(path)],
                 ["schema_version", manifest["schema_version"]],
@@ -607,7 +760,39 @@ def build_parser() -> argparse.ArgumentParser:
                               "name[@version]")
     p_serve.add_argument("--registry", default=DEFAULT_REGISTRY,
                          help="model registry root used to resolve --load")
+    p_serve.add_argument("--gateway", default="", metavar="URL",
+                         help="replay against a remote repro gateway "
+                              "instead of an in-process model (detection "
+                              "and sessionization stay local; every "
+                              "ranking goes over HTTP)")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_gateway = sub.add_parser(
+        "gateway", help="serve the HTTP/JSON prediction API (repro.gateway)"
+    )
+    _add_common(p_gateway)
+    p_gateway.add_argument("--source", default="synthetic", metavar="SPEC",
+                           help="data backend: 'synthetic' (generated from "
+                                "--scale/--seed) or 'file:<dump-dir>'")
+    p_gateway.add_argument("--load", required=True, metavar="REF",
+                           help="artifact to serve: a directory path or a "
+                                "registry name[@version]")
+    p_gateway.add_argument("--registry", default=DEFAULT_REGISTRY,
+                           help="model registry root (resolves --load and "
+                                "backs GET /v1/models + /v1/models/reload)")
+    p_gateway.add_argument("--host", default="127.0.0.1",
+                           help="bind address")
+    p_gateway.add_argument("--port", type=int, default=8787,
+                           help="bind port (0 picks a free one)")
+    p_gateway.add_argument("--max-batch", type=int, default=256,
+                           help="largest accepted /v1/rank/batch request")
+    p_gateway.add_argument("--bucket-hours", type=float, default=1.0,
+                           help="feature-cache time bucket (0 = exact times)")
+    p_gateway.add_argument("--no-cache", action="store_true",
+                           help="disable feature memoization")
+    p_gateway.add_argument("--verbose", action="store_true",
+                           help="log one line per HTTP request to stderr")
+    p_gateway.set_defaults(fn=cmd_gateway)
 
     p_models = sub.add_parser(
         "models", help="list / inspect / validate saved predictor artifacts"
@@ -615,11 +800,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_models.add_argument("--registry", default=DEFAULT_REGISTRY,
                           help="model registry root directory")
     models_sub = p_models.add_subparsers(dest="models_command", required=True)
-    models_sub.add_parser("list", help="list registered models and versions")
+    p_list = models_sub.add_parser(
+        "list", help="list registered models and versions"
+    )
+    p_list.add_argument("--json", action="store_true",
+                        help="machine-readable output (the GET /v1/models "
+                             "document)")
     p_inspect = models_sub.add_parser(
         "inspect", help="show one artifact's manifest summary"
     )
     p_inspect.add_argument("ref", help="artifact directory or name[@version]")
+    p_inspect.add_argument("--json", action="store_true",
+                           help="machine-readable manifest summary")
     p_validate = models_sub.add_parser(
         "validate", help="integrity-check artifacts (schema + checksums)"
     )

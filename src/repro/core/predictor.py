@@ -32,6 +32,12 @@ from repro.markets import PAIR_SYMBOLS
 from repro.ml.scaling import StandardScaler
 from repro.nn import Module, no_grad, run_compiled, stable_sigmoid
 from repro.sources.base import as_source
+from repro.utils.payload import (
+    payload_float as _payload_float,
+    payload_int as _payload_int,
+    payload_list as _payload_list,
+    payload_str as _payload_str,
+)
 
 
 @dataclass(frozen=True)
@@ -41,6 +47,21 @@ class CoinScore:
     coin_id: int
     symbol: str
     probability: float
+
+    def to_payload(self) -> dict:
+        """JSON-safe wire form (shared by the gateway server and client)."""
+        return {"coin_id": self.coin_id, "symbol": self.symbol,
+                "probability": self.probability}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CoinScore":
+        if not isinstance(payload, dict):
+            raise ValueError("score entry must be an object")
+        return cls(
+            coin_id=_payload_int(payload, "coin_id"),
+            symbol=_payload_str(payload, "symbol"),
+            probability=_payload_float(payload, "probability"),
+        )
 
 
 @dataclass(frozen=True)
@@ -85,6 +106,33 @@ class Ranking:
             if score.coin_id == coin_id:
                 return i + 1
         return -1
+
+    def to_payload(self) -> dict:
+        """JSON-safe wire form; probabilities survive bit-for-bit.
+
+        ``json`` serializes floats with ``repr`` (shortest round-tripping
+        form), so a ranking decoded from this payload compares exactly
+        equal to the in-process original — the property the gateway's
+        parity tests pin.
+        """
+        return {
+            "channel_id": self.channel_id,
+            "exchange_id": self.exchange_id,
+            "pump_time": self.pump_time,
+            "scores": [score.to_payload() for score in self.scores],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Ranking":
+        if not isinstance(payload, dict):
+            raise ValueError("ranking must be an object")
+        return cls(
+            channel_id=_payload_int(payload, "channel_id"),
+            exchange_id=_payload_int(payload, "exchange_id"),
+            pump_time=_payload_float(payload, "pump_time"),
+            scores=[CoinScore.from_payload(entry)
+                    for entry in _payload_list(payload, "scores")],
+        )
 
 
 class TargetCoinPredictor:
@@ -243,13 +291,16 @@ class TargetCoinPredictor:
         if not requests:
             return []
         seq_len = self.assembler.sequence_length
+        rankings: list[Ranking | None] = [None] * len(requests)
+        # Requests whose candidate set turned out non-empty, in batch order.
+        scored_indices: list[int] = []
         per_request_coins: list[np.ndarray] = []
         numeric_blocks: list[np.ndarray] = []
         channel_rows: list[np.ndarray] = []
         seq_ids_rows: list[np.ndarray] = []
         seq_numeric_rows: list[np.ndarray] = []
         seq_mask_rows: list[np.ndarray] = []
-        for request in requests:
+        for index, request in enumerate(requests):
             if request.channel_id not in self._channel_index:
                 raise KeyError(
                     f"channel {request.channel_id} unseen during training"
@@ -258,7 +309,17 @@ class TargetCoinPredictor:
             if coins is None:
                 coins = self.candidates(request.exchange_id, request.pump_time)
             if len(coins) == 0:
-                raise ValueError("no eligible coins listed at this time")
+                # Nothing listed (yet) for this announcement: an empty
+                # ranking, not an exception and not a model invocation —
+                # an always-on serving loop must outlive it.
+                rankings[index] = Ranking(
+                    channel_id=request.channel_id,
+                    exchange_id=request.exchange_id,
+                    pump_time=request.pump_time,
+                    scores=[],
+                )
+                continue
+            scored_indices.append(index)
             if features_fn is not None:
                 block = features_fn(request.exchange_id, coins,
                                     request.pump_time)
@@ -289,6 +350,8 @@ class TargetCoinPredictor:
             seq_ids_rows.append(np.tile(seq.coin_ids, (n, 1)))
             seq_numeric_rows.append(np.tile(seq_numeric, (n, 1, 1)))
             seq_mask_rows.append(np.tile(seq.mask, (n, 1)))
+        if not per_request_coins:
+            return rankings
         total = sum(len(c) for c in per_request_coins)
         batch = Batch(
             channel_idx=np.concatenate(channel_rows),
@@ -307,9 +370,9 @@ class TargetCoinPredictor:
             with no_grad():
                 logits = self.model(batch).numpy()
         probs = stable_sigmoid(logits)
-        rankings: list[Ranking] = []
         offset = 0
-        for request, coins in zip(requests, per_request_coins):
+        for index, coins in zip(scored_indices, per_request_coins):
+            request = requests[index]
             slice_probs = probs[offset:offset + len(coins)]
             offset += len(coins)
             order = np.argsort(-slice_probs)
@@ -319,10 +382,10 @@ class TargetCoinPredictor:
                           float(slice_probs[i]))
                 for i in order
             ]
-            rankings.append(Ranking(
+            rankings[index] = Ranking(
                 channel_id=request.channel_id,
                 exchange_id=request.exchange_id,
                 pump_time=request.pump_time,
                 scores=scores,
-            ))
+            )
         return rankings

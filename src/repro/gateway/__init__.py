@@ -1,0 +1,58 @@
+"""repro.gateway — the versioned HTTP/JSON serving surface.
+
+Everything in-process serving can do, over a wire protocol (ISSUE 5):
+``POST /v1/rank`` and ``/v1/rank/batch`` score announcements through the
+micro-batched :class:`~repro.serving.PredictionService`,
+``POST /v1/observe`` feeds channel history, ``GET /v1/models`` +
+``POST /v1/models/reload`` list and hot-swap
+:class:`~repro.registry.ModelRegistry` artifacts with zero dropped
+requests, and ``GET /v1/healthz`` / ``GET /v1/stats`` expose liveness and
+:class:`~repro.serving.ServiceStats`.
+
+Layers
+------
+``schema``  — wire-schema version, typed request/response dataclasses,
+              strict decode, stable error codes (:data:`ERROR_CODES`).
+``app``     — :class:`GatewayApp`: transport-free endpoint logic with an
+              atomically swappable service.
+``server``  — :class:`GatewayHTTPServer` (stdlib ``ThreadingHTTPServer``)
+              plus :func:`make_server` / :func:`serve_in_thread`.
+``client``  — :class:`GatewayClient`: the Python SDK; decodes responses
+              through the same codecs the server encodes with.
+``replay``  — :func:`replay_against_gateway`: drive a remote gateway from
+              a locally replayed message stream (``repro serve
+              --gateway``).
+"""
+
+from repro.gateway.app import DEFAULT_MAX_BATCH, GatewayApp, describe_model
+from repro.gateway.client import (
+    GatewayClient,
+    GatewayClientError,
+    GatewayConnectionError,
+    GatewayRequestError,
+)
+from repro.gateway.replay import (
+    RemoteReplay,
+    RemoteReplayResult,
+    replay_against_gateway,
+)
+from repro.gateway.schema import (
+    ERROR_CODES,
+    SCHEMA_VERSION,
+    GatewayFault,
+    error_envelope,
+)
+from repro.gateway.server import (
+    GatewayHTTPServer,
+    make_server,
+    serve_in_thread,
+)
+
+__all__ = [
+    "SCHEMA_VERSION", "ERROR_CODES", "GatewayFault", "error_envelope",
+    "GatewayApp", "describe_model", "DEFAULT_MAX_BATCH",
+    "GatewayHTTPServer", "make_server", "serve_in_thread",
+    "GatewayClient", "GatewayClientError", "GatewayConnectionError",
+    "GatewayRequestError",
+    "RemoteReplay", "RemoteReplayResult", "replay_against_gateway",
+]

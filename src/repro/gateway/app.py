@@ -1,0 +1,281 @@
+"""The gateway application: endpoint logic over a swappable service.
+
+:class:`GatewayApp` is transport-free — it maps typed requests
+(:mod:`repro.gateway.schema`) to typed responses over a
+:class:`~repro.serving.service.PredictionService`, a
+:class:`~repro.registry.ModelRegistry` and a set of counters.  The HTTP
+layer (:mod:`repro.gateway.server`) only routes, decodes and encodes;
+tests can drive the app directly without a socket.
+
+Hot-swap contract (``/v1/models/reload``)
+-----------------------------------------
+The replacement service is built *outside* the scoring lock (artifact
+load + compiled-plan verification take milliseconds to seconds; requests
+keep scoring on the old model meanwhile).  The swap itself happens under
+the scoring lock: the streamed history cache and the live
+:class:`ServiceStats` are carried across, and the service pointer is
+replaced in one assignment.  A request that already entered the scoring
+section finishes on the model it started with — nothing is dropped,
+nothing scores half-old-half-new.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+
+from repro.gateway.schema import (
+    E_BAD_ARTIFACT,
+    E_BATCH_TOO_LARGE,
+    E_NO_CANDIDATES,
+    E_NO_REGISTRY,
+    E_UNKNOWN_CHANNEL,
+    E_UNKNOWN_MODEL,
+    GatewayFault,
+    HealthResponseV1,
+    ModelsResponseV1,
+    ObserveRequestV1,
+    ObserveResponseV1,
+    RankBatchRequestV1,
+    RankBatchResponseV1,
+    RankRequestV1,
+    RankResponseV1,
+    ReloadRequestV1,
+    ReloadResponseV1,
+    StatsResponseV1,
+    bad_request,
+)
+from repro.serving.online import Announcement
+from repro.serving.service import Alert, PredictionService
+
+#: Default cap on ``/v1/rank/batch`` size (also the CLI default).
+DEFAULT_MAX_BATCH = 256
+
+
+def describe_model(ref: str | None, path=None, manifest: dict | None = None,
+                   *, name: str | None = None,
+                   version: str | None = None) -> dict:
+    """The model descriptor shown by ``/v1/healthz`` and ``/v1/models``."""
+    manifest = manifest or {}
+    model = manifest.get("model")
+    model = model if isinstance(model, dict) else {}
+    return {
+        "ref": ref,
+        "name": name,
+        "version": version,
+        "path": str(path) if path is not None else None,
+        "arch": model.get("name"),
+        "n_parameters": model.get("n_parameters"),
+    }
+
+
+class GatewayApp:
+    """Versioned JSON API over a hot-swappable prediction service.
+
+    Parameters
+    ----------
+    service:
+        The booted :class:`PredictionService` to serve.
+    registry:
+        Optional :class:`~repro.registry.ModelRegistry` backing
+        ``GET /v1/models`` and ``POST /v1/models/reload``; without one the
+        gateway serves its boot model forever and reload answers 409.
+    model:
+        Descriptor of the currently served artifact (see
+        :func:`describe_model`); surfaced by health/models endpoints.
+    max_batch:
+        ``/v1/rank/batch`` requests larger than this fail with the stable
+        code ``batch_too_large`` instead of monopolizing the model.
+    service_options:
+        Keyword arguments re-applied when reload builds the replacement
+        service (``bucket_hours``, ``cache_entries``, ...).
+    """
+
+    def __init__(self, service: PredictionService, *, registry=None,
+                 model: dict | None = None, max_batch: int = DEFAULT_MAX_BATCH,
+                 service_options: dict | None = None):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._service = service
+        self.registry = registry
+        self.max_batch = max_batch
+        self._service_options = dict(service_options or {})
+        if model is None:
+            model = describe_model(None)
+            model["arch"] = type(service.predictor.model).__name__
+        self.model = dict(model)
+        self.reloads = 0
+        self._started = _time.monotonic()
+        # _swap_lock serializes reloads; _score_lock serializes every
+        # touch of the (stateful, non-thread-safe) service internals.
+        self._swap_lock = threading.Lock()
+        self._score_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self.counters: dict[str, int] = {}
+
+    @property
+    def service(self) -> PredictionService:
+        """The currently serving service (atomically swapped on reload)."""
+        return self._service
+
+    def count(self, key: str) -> None:
+        with self._counter_lock:
+            self.counters[key] = self.counters.get(key, 0) + 1
+
+    # -- scoring -------------------------------------------------------------
+
+    @staticmethod
+    def _check_coin(service: PredictionService,
+                    announcement: Announcement) -> None:
+        """Refuse coin ids outside the universe before they reach history.
+
+        A ranked or observed announcement with ``coin_id >= 0`` is folded
+        into the channel's pump history; an id no catalog row backs would
+        crash feature encoding on every later request for that channel —
+        permanently, since reload carries history across.  (< 0 is the
+        legitimate "unknown released coin" sentinel.)
+        """
+        universe = len(service.predictor.source.coins.symbols)
+        if announcement.coin_id >= universe:
+            raise bad_request(
+                f"coin_id {announcement.coin_id} is outside the coin "
+                f"universe (0..{universe - 1})"
+            )
+
+    def _ranked(self, announcements: list[Announcement]) -> list[Alert]:
+        """Gate + score a micro-batch under the scoring lock.
+
+        The same gates the streaming engine applies
+        (:meth:`StreamEngine.run`), but as stable 4xx codes instead of
+        silent skips: the remote caller, unlike the replay loop, needs to
+        know *why* an announcement was refused.
+        """
+        with self._score_lock:
+            service = self._service
+            for announcement in announcements:
+                self._check_coin(service, announcement)
+                if not service.knows_channel(announcement.channel_id):
+                    raise GatewayFault(
+                        E_UNKNOWN_CHANNEL, 422,
+                        f"channel {announcement.channel_id} was not part of "
+                        "the training universe",
+                    )
+            for announcement in announcements:
+                if not service.has_candidates(announcement):
+                    raise GatewayFault(
+                        E_NO_CANDIDATES, 422,
+                        f"no eligible coins listed on exchange "
+                        f"{announcement.exchange_id} at time "
+                        f"{announcement.time}",
+                    )
+            return service.rank_batch(list(announcements))
+
+    def rank(self, request: RankRequestV1) -> RankResponseV1:
+        self.count("rank")
+        return RankResponseV1(self._ranked([request.announcement])[0])
+
+    def rank_batch(self, request: RankBatchRequestV1) -> RankBatchResponseV1:
+        self.count("rank_batch")
+        size = len(request.announcements)
+        if size > self.max_batch:
+            raise GatewayFault(
+                E_BATCH_TOO_LARGE, 413,
+                f"batch of {size} announcements exceeds the gateway's "
+                f"max_batch={self.max_batch}; split the request",
+            )
+        if not request.announcements:
+            return RankBatchResponseV1(())
+        return RankBatchResponseV1(
+            tuple(self._ranked(list(request.announcements)))
+        )
+
+    def observe(self, request: ObserveRequestV1) -> ObserveResponseV1:
+        self.count("observe")
+        announcement = request.announcement
+        with self._score_lock:
+            service = self._service
+            self._check_coin(service, announcement)
+            service.observe(announcement)
+            length = len(service.history(announcement.channel_id))
+        return ObserveResponseV1(channel_id=announcement.channel_id,
+                                 history_length=length)
+
+    # -- model lifecycle -----------------------------------------------------
+
+    def reload(self, request: ReloadRequestV1) -> ReloadResponseV1:
+        self.count("reload")
+        if self.registry is None:
+            raise GatewayFault(
+                E_NO_REGISTRY, 409,
+                "this gateway was started without a model registry; "
+                "restart it with --registry to enable hot reload",
+            )
+        from repro.registry import (
+            ArtifactError,
+            RegistryError,
+            parse_ref,
+            read_manifest,
+        )
+
+        name, version = parse_ref(request.ref)
+        with self._swap_lock:
+            try:
+                path = self.registry.resolve(name, version)
+            except RegistryError as exc:
+                raise GatewayFault(E_UNKNOWN_MODEL, 404, str(exc)) from None
+            old_service = self._service
+            predictor = old_service.predictor
+            try:
+                manifest = read_manifest(path)
+                replacement = PredictionService.from_artifact(
+                    path, predictor.source, predictor.dataset,
+                    stats=old_service.stats, **self._service_options,
+                )
+            except ArtifactError as exc:
+                raise GatewayFault(
+                    E_BAD_ARTIFACT, 409,
+                    f"artifact {request.ref!r} failed to load: {exc}",
+                ) from None
+            descriptor = describe_model(request.ref, path, manifest,
+                                        name=name, version=path.name)
+            with self._score_lock:
+                # Carry the streamed history across so the new model sees
+                # exactly the pump sequences the old one accumulated.
+                replacement.restore_history(old_service.history_snapshot())
+                previous, self.model = self.model, descriptor
+                self._service = replacement
+            self.reloads += 1
+        return ReloadResponseV1(model=descriptor, previous=previous)
+
+    def models(self) -> ModelsResponseV1:
+        self.count("models")
+        if self.registry is None:
+            return ModelsResponseV1(registry=None, current=dict(self.model))
+        from repro.registry import registry_payload
+
+        payload = registry_payload(self.registry)
+        return ModelsResponseV1(registry=payload["root"],
+                                current=dict(self.model),
+                                models=payload["models"])
+
+    # -- introspection -------------------------------------------------------
+
+    def healthz(self) -> HealthResponseV1:
+        return HealthResponseV1(
+            status="ok",
+            model=dict(self.model),
+            uptime_seconds=_time.monotonic() - self._started,
+            reloads=self.reloads,
+        )
+
+    def stats(self) -> StatsResponseV1:
+        with self._counter_lock:
+            counters = dict(self.counters)
+        gateway = {
+            "max_batch": self.max_batch,
+            "reloads": self.reloads,
+            "uptime_seconds": round(_time.monotonic() - self._started, 3),
+            "requests": counters,
+        }
+        return StatsResponseV1(service=self._service.stats.summary(),
+                               gateway=gateway)

@@ -1,0 +1,197 @@
+"""Python client SDK for the gateway (stdlib ``http.client`` only).
+
+:class:`GatewayClient` speaks the versioned wire schema and hands back the
+same domain objects the in-process API produces — ``rank`` returns an
+:class:`~repro.serving.service.Alert`, decoded through the shared
+``from_payload`` codecs, so a remote ranking compares bit-for-bit with an
+in-process one.  Server refusals surface as
+:class:`GatewayRequestError` carrying the envelope's stable ``code``;
+transport problems (connection refused, timeouts, non-JSON replies) as
+:class:`GatewayConnectionError`.
+
+>>> client = GatewayClient("http://127.0.0.1:8787")        # doctest: +SKIP
+>>> alert = client.rank(Announcement(channel_id=3, coin_id=-1,
+...                                  exchange_id=0, pair="BTC",
+...                                  time=2410.0))         # doctest: +SKIP
+>>> alert.top(3)                                           # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Sequence
+from urllib.parse import urlsplit
+
+from repro.gateway.schema import (
+    SCHEMA_VERSION,
+    GatewayFault,
+    HealthResponseV1,
+    ModelsResponseV1,
+    ObserveRequestV1,
+    ObserveResponseV1,
+    RankBatchRequestV1,
+    RankBatchResponseV1,
+    RankRequestV1,
+    RankResponseV1,
+    ReloadRequestV1,
+    ReloadResponseV1,
+    StatsResponseV1,
+)
+from repro.serving.online import Announcement
+from repro.serving.service import Alert
+
+
+class GatewayClientError(RuntimeError):
+    """Base of everything the client raises."""
+
+
+class GatewayConnectionError(GatewayClientError):
+    """The gateway could not be reached or answered gibberish."""
+
+
+class GatewayRequestError(GatewayClientError):
+    """The gateway refused the request with a structured error envelope."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class GatewayClient:
+    """Talk to one ``repro gateway`` over HTTP/JSON.
+
+    A fresh connection is opened per request, so one client instance is
+    safe to share across threads (the benchmark's concurrent clients do).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        parts = urlsplit(base_url if "//" in base_url
+                         else f"http://{base_url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(
+                f"unsupported scheme {parts.scheme!r}: the stdlib gateway "
+                "speaks plain http"
+            )
+        if not parts.hostname:
+            raise ValueError(f"no host in gateway URL {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        # A path component means the gateway sits behind a prefix-routing
+        # reverse proxy; silently dropping it would send every request to
+        # the proxy root.
+        self.path_prefix = parts.path.rstrip("/")
+        self.timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}{self.path_prefix}"
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            connection.request(method, self.path_prefix + path, body=body,
+                               headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        except (OSError, http.client.HTTPException) as exc:
+            raise GatewayConnectionError(
+                f"cannot reach gateway at {self.base_url}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise GatewayConnectionError(
+                f"gateway at {self.base_url} returned non-JSON "
+                f"(status {status}): {raw[:200]!r}"
+            ) from exc
+        if status >= 400:
+            error = decoded.get("error") if isinstance(decoded, dict) else None
+            if isinstance(error, dict):
+                raise GatewayRequestError(
+                    status, str(error.get("code", "unknown")),
+                    str(error.get("message", "")),
+                )
+            raise GatewayConnectionError(
+                f"gateway returned status {status} without an error envelope"
+            )
+        if not isinstance(decoded, dict):
+            raise GatewayConnectionError(
+                "gateway response body is not a JSON object"
+            )
+        return decoded
+
+    @staticmethod
+    def _decode(decoder, payload: dict):
+        try:
+            return decoder(payload)
+        except GatewayFault as fault:
+            raise GatewayConnectionError(
+                f"gateway response failed schema decode: {fault.message}"
+            ) from None
+
+    # -- API -----------------------------------------------------------------
+
+    def rank(self, announcement: Announcement) -> Alert:
+        """Score one announcement; returns the decoded :class:`Alert`."""
+        payload = self._request(
+            "POST", "/v1/rank", RankRequestV1(announcement).to_payload()
+        )
+        return self._decode(RankResponseV1.decode, payload).alert
+
+    def rank_batch(self,
+                   announcements: Sequence[Announcement]) -> list[Alert]:
+        """Score a micro-batch in one server-side forward pass."""
+        request = RankBatchRequestV1(tuple(announcements))
+        payload = self._request("POST", "/v1/rank/batch",
+                                request.to_payload())
+        return list(self._decode(RankBatchResponseV1.decode, payload).alerts)
+
+    def observe(self, announcement: Announcement) -> ObserveResponseV1:
+        """Feed a resolved release into the server's history cache."""
+        payload = self._request(
+            "POST", "/v1/observe",
+            ObserveRequestV1(announcement).to_payload(),
+        )
+        return self._decode(ObserveResponseV1.decode, payload)
+
+    def models(self) -> ModelsResponseV1:
+        return self._decode(ModelsResponseV1.decode,
+                            self._request("GET", "/v1/models"))
+
+    def reload(self, ref: str) -> ReloadResponseV1:
+        """Hot-swap the serving model to a registry ``name[@version]``."""
+        payload = self._request("POST", "/v1/models/reload",
+                                ReloadRequestV1(ref).to_payload())
+        return self._decode(ReloadResponseV1.decode, payload)
+
+    def healthz(self) -> HealthResponseV1:
+        return self._decode(HealthResponseV1.decode,
+                            self._request("GET", "/v1/healthz"))
+
+    def stats(self) -> StatsResponseV1:
+        return self._decode(StatsResponseV1.decode,
+                            self._request("GET", "/v1/stats"))
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "GatewayClient",
+    "GatewayClientError",
+    "GatewayConnectionError",
+    "GatewayRequestError",
+]

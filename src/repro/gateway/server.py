@@ -1,0 +1,192 @@
+"""Stdlib HTTP transport for the gateway (``http.server``, no new deps).
+
+:class:`GatewayHTTPServer` is a :class:`ThreadingHTTPServer` whose handler
+routes the versioned ``/v1/...`` endpoints to a :class:`GatewayApp`.  The
+transport layer owns exactly three jobs — routing, body decoding and
+response encoding — and converts every failure into the uniform error
+envelope: a :class:`GatewayFault` keeps its stable code and status, any
+other exception becomes a 500 ``internal`` envelope (never a traceback on
+the wire).
+
+``serve_in_thread`` backs the tests and benchmarks; the blocking
+``serve_forever`` path backs ``repro gateway``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.gateway.app import GatewayApp
+from repro.gateway.schema import (
+    E_INTERNAL,
+    E_METHOD_NOT_ALLOWED,
+    E_NOT_FOUND,
+    E_PAYLOAD_TOO_LARGE,
+    GatewayFault,
+    ObserveRequestV1,
+    RankBatchRequestV1,
+    RankRequestV1,
+    ReloadRequestV1,
+    bad_request,
+    decode_json_body,
+    error_envelope,
+)
+
+#: Raw request bodies beyond this fail with ``payload_too_large`` before
+#: any JSON parsing — a gateway facing the open internet must bound reads.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_GET_ROUTES = {
+    "/v1/healthz": lambda app, _payload: app.healthz(),
+    "/v1/stats": lambda app, _payload: app.stats(),
+    "/v1/models": lambda app, _payload: app.models(),
+}
+
+_POST_ROUTES = {
+    "/v1/rank": lambda app, payload: app.rank(RankRequestV1.decode(payload)),
+    "/v1/rank/batch": lambda app, payload: app.rank_batch(
+        RankBatchRequestV1.decode(payload)),
+    "/v1/observe": lambda app, payload: app.observe(
+        ObserveRequestV1.decode(payload)),
+    "/v1/models/reload": lambda app, payload: app.reload(
+        ReloadRequestV1.decode(payload)),
+}
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    server_version = "repro-gateway/1"
+    protocol_version = "HTTP/1.1"
+    # Socket read timeout: a client that stalls mid-headers or sends fewer
+    # body bytes than its Content-Length must not pin a handler thread
+    # forever — size alone (MAX_BODY_BYTES) does not bound time.
+    timeout = 60
+
+    @property
+    def app(self) -> GatewayApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_body(self) -> bytes:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True
+            raise bad_request("Content-Length header is not a number") \
+                from None
+        if length < 0:
+            # read(-1) would block until client EOF, pinning the handler
+            # thread; refuse and drop the (unreadable) connection.
+            self.close_connection = True
+            raise bad_request("Content-Length header must be non-negative")
+        if length > MAX_BODY_BYTES:
+            # The body stays unread, so this keep-alive connection cannot
+            # be reused — close it instead of misparsing the remainder.
+            self.close_connection = True
+            raise GatewayFault(
+                E_PAYLOAD_TOO_LARGE, 413,
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+            )
+        return self.rfile.read(length) if length else b""
+
+    def _dispatch(self, routes, other_routes) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            # Drain the body before routing: a 404/405 that left it unread
+            # would be misparsed as the keep-alive connection's next
+            # request line.
+            body = self._read_body()
+            handler = routes.get(path)
+            if handler is None:
+                if path in other_routes:
+                    raise GatewayFault(
+                        E_METHOD_NOT_ALLOWED, 405,
+                        f"{self.command} is not allowed on {path}",
+                    )
+                raise GatewayFault(E_NOT_FOUND, 404,
+                                   f"no such endpoint: {path}")
+            payload = None
+            if routes is _POST_ROUTES:
+                payload = decode_json_body(body)
+            response = handler(self.app, payload)
+            self._send_json(200, response.to_payload())
+        except GatewayFault as fault:
+            self.app.count("errors")
+            self._send_json(fault.status, error_envelope(fault))
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # noqa: BLE001 - boundary: envelope, not trace
+            self.app.count("errors")
+            self.close_connection = True
+            fault = GatewayFault(
+                E_INTERNAL, 500,
+                f"internal error ({type(exc).__name__}); see server logs",
+            )
+            self._send_json(500, error_envelope(fault))
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(_GET_ROUTES, _POST_ROUTES)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch(_POST_ROUTES, _GET_ROUTES)
+
+    def _reject_method(self) -> None:
+        """Any other verb: the envelope contract still applies (the stdlib
+        default would answer with an HTML 501 page).  405 on known paths,
+        404 on unknown ones."""
+        if self.command == "HEAD":
+            # A HEAD reply must not carry a body; ours does (the envelope),
+            # so drop the connection rather than desync the client parser.
+            self.close_connection = True
+        self._dispatch({}, {**_GET_ROUTES, **_POST_ROUTES})
+
+    do_PUT = do_DELETE = do_PATCH = do_HEAD = do_OPTIONS = _reject_method
+
+
+class GatewayHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`GatewayApp`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], app: GatewayApp,
+                 verbose: bool = False):
+        super().__init__(address, _GatewayHandler)
+        self.app = app
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(app: GatewayApp, host: str = "127.0.0.1",
+                port: int = 0, verbose: bool = False) -> GatewayHTTPServer:
+    """Bind a gateway server (``port=0`` picks a free port)."""
+    return GatewayHTTPServer((host, port), app, verbose=verbose)
+
+
+def serve_in_thread(app: GatewayApp, host: str = "127.0.0.1",
+                    port: int = 0) -> tuple[GatewayHTTPServer,
+                                            threading.Thread]:
+    """Start a gateway in a daemon thread; caller shuts the server down."""
+    server = make_server(app, host, port)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-gateway", daemon=True)
+    thread.start()
+    return server, thread

@@ -12,6 +12,9 @@ The model-lifecycle layer between training and serving:
     :class:`ModelRegistry` — named, versioned artifacts on disk with an
     atomically updated ``LATEST`` pointer and bulk validation, backing the
     ``repro models`` CLI and ``repro serve --load``.
+``describe``
+    JSON-safe registry/artifact summaries shared by ``repro models
+    list/inspect --json`` and the gateway's ``GET /v1/models``.
 """
 
 from repro.registry.artifact import (
@@ -30,6 +33,11 @@ from repro.registry.artifact import (
     save_artifact,
     verify_files,
 )
+from repro.registry.describe import (
+    entry_payload,
+    manifest_payload,
+    registry_payload,
+)
 from repro.registry.registry import (
     ModelRegistry,
     RegistryEntry,
@@ -43,4 +51,5 @@ __all__ = [
     "read_manifest", "verify_files", "is_artifact_dir", "check_save_target",
     "ArtifactError", "ArtifactSchemaError", "ArtifactIntegrityError",
     "ModelRegistry", "RegistryEntry", "RegistryError", "parse_ref",
+    "entry_payload", "manifest_payload", "registry_payload",
 ]

@@ -26,7 +26,59 @@ from repro.serving.stream import MessageStream
 from repro.sources.base import as_source
 
 # Two stream timestamps closer than this are "concurrent" for batching.
-_TIME_EPSILON = 1e-9
+TIME_EPSILON = 1e-9
+_TIME_EPSILON = TIME_EPSILON    # backward-compatible alias
+
+
+def drive_stream(stream: MessageStream, *, detector: OnlineDetector,
+                 sessionizer: OnlineSessionizer, stats: ServiceStats,
+                 rank_batch, max_batch: int,
+                 sinks: tuple[AlertSink, ...] = (),
+                 admit=None) -> tuple[list[Alert], list[Announcement]]:
+    """The micro-batching event loop shared by local and remote serving.
+
+    Messages flow through detection and sessionization one at a time;
+    announcements landing within :data:`TIME_EPSILON` of each other are
+    grouped, and every group is scored through ``rank_batch(batch) ->
+    (alerts, skipped)`` in ``max_batch``-sized slices.  ``admit``, when
+    given, gates each announcement before it joins a batch (return False
+    to skip it).  One loop serves both :class:`StreamEngine` (in-process
+    ranking, local gates) and :class:`repro.gateway.RemoteReplay`
+    (ranking over HTTP, server-side gates) — the bit-for-bit remote/local
+    alert parity rests on them batching identically, so there is exactly
+    one implementation to keep correct.
+    """
+    alerts: list[Alert] = []
+    skipped: list[Announcement] = []
+    pending: list[Announcement] = []
+
+    def flush() -> None:
+        while pending:
+            batch, pending[:] = pending[:max_batch], pending[max_batch:]
+            batch_alerts, batch_skipped = rank_batch(batch)
+            skipped.extend(batch_skipped)
+            for alert in batch_alerts:
+                for sink in sinks:
+                    sink.emit(alert)
+            alerts.extend(batch_alerts)
+
+    with stats.timed_run():
+        for message in stream:
+            if pending and message.time > pending[-1].time + TIME_EPSILON:
+                flush()
+            stats.messages += 1
+            if not detector.is_pump(message):
+                continue
+            _closed, announcement = sessionizer.add(message)
+            if announcement is None:
+                continue
+            if admit is not None and not admit(announcement):
+                skipped.append(announcement)
+                continue
+            pending.append(announcement)
+        flush()
+        sessionizer.flush()
+    return alerts, skipped
 
 
 @dataclass
@@ -54,46 +106,26 @@ class StreamEngine:
         self.max_batch = max_batch
         self.stats = stats or ServiceStats()
 
+    def _admit(self, announcement: Announcement) -> bool:
+        """Gate an announcement before it joins a micro-batch."""
+        if not self.service.knows_channel(announcement.channel_id):
+            self.stats.unknown_channels += 1
+            return False
+        if not self.service.has_candidates(announcement):
+            # An always-on loop must outlive odd announcements
+            # (e.g. an exchange with nothing listed yet).
+            self.stats.no_candidates += 1
+            return False
+        return True
+
     def run(self, stream: MessageStream) -> EngineResult:
         """Replay the stream to exhaustion, emitting alerts along the way."""
-        alerts: list[Alert] = []
-        skipped: list[Announcement] = []
-        pending: list[Announcement] = []
-
-        def flush() -> None:
-            while pending:
-                batch, pending[:] = pending[:self.max_batch], \
-                    pending[self.max_batch:]
-                batch_alerts = self.service.rank_batch(batch)
-                for alert in batch_alerts:
-                    for sink in self.sinks:
-                        sink.emit(alert)
-                alerts.extend(batch_alerts)
-
-        with self.stats.timed_run():
-            for message in stream:
-                if pending and \
-                        message.time > pending[-1].time + _TIME_EPSILON:
-                    flush()
-                self.stats.messages += 1
-                if not self.detector.is_pump(message):
-                    continue
-                _closed, announcement = self.sessionizer.add(message)
-                if announcement is None:
-                    continue
-                if not self.service.knows_channel(announcement.channel_id):
-                    self.stats.unknown_channels += 1
-                    skipped.append(announcement)
-                    continue
-                if not self.service.has_candidates(announcement):
-                    # An always-on loop must outlive odd announcements
-                    # (e.g. an exchange with nothing listed yet).
-                    self.stats.no_candidates += 1
-                    skipped.append(announcement)
-                    continue
-                pending.append(announcement)
-            flush()
-            self.sessionizer.flush()
+        alerts, skipped = drive_stream(
+            stream, detector=self.detector, sessionizer=self.sessionizer,
+            stats=self.stats, max_batch=self.max_batch, sinks=self.sinks,
+            admit=self._admit,
+            rank_batch=lambda batch: (self.service.rank_batch(batch), []),
+        )
         return EngineResult(alerts=alerts, stats=self.stats, skipped=skipped)
 
 

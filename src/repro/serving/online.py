@@ -35,6 +35,7 @@ from repro.data.sessions import (
 from repro.serving.stats import ServiceStats
 from repro.types import Message
 from repro.text import KeywordFilter
+from repro.utils.payload import payload_float, payload_int, payload_str
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,12 @@ class Announcement:
 
     Field-compatible with :class:`PnDSample`; ``sample()`` converts, so the
     serving history cache and the offline dataset speak the same type.
+
+    ``coin_id`` may be ``-1`` — "released coin not (yet) known" — which is
+    the normal case for a *prediction* request arriving over the gateway:
+    the caller asks which coin will pump before the channel reveals it.
+    Sentinel announcements rank normally but are never folded into a
+    channel's pump history (see :meth:`PredictionService.observe`).
     """
 
     channel_id: int
@@ -55,6 +62,31 @@ class Announcement:
         return PnDSample(channel_id=self.channel_id, coin_id=self.coin_id,
                          exchange_id=self.exchange_id, pair=self.pair,
                          time=self.time)
+
+    # -- wire codec (shared by the gateway server, client and sinks) --------
+
+    def to_payload(self) -> dict:
+        return {"channel_id": self.channel_id, "coin_id": self.coin_id,
+                "exchange_id": self.exchange_id, "pair": self.pair,
+                "time": self.time}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Announcement":
+        """Strict decode; raises :class:`ValueError` naming the bad field.
+
+        ``channel_id`` and ``time`` are required; ``coin_id`` defaults to
+        the ``-1`` sentinel, ``exchange_id`` to Binance (0) and ``pair``
+        to BTC — the same defaults offline sample extraction applies.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("announcement must be an object")
+        return cls(
+            channel_id=payload_int(payload, "channel_id"),
+            coin_id=payload_int(payload, "coin_id", default=-1),
+            exchange_id=payload_int(payload, "exchange_id", default=0),
+            pair=payload_str(payload, "pair", default="BTC"),
+            time=payload_float(payload, "time"),
+        )
 
 
 class OnlineDetector:

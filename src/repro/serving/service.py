@@ -30,6 +30,7 @@ from repro.nn.compile import prewarm
 from repro.serving.cache import FeatureCache
 from repro.serving.online import Announcement
 from repro.serving.stats import ServiceStats
+from repro.utils.payload import payload_float, payload_object
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,33 @@ class Alert:
 
     def top(self, k: int):
         return self.ranking.top(k)
+
+    # -- wire codec (shared by the gateway server and client) ----------------
+
+    def to_payload(self) -> dict:
+        """JSON-safe wire form; ranking probabilities survive bit-for-bit.
+
+        ``announced_rank`` is included for consumers but is derived state:
+        :meth:`from_payload` recomputes it from the decoded ranking.
+        """
+        return {
+            "announcement": self.announcement.to_payload(),
+            "ranking": self.ranking.to_payload(),
+            "latency_ms": self.latency_ms,
+            "announced_rank": self.announced_rank,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Alert":
+        if not isinstance(payload, dict):
+            raise ValueError("alert must be an object")
+        return cls(
+            announcement=Announcement.from_payload(
+                payload_object(payload, "announcement")
+            ),
+            ranking=Ranking.from_payload(payload_object(payload, "ranking")),
+            latency_ms=payload_float(payload, "latency_ms", default=0.0),
+        )
 
 
 class PredictionService:
@@ -143,10 +171,34 @@ class PredictionService:
         return list(self._history.get(channel_id, ()))
 
     def observe(self, announcement: Announcement) -> None:
-        """Fold a served announcement into the channel's history cache."""
+        """Fold a served announcement into the channel's history cache.
+
+        Announcements carrying the ``coin_id == -1`` sentinel (a gateway
+        prediction request whose released coin is not known yet) are
+        ignored: a placeholder coin in the pump history would poison the
+        sequence features of every later request on that channel.
+        """
+        if announcement.coin_id < 0:
+            return
         self._history.setdefault(announcement.channel_id, []).append(
             announcement.sample()
         )
+
+    def history_snapshot(self) -> dict[int, list[PnDSample]]:
+        """Copy of the full per-channel history cache (for hot-swaps)."""
+        return {channel_id: list(samples)
+                for channel_id, samples in self._history.items()}
+
+    def restore_history(self,
+                        snapshot: dict[int, list[PnDSample]]) -> None:
+        """Replace the history cache with a :meth:`history_snapshot`.
+
+        The gateway's ``/v1/models/reload`` builds the replacement service
+        off-thread and then carries the serving history across, so a
+        hot-swap loses none of the announcements streamed since boot.
+        """
+        self._history = {channel_id: list(samples)
+                         for channel_id, samples in snapshot.items()}
 
     def _history_before(self, channel_id: int, time: float) -> list[PnDSample]:
         length = self.predictor.assembler.sequence_length
@@ -184,7 +236,10 @@ class PredictionService:
         )
         elapsed_ms = (_time.perf_counter() - started) * 1000.0
         per_announcement = elapsed_ms / len(announcements)
-        self.stats.forward_passes += 1
+        if any(ranking.scores for ranking in rankings):
+            # A batch whose every candidate set was empty never reached
+            # the model (see rank_many) — don't claim a forward pass.
+            self.stats.forward_passes += 1
         alerts = []
         for announcement, ranking in zip(announcements, rankings):
             self.stats.scored_rows += len(ranking.scores)

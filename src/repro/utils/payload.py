@@ -1,0 +1,76 @@
+"""Strict readers for JSON-decoded payloads.
+
+Every ``from_payload`` codec (rankings, alerts, announcements, the gateway
+wire schema) funnels field access through these helpers so a malformed
+payload fails with a pointed ``ValueError`` naming the field and the
+expected type — the gateway maps that message verbatim into a 4xx error
+envelope, and a wrong type can never flow onward as a wrong score.
+
+``bool`` is deliberately rejected where a number is expected: JSON
+``true`` decoding into channel id 1 would be exactly the kind of silent
+coercion this layer exists to stop.
+"""
+
+from __future__ import annotations
+
+import math
+
+_MISSING = object()
+
+
+def _get(payload: dict, key: str, default):
+    if not isinstance(payload, dict):
+        raise ValueError(f"expected an object with field {key!r}")
+    value = payload.get(key, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise ValueError(f"missing required field {key!r}")
+        return default
+    return value
+
+
+def payload_int(payload: dict, key: str, default=_MISSING) -> int:
+    """An integer field (floats with integral values are accepted)."""
+    value = _get(payload, key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"field {key!r} must be an integer, "
+                         f"got {type(value).__name__}")
+    if isinstance(value, float) and not value.is_integer():
+        raise ValueError(f"field {key!r} must be an integer, got {value!r}")
+    return int(value)
+
+
+def payload_float(payload: dict, key: str, default=_MISSING) -> float:
+    """A finite JSON number field."""
+    value = _get(payload, key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"field {key!r} must be a number, "
+                         f"got {type(value).__name__}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"field {key!r} must be finite, got {value!r}")
+    return value
+
+
+def payload_str(payload: dict, key: str, default=_MISSING) -> str:
+    value = _get(payload, key, default)
+    if not isinstance(value, str):
+        raise ValueError(f"field {key!r} must be a string, "
+                         f"got {type(value).__name__}")
+    return value
+
+
+def payload_list(payload: dict, key: str, default=_MISSING) -> list:
+    value = _get(payload, key, default)
+    if not isinstance(value, list):
+        raise ValueError(f"field {key!r} must be an array, "
+                         f"got {type(value).__name__}")
+    return value
+
+
+def payload_object(payload: dict, key: str, default=_MISSING) -> dict:
+    value = _get(payload, key, default)
+    if not isinstance(value, dict):
+        raise ValueError(f"field {key!r} must be an object, "
+                         f"got {type(value).__name__}")
+    return value

@@ -1,0 +1,115 @@
+"""Acceptance: /v1/models/reload swaps versions mid-traffic losslessly.
+
+Requests hammer ``POST /v1/rank`` from several threads while the main
+thread hot-swaps the serving artifact.  Every response must be a 200
+decoding to a ranking bit-for-bit equal to *one* of the two models'
+reference rankings — an in-flight request finishes on the model it
+started with, none is dropped, none scores half-old-half-new.
+"""
+
+import threading
+
+import pytest
+
+from repro.gateway import GatewayApp
+from repro.serving import Announcement
+from tests.gateway.conftest import make_announcements, service_from
+
+WORKERS = 4
+REQUESTS_PER_WORKER = 10
+
+
+def stateless_probe(test_positives) -> Announcement:
+    """A fixed prediction request (unknown coin → never folded into
+    history), so a given model version answers it identically forever."""
+    base = make_announcements(test_positives, 1)[0]
+    return Announcement(channel_id=base.channel_id, coin_id=-1,
+                        exchange_id=0, pair="BTC", time=base.time)
+
+
+def exact(ranking):
+    return tuple((s.coin_id, s.probability) for s in ranking.scores)
+
+
+@pytest.fixture
+def references(gw_world, gw_collection, gw_registry, test_positives):
+    probe = stateless_probe(test_positives)
+    old = service_from(gw_registry, "snn", gw_world, gw_collection)
+    new = service_from(gw_registry, "dnn", gw_world, gw_collection)
+    return probe, exact(old.rank_one(probe).ranking), \
+        exact(new.rank_one(probe).ranking)
+
+
+def test_hot_swap_drops_and_corrupts_nothing(gw_world, gw_collection,
+                                             gw_registry, gateway,
+                                             references):
+    probe, expected_old, expected_new = references
+    assert expected_old != expected_new, \
+        "reference models must be distinguishable for this test to bite"
+
+    service = service_from(gw_registry, "snn", gw_world, gw_collection)
+    app = GatewayApp(service, registry=gw_registry)
+    _server, client = gateway(app)
+
+    results: list[tuple] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+    start_line = threading.Barrier(WORKERS + 1)
+
+    def hammer() -> None:
+        try:
+            start_line.wait(timeout=30)
+            for _ in range(REQUESTS_PER_WORKER):
+                ranking = client.rank(probe).ranking
+                with lock:
+                    results.append(exact(ranking))
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            with lock:
+                errors.append(exc)
+
+    workers = [threading.Thread(target=hammer) for _ in range(WORKERS)]
+    for worker in workers:
+        worker.start()
+    start_line.wait(timeout=30)
+    response = client.reload("dnn")          # swap mid-hammering
+    assert response.model["name"] == "dnn"
+    for worker in workers:
+        worker.join(timeout=120)
+        assert not worker.is_alive(), "a worker hung"
+
+    assert not errors, f"requests failed during the swap: {errors[:3]}"
+    # Zero dropped requests...
+    assert len(results) == WORKERS * REQUESTS_PER_WORKER
+    # ...and zero corrupted ones: every ranking is exactly one model's.
+    for ranking in results:
+        assert ranking in (expected_old, expected_new)
+
+    # After the swap the gateway must answer with the new model, and say so.
+    assert exact(client.rank(probe).ranking) == expected_new
+    health = client.healthz()
+    assert health.reloads == 1
+    assert health.model["name"] == "dnn"
+
+
+def test_reload_carries_streamed_history_across(gw_world, gw_collection,
+                                                gw_registry, gateway,
+                                                test_positives):
+    service = service_from(gw_registry, "snn", gw_world, gw_collection)
+    app = GatewayApp(service, registry=gw_registry)
+    _server, client = gateway(app)
+
+    observed = make_announcements(test_positives, 1)[0]
+    before = client.observe(observed).history_length
+    client.reload("dnn")
+    # The replacement service must still hold the streamed announcement.
+    assert len(app.service.history(observed.channel_id)) == before
+
+    # Reference: a fresh dnn service given the same observation agrees
+    # bit-for-bit with the post-swap gateway.
+    witness = service_from(gw_registry, "dnn", gw_world, gw_collection)
+    witness.observe(observed)
+    probe = Announcement(channel_id=observed.channel_id, coin_id=-1,
+                         exchange_id=0, pair="BTC",
+                         time=observed.time + 1.0)
+    assert exact(client.rank(probe).ranking) == \
+        exact(witness.rank_one(probe).ranking)

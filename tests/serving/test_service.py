@@ -135,3 +135,94 @@ class TestPredictionService:
         assert stats.alerts == 3
         assert stats.scored_rows == sum(len(a.ranking.scores) for a in alerts)
         assert all(a.latency_ms > 0 for a in alerts)
+
+
+class TestEmptyInputs:
+    """Regressions (ISSUE 5): empty batches and empty candidate sets must
+    produce empty results without ever invoking the model."""
+
+    def test_rank_batch_empty_list(self, tiny_predictor):
+        stats = ServiceStats()
+        service = PredictionService(tiny_predictor, stats=stats)
+        assert service.rank_batch([]) == []
+        assert stats.forward_passes == 0
+        assert stats.alerts == 0
+
+    def test_rank_many_zero_candidates_returns_empty_ranking(
+            self, tiny_predictor, test_positives):
+        example = test_positives[0]
+        request = RankRequest(example.channel_id, 0, example.time,
+                              candidates=np.array([], dtype=np.int64))
+        [ranking] = tiny_predictor.rank_many([request])
+        assert ranking.scores == []
+        assert ranking.channel_id == example.channel_id
+        assert ranking.rank_of(example.coin_id) == -1
+
+    def test_rank_many_mixed_empty_and_scored(self, tiny_predictor,
+                                              test_positives):
+        examples = test_positives[:2]
+        requests = [
+            RankRequest(examples[0].channel_id, 0, examples[0].time,
+                        candidates=np.array([], dtype=np.int64)),
+            RankRequest(examples[1].channel_id, 0, examples[1].time),
+        ]
+        empty, scored = tiny_predictor.rank_many(requests)
+        assert empty.scores == []
+        solo = tiny_predictor.rank(examples[1].channel_id, 0,
+                                   examples[1].time)
+        assert [(s.coin_id, s.probability) for s in scored.scores] == \
+            [(s.coin_id, s.probability) for s in solo.scores]
+
+    def test_zero_candidate_batch_never_hits_the_model(self, tiny_predictor,
+                                                       test_positives,
+                                                       monkeypatch):
+        stats = ServiceStats()
+        service = PredictionService(tiny_predictor, stats=stats)
+        monkeypatch.setattr(
+            tiny_predictor, "candidates",
+            lambda exchange_id, pump_time: np.array([], dtype=np.int64),
+        )
+
+        def exploding_forward(*args, **kwargs):
+            raise AssertionError("model must not run for empty candidates")
+
+        monkeypatch.setattr(tiny_predictor.model, "__call__",
+                            exploding_forward, raising=False)
+        [alert] = service.rank_batch(_announcements(test_positives, 1))
+        assert alert.ranking.scores == []
+        assert stats.forward_passes == 0
+        assert stats.scored_rows == 0
+
+
+class TestObserveSentinel:
+    def test_observe_ignores_unknown_coin(self, tiny_predictor,
+                                          test_positives):
+        service = PredictionService(tiny_predictor)
+        base = _announcements(test_positives, 1)[0]
+        sentinel = Announcement(channel_id=base.channel_id, coin_id=-1,
+                                exchange_id=0, pair="BTC", time=base.time)
+        before = len(service.history(base.channel_id))
+        service.observe(sentinel)
+        assert len(service.history(base.channel_id)) == before
+        service.observe(base)
+        assert len(service.history(base.channel_id)) == before + 1
+
+
+class TestHistorySnapshot:
+    def test_snapshot_round_trip_is_deep_enough(self, tiny_predictor,
+                                                test_positives):
+        service = PredictionService(tiny_predictor)
+        other = PredictionService(tiny_predictor)
+        announcement = _announcements(test_positives, 1)[0]
+        service.observe(announcement)
+        snapshot = service.history_snapshot()
+        other.restore_history(snapshot)
+        assert other.history(announcement.channel_id) == \
+            service.history(announcement.channel_id)
+        # Mutating one side afterwards must not leak into the other.
+        service.observe(Announcement(
+            channel_id=announcement.channel_id, coin_id=announcement.coin_id,
+            exchange_id=0, pair="BTC", time=announcement.time + 1.0,
+        ))
+        assert len(other.history(announcement.channel_id)) == \
+            len(service.history(announcement.channel_id)) - 1

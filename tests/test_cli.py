@@ -34,6 +34,62 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["models"])
 
+    def test_serve_gateway_default_is_local(self):
+        assert build_parser().parse_args(["serve"]).gateway == ""
+
+    def test_gateway_defaults(self):
+        args = build_parser().parse_args(["gateway", "--load", "snn"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.max_batch == 256
+        assert args.registry == "models"
+        assert args.no_cache is False
+
+    def test_gateway_requires_load(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gateway"])
+
+    def test_models_json_flags(self):
+        args = build_parser().parse_args(["models", "list", "--json"])
+        assert args.json is True
+        args = build_parser().parse_args(["models", "inspect", "x", "--json"])
+        assert args.json is True
+
+
+class TestGatewayCommand:
+    """Fast-fail paths of `repro gateway` / `repro serve --gateway`
+    (the live HTTP loop is covered by tests/gateway and the CI smoke)."""
+
+    def test_rejects_bad_max_batch(self, tmp_path, capsys):
+        code = main(["gateway", "--load", str(tmp_path / "art"),
+                     "--max-batch", "0"])
+        assert code == 2
+        assert "--max-batch" in capsys.readouterr().err
+
+    def test_rejects_bad_port(self, tmp_path, capsys):
+        code = main(["gateway", "--load", str(tmp_path / "art"),
+                     "--port", "99999"])
+        assert code == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_rejects_missing_artifact(self, tmp_path, capsys):
+        code = main(["gateway", "--load", str(tmp_path / "nope"),
+                     "--registry", str(tmp_path / "reg")])
+        assert code == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_serve_unreachable_gateway_exits_cleanly(self, capsys):
+        code = main(["serve", "--scale", "tiny",
+                     "--gateway", "http://127.0.0.1:9"])
+        assert code == 2
+        assert "cannot reach gateway" in capsys.readouterr().err
+
+    def test_serve_bad_gateway_url(self, capsys):
+        code = main(["serve", "--scale", "tiny",
+                     "--gateway", "ftp://example.com"])
+        assert code == 2
+        assert "bad --gateway URL" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_world_command(self, capsys):
@@ -114,6 +170,42 @@ class TestModelLifecycle:
         ])
         assert code == 0
         assert "no problems" in capsys.readouterr().out
+
+    def test_models_list_json(self, registry_root, capsys):
+        import json
+
+        code = main([
+            "models", "--registry", str(registry_root), "list", "--json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        # The exact serializer GET /v1/models uses — no drift possible.
+        from repro.registry import ModelRegistry, registry_payload
+
+        assert document == json.loads(json.dumps(
+            registry_payload(ModelRegistry(registry_root))
+        ))
+        [entry] = document["models"]
+        assert entry["name"] == "dnn"
+        assert entry["version"] == "v0001"
+        assert entry["latest"] is True
+        assert entry["model"] == "dnn"
+        assert entry["provenance"]["scale"] == "tiny"
+
+    def test_models_inspect_json(self, registry_root, capsys):
+        import json
+
+        code = main([
+            "models", "--registry", str(registry_root),
+            "inspect", "dnn", "--json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["model"] == "dnn"
+        assert document["artifact_schema_version"] >= 1
+        assert document["n_parameters"] > 0
+        # Structured provenance is passed through, not flattened.
+        assert document["provenance"]["data_source"]["backend"] == "synthetic"
 
     def test_serve_from_artifact_without_training(self, registry_root,
                                                   capsys):
