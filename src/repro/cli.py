@@ -15,6 +15,10 @@ Commands
 ``gateway``   — serve the versioned HTTP/JSON prediction API
                 (``repro.gateway``): rank/observe/models/reload/healthz/
                 stats endpoints over a hot-swappable registry artifact.
+``telemetry`` — scrape a running gateway: ``metrics`` fetches + validates
+                the Prometheus exposition (``--require`` gates CI on a
+                series being live), ``traces`` pretty-prints recent span
+                trees.
 ``ingest``    — build a canonical file dump (``repro.sources``): either
                 export a synthetic replay or normalize raw CSV/JSONL files.
 ``models``    — list / inspect / validate registry contents.
@@ -30,6 +34,7 @@ registry.  All world-building commands accept ``--scale
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -462,9 +467,14 @@ def cmd_gateway(args) -> int:
         args.load, artifact_path, manifest,
         name=name, version=artifact_path.name if name else None,
     )
+    from repro.telemetry import TelemetryHub
+
+    if args.slow_ms < 0:
+        return _fail("gateway", "--slow-ms must be >= 0")
     app = GatewayApp(
         service, registry=ModelRegistry(args.registry), model=descriptor,
         max_batch=args.max_batch, service_options=service_options,
+        telemetry=TelemetryHub(slow_ms=args.slow_ms),
     )
     try:
         server = make_server(app, args.host, args.port, verbose=args.verbose)
@@ -477,12 +487,91 @@ def cmd_gateway(args) -> int:
     print("endpoints: POST /v1/rank  POST /v1/rank/batch  POST /v1/observe")
     print("           GET /v1/models  POST /v1/models/reload  "
           "GET /v1/healthz  GET /v1/stats")
+    print("           GET /v1/metrics  GET /v1/trace/recent")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("gateway: shutting down")
     finally:
         server.server_close()
+    return 0
+
+
+def _print_span_tree(node: dict, depth: int = 0) -> None:
+    pad = "  " * depth
+    duration = node.get("duration_ms")
+    timing = f"{duration:.3f}ms" if isinstance(duration, (int, float)) else "?"
+    attributes = node.get("attributes") or {}
+    detail = " ".join(f"{k}={v}" for k, v in attributes.items())
+    line = f"{pad}{node.get('name', '?')}  {timing}"
+    if detail:
+        line += f"  [{detail}]"
+    print(line)
+    for child in node.get("children") or []:
+        _print_span_tree(child, depth + 1)
+
+
+def cmd_telemetry(args) -> int:
+    """Scrape and pretty-print a running gateway's telemetry."""
+    from repro.gateway import GatewayClient, GatewayClientError
+    from repro.telemetry import ExpositionError, parse_text
+
+    client = GatewayClient(args.url)
+    if args.telemetry_command == "metrics":
+        try:
+            text = client.metrics_text()
+        except GatewayClientError as exc:
+            return _fail("telemetry", str(exc))
+        try:
+            samples = parse_text(text)
+        except ExpositionError as exc:
+            return _fail("telemetry",
+                         f"invalid exposition from {args.url}: {exc}")
+        if args.raw:
+            sys.stdout.write(text)
+        else:
+            rows = [
+                (
+                    sample.name,
+                    "{%s}" % ",".join(f'{k}="{v}"' for k, v in sample.labels)
+                    if sample.labels else "",
+                    f"{sample.value:g}",
+                )
+                for sample in samples
+            ]
+            print(format_table(["series", "labels", "value"], rows,
+                               title=f"metrics @ {args.url}"))
+        # --require SERIES: CI gate — the series must exist with a nonzero
+        # sample somewhere (counters that never fired render as absent or
+        # all-zero; both mean the instrumentation is broken).
+        failed = []
+        for series in args.require or ():
+            hits = [s for s in samples if s.name == series]
+            if not hits or all(s.value == 0 for s in hits):
+                failed.append(series)
+        if failed:
+            return _fail(
+                "telemetry",
+                "required series absent or all-zero: " + ", ".join(failed),
+            )
+        return 0
+
+    # traces
+    try:
+        traces = client.recent_traces(args.limit)
+    except GatewayClientError as exc:
+        return _fail("telemetry", str(exc))
+    if args.json:
+        print(json.dumps(traces, indent=2))
+        return 0
+    if not traces:
+        print("no traces recorded yet")
+        return 0
+    for i, root in enumerate(traces):
+        if i:
+            print()
+        print(f"trace {root.get('trace_id', '?')}")
+        _print_span_tree(root)
     return 0
 
 
@@ -791,8 +880,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_gateway.add_argument("--no-cache", action="store_true",
                            help="disable feature memoization")
     p_gateway.add_argument("--verbose", action="store_true",
-                           help="log one line per HTTP request to stderr")
+                           help="log one structured JSON line per HTTP "
+                                "request to stderr")
+    p_gateway.add_argument("--slow-ms", type=float, default=500.0,
+                           help="requests at or above this duration dump "
+                                "their span tree to the structured log")
     p_gateway.set_defaults(fn=cmd_gateway)
+
+    p_telemetry = sub.add_parser(
+        "telemetry", help="scrape a running gateway's metrics and traces"
+    )
+    telemetry_sub = p_telemetry.add_subparsers(dest="telemetry_command",
+                                               required=True)
+    p_metrics = telemetry_sub.add_parser(
+        "metrics", help="fetch + validate GET /v1/metrics"
+    )
+    p_metrics.add_argument("--url", default="http://127.0.0.1:8787",
+                           help="gateway base URL")
+    p_metrics.add_argument("--raw", action="store_true",
+                           help="print the exposition verbatim instead of "
+                                "a table")
+    p_metrics.add_argument("--require", action="append", metavar="SERIES",
+                           help="fail (exit 1) unless this series exists "
+                                "with a nonzero sample; repeatable")
+    p_metrics.set_defaults(fn=cmd_telemetry)
+    p_traces = telemetry_sub.add_parser(
+        "traces", help="fetch + pretty-print GET /v1/trace/recent"
+    )
+    p_traces.add_argument("--url", default="http://127.0.0.1:8787",
+                          help="gateway base URL")
+    p_traces.add_argument("--limit", type=int, default=None,
+                          help="most recent N traces only")
+    p_traces.add_argument("--json", action="store_true",
+                          help="print raw JSON span trees")
+    p_traces.set_defaults(fn=cmd_telemetry)
 
     p_models = sub.add_parser(
         "models", help="list / inspect / validate saved predictor artifacts"

@@ -32,6 +32,7 @@ from repro.markets import PAIR_SYMBOLS
 from repro.ml.scaling import StandardScaler
 from repro.nn import Module, no_grad, run_compiled, stable_sigmoid
 from repro.sources.base import as_source
+from repro.telemetry import span
 from repro.utils.payload import (
     payload_float as _payload_float,
     payload_int as _payload_int,
@@ -333,8 +334,12 @@ class TargetCoinPredictor:
             if history_fn is not None:
                 # Caller-provided histories (e.g. the serving layer's growing
                 # per-channel cache) are mutable, so bypass the LRU.
-                history = history_fn(request.channel_id, request.pump_time)
-                seq = encode_history(self.source.market, history, seq_len)
+                with span("sequence.encode",
+                          channel_id=request.channel_id):
+                    history = history_fn(request.channel_id,
+                                         request.pump_time)
+                    seq = encode_history(self.source.market, history,
+                                         seq_len)
             else:
                 seq = self._sequence_cache.get(
                     request.channel_id, request.pump_time
@@ -365,10 +370,13 @@ class TargetCoinPredictor:
         self.model.eval()
         # One traced plan (shared with batch evaluation and the streaming
         # service) scores the whole micro-batch; eager is the fallback.
-        logits = run_compiled(self.model, batch)
-        if logits is None:
-            with no_grad():
-                logits = self.model(batch).numpy()
+        with span("nn.forward", rows=total,
+                  model=type(self.model).__name__) as forward:
+            logits = run_compiled(self.model, batch)
+            if logits is None:
+                forward.set("compiled", False)
+                with no_grad():
+                    logits = self.model(batch).numpy()
         probs = stable_sigmoid(logits)
         offset = 0
         for index, coins in zip(scored_indices, per_request_coins):

@@ -96,6 +96,8 @@ class Trainer:
         # import cycle; hoisted out of the epoch/batch loops all the same.
         from repro.core.evaluate import evaluate_model
 
+        from repro.telemetry import default_registry
+
         started = time.perf_counter()
         rng = np.random.default_rng(self.seed)
         params = model.parameters()
@@ -103,11 +105,28 @@ class Trainer:
         result = TrainResult()
         best_state = None
         best_metric = -np.inf
+        # Telemetry: last-epoch gauges + an epochs counter in the process
+        # registry.  Pure observation — nothing here feeds back into the
+        # (seeded, bit-reproducible) optimization path.
+        telemetry = default_registry()
+        model_label = type(model).__name__
+        epoch_loss = telemetry.gauge(
+            "train_epoch_loss", "Mean training loss of the last epoch.",
+            ("model",),
+        ).labels(model=model_label)
+        epoch_seconds = telemetry.gauge(
+            "train_epoch_seconds", "Wall time of the last training epoch.",
+            ("model",),
+        ).labels(model=model_label)
+        epochs_total = telemetry.counter(
+            "train_epochs_total", "Training epochs completed.", ("model",),
+        ).labels(model=model_label)
         # Reused index buffers: `order` is shuffled in place each epoch
         # (identical draws to `rng.permutation`), batches slice views of it.
         base = np.arange(len(train))
         order = np.empty_like(base)
         for epoch in range(self.epochs):
+            epoch_started = time.perf_counter()
             model.train()
             order[:] = base
             rng.shuffle(order)
@@ -125,6 +144,9 @@ class Trainer:
                 optimizer.step()
                 losses.append(loss.item())
             result.train_losses.append(float(np.mean(losses)))
+            epoch_loss.set(result.train_losses[-1])
+            epoch_seconds.set(time.perf_counter() - epoch_started)
+            epochs_total.inc()
             if validation is not None and len(validation):
                 # Average several HR@k depths: single-k selection on a small
                 # validation split is too noisy to pick a good epoch.

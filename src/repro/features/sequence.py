@@ -18,6 +18,7 @@ import numpy as np
 from repro.data.sessions import PnDSample
 from repro.features.coin import COIN_FEATURE_NAMES, coin_feature_matrix
 from repro.sources.base import MarketDataSource
+from repro.telemetry import span
 
 SEQUENCE_NUMERIC_NAMES = COIN_FEATURE_NAMES  # per-position numeric features
 N_SEQUENCE_FEATURES = 1 + len(SEQUENCE_NUMERIC_NAMES)  # + coin_id
@@ -102,8 +103,12 @@ class SequenceFeatureCache:
             self.hits += 1
             return features
         self.misses += 1
-        history = self.history_fn(channel_id, time, self.length)
-        features = encode_history(self.market, history, self.length)
+        # Only the miss path opens a span: a hit is a dict lookup, and the
+        # offline assembly loop calls this hot enough that even a no-op
+        # span check per hit would show up.
+        with span("sequence.encode", channel_id=channel_id):
+            history = self.history_fn(channel_id, time, self.length)
+            features = encode_history(self.market, history, self.length)
         self._store[key] = features
         while len(self._store) > self.max_entries:
             self._store.popitem(last=False)

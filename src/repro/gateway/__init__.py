@@ -9,6 +9,12 @@ micro-batched :class:`~repro.serving.PredictionService`,
 requests, and ``GET /v1/healthz`` / ``GET /v1/stats`` expose liveness and
 :class:`~repro.serving.ServiceStats`.
 
+Observability (ISSUE 6): ``GET /v1/metrics`` serves the Prometheus text
+exposition of every registry the gateway can see, ``GET /v1/trace/recent``
+returns recent span trees, every response carries ``X-Repro-Trace-Id`` and
+``X-Repro-Duration-Ms`` headers, and errors are logged as structured JSON
+(see :mod:`repro.telemetry`).
+
 Layers
 ------
 ``schema``  — wire-schema version, typed request/response dataclasses,
@@ -40,8 +46,10 @@ from repro.gateway.schema import (
     ERROR_CODES,
     SCHEMA_VERSION,
     GatewayFault,
+    TraceResponseV1,
     error_envelope,
 )
+from repro.telemetry import DURATION_HEADER, TRACE_HEADER
 from repro.gateway.server import (
     GatewayHTTPServer,
     make_server,
@@ -55,4 +63,5 @@ __all__ = [
     "GatewayClient", "GatewayClientError", "GatewayConnectionError",
     "GatewayRequestError",
     "RemoteReplay", "RemoteReplayResult", "replay_against_gateway",
+    "TraceResponseV1", "TRACE_HEADER", "DURATION_HEADER",
 ]

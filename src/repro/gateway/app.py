@@ -43,10 +43,12 @@ from repro.gateway.schema import (
     ReloadRequestV1,
     ReloadResponseV1,
     StatsResponseV1,
+    TraceResponseV1,
     bad_request,
 )
 from repro.serving.online import Announcement
 from repro.serving.service import Alert, PredictionService
+from repro.telemetry import TelemetryHub
 
 #: Default cap on ``/v1/rank/batch`` size (also the CLI default).
 DEFAULT_MAX_BATCH = 256
@@ -89,11 +91,16 @@ class GatewayApp:
     service_options:
         Keyword arguments re-applied when reload builds the replacement
         service (``bucket_hours``, ``cache_entries``, ...).
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetryHub` collecting the
+        gateway's metrics, traces and structured logs.  A private hub is
+        created when omitted, so the app is always instrumented.
     """
 
     def __init__(self, service: PredictionService, *, registry=None,
                  model: dict | None = None, max_batch: int = DEFAULT_MAX_BATCH,
-                 service_options: dict | None = None):
+                 service_options: dict | None = None,
+                 telemetry: TelemetryHub | None = None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self._service = service
@@ -112,6 +119,46 @@ class GatewayApp:
         self._score_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self.counters: dict[str, int] = {}
+        self.telemetry = telemetry or TelemetryHub()
+        reg = self.telemetry.registry
+        self._m_requests = reg.counter(
+            "gateway_requests_total", "Requests handled by the gateway.",
+            labelnames=("endpoint", "status"),
+        )
+        self._m_request_seconds = reg.histogram(
+            "gateway_request_seconds",
+            "Wall time spent handling gateway requests.",
+            labelnames=("endpoint",),
+        )
+        self._m_errors = reg.counter(
+            "gateway_errors_total",
+            "Gateway error responses by stable error code.",
+            labelnames=("code",),
+        )
+        self._m_reloads = reg.counter(
+            "gateway_reloads_total", "Hot-reload attempts by outcome.",
+            labelnames=("outcome",),
+        )
+        self._m_model_info = reg.gauge(
+            "gateway_model_info",
+            "Currently served model (always 1; identity in the labels).",
+            labelnames=("name", "version", "arch"),
+        )
+        reg.gauge_fn(
+            "gateway_uptime_seconds",
+            "Seconds since the gateway app was constructed.",
+            lambda: _time.monotonic() - self._started,
+        )
+        self._set_model_info()
+
+    def _set_model_info(self) -> None:
+        """Point the ``gateway_model_info`` gauge at the current model."""
+        self._m_model_info.clear()
+        self._m_model_info.labels(
+            name=str(self.model.get("name") or ""),
+            version=str(self.model.get("version") or ""),
+            arch=str(self.model.get("arch") or ""),
+        ).set(1)
 
     @property
     def service(self) -> PredictionService:
@@ -222,6 +269,7 @@ class GatewayApp:
             try:
                 path = self.registry.resolve(name, version)
             except RegistryError as exc:
+                self._m_reloads.labels(outcome="unknown_model").inc()
                 raise GatewayFault(E_UNKNOWN_MODEL, 404, str(exc)) from None
             old_service = self._service
             predictor = old_service.predictor
@@ -232,6 +280,7 @@ class GatewayApp:
                     stats=old_service.stats, **self._service_options,
                 )
             except ArtifactError as exc:
+                self._m_reloads.labels(outcome="bad_artifact").inc()
                 raise GatewayFault(
                     E_BAD_ARTIFACT, 409,
                     f"artifact {request.ref!r} failed to load: {exc}",
@@ -245,6 +294,8 @@ class GatewayApp:
                 previous, self.model = self.model, descriptor
                 self._service = replacement
             self.reloads += 1
+            self._m_reloads.labels(outcome="ok").inc()
+            self._set_model_info()
         return ReloadResponseV1(model=descriptor, previous=previous)
 
     def models(self) -> ModelsResponseV1:
@@ -279,3 +330,22 @@ class GatewayApp:
         }
         return StatsResponseV1(service=self._service.stats.summary(),
                                gateway=gateway)
+
+    # -- observability -------------------------------------------------------
+
+    def record_request(self, endpoint: str, status: int,
+                       seconds: float) -> None:
+        """Count one handled HTTP request (called by the transport layer)."""
+        self._m_requests.labels(endpoint=endpoint, status=str(status)).inc()
+        self._m_request_seconds.labels(endpoint=endpoint).observe(seconds)
+
+    def record_error(self, code: str) -> None:
+        """Count one error response by its stable wire code."""
+        self._m_errors.labels(code=code).inc()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of every registry this app can see."""
+        return self.telemetry.render_metrics(self._service.stats.registry)
+
+    def trace_recent(self, limit: int | None = None) -> TraceResponseV1:
+        return TraceResponseV1(traces=self.telemetry.traces.recent(limit))

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import threading
 from typing import Sequence
 from urllib.parse import urlsplit
 
@@ -37,9 +38,11 @@ from repro.gateway.schema import (
     ReloadRequestV1,
     ReloadResponseV1,
     StatsResponseV1,
+    TraceResponseV1,
 )
 from repro.serving.online import Announcement
 from repro.serving.service import Alert
+from repro.telemetry import DURATION_HEADER, TRACE_HEADER, current_trace_id
 
 
 class GatewayClientError(RuntimeError):
@@ -84,20 +87,39 @@ class GatewayClient:
         # the proxy root.
         self.path_prefix = parts.path.rstrip("/")
         self.timeout = timeout
+        # Per-thread telemetry of the last completed exchange: one client
+        # is shared across threads, so a benchmark worker must never read
+        # another worker's duration.
+        self._last = threading.local()
 
     @property
     def base_url(self) -> str:
         return f"http://{self.host}:{self.port}{self.path_prefix}"
 
+    @property
+    def last_server_duration_ms(self) -> float | None:
+        """Server-side handling time of this thread's last response.
+
+        Parsed from the ``X-Repro-Duration-Ms`` header the gateway sets on
+        every response — including error envelopes.  ``None`` before the
+        first request or when the server predates the header.
+        """
+        return getattr(self._last, "duration_ms", None)
+
+    @property
+    def last_trace_id(self) -> str | None:
+        """Trace id echoed on this thread's last response."""
+        return getattr(self._last, "trace_id", None)
+
     # -- transport -----------------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 payload: dict | None = None) -> dict:
-        body = None
-        headers = {"Accept": "application/json"}
-        if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+    def _transport(self, method: str, path: str, body: bytes | None,
+                   headers: dict) -> tuple[int, bytes]:
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            # Propagate the caller's trace so the server's span tree joins
+            # the client-side one under a single id.
+            headers.setdefault(TRACE_HEADER, trace_id)
         connection = http.client.HTTPConnection(self.host, self.port,
                                                 timeout=self.timeout)
         try:
@@ -106,6 +128,8 @@ class GatewayClient:
             response = connection.getresponse()
             raw = response.read()
             status = response.status
+            duration = response.getheader(DURATION_HEADER)
+            self._last.trace_id = response.getheader(TRACE_HEADER)
         except (OSError, http.client.HTTPException) as exc:
             raise GatewayConnectionError(
                 f"cannot reach gateway at {self.base_url}: {exc}"
@@ -113,22 +137,45 @@ class GatewayClient:
         finally:
             connection.close()
         try:
+            self._last.duration_ms = (None if duration is None
+                                      else float(duration))
+        except ValueError:
+            self._last.duration_ms = None
+        return status, raw
+
+    def _raise_envelope(self, status: int, raw: bytes) -> None:
+        """Turn a non-2xx body into the typed error, best effort."""
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            decoded = None
+        error = decoded.get("error") if isinstance(decoded, dict) else None
+        if isinstance(error, dict):
+            raise GatewayRequestError(
+                status, str(error.get("code", "unknown")),
+                str(error.get("message", "")),
+            )
+        raise GatewayConnectionError(
+            f"gateway returned status {status} without an error envelope"
+        )
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        status, raw = self._transport(method, path, body, headers)
+        if status >= 400:
+            self._raise_envelope(status, raw)
+        try:
             decoded = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise GatewayConnectionError(
                 f"gateway at {self.base_url} returned non-JSON "
                 f"(status {status}): {raw[:200]!r}"
             ) from exc
-        if status >= 400:
-            error = decoded.get("error") if isinstance(decoded, dict) else None
-            if isinstance(error, dict):
-                raise GatewayRequestError(
-                    status, str(error.get("code", "unknown")),
-                    str(error.get("message", "")),
-                )
-            raise GatewayConnectionError(
-                f"gateway returned status {status} without an error envelope"
-            )
         if not isinstance(decoded, dict):
             raise GatewayConnectionError(
                 "gateway response body is not a JSON object"
@@ -186,6 +233,22 @@ class GatewayClient:
     def stats(self) -> StatsResponseV1:
         return self._decode(StatsResponseV1.decode,
                             self._request("GET", "/v1/stats"))
+
+    def metrics_text(self) -> str:
+        """Raw Prometheus text exposition from ``GET /v1/metrics``."""
+        status, raw = self._transport("GET", "/v1/metrics", None,
+                                      {"Accept": "text/plain"})
+        if status >= 400:
+            self._raise_envelope(status, raw)
+        return raw.decode("utf-8")
+
+    def recent_traces(self, limit: int | None = None) -> list[dict]:
+        """Most-recent-first span trees from ``GET /v1/trace/recent``."""
+        path = "/v1/trace/recent"
+        if limit is not None:
+            path += f"?limit={int(limit)}"
+        payload = self._request("GET", path)
+        return list(self._decode(TraceResponseV1.decode, payload).traces)
 
 
 __all__ = [

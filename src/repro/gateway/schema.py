@@ -29,6 +29,22 @@ The payload codecs themselves live on the domain types
 :meth:`Alert.to_payload` and their ``from_payload`` duals) so the server
 and the client SDK encode and decode through the same code path —
 rankings survive the wire bit-for-bit.
+
+Observability endpoints (ISSUE 6)
+---------------------------------
+``GET /v1/trace/recent`` is a normal versioned JSON endpoint
+(:class:`TraceResponseV1`); individual span-tree *fields* follow the
+additive rule like any other payload.  ``GET /v1/metrics`` is the one
+deliberate exception to the JSON envelope: it speaks Prometheus text
+exposition format (version 0.0.4), which carries its own compatibility
+contract — series may be *added* freely, but renaming or re-labelling an
+existing series is a breaking change governed by the metric naming
+conventions in the README's "Observability" section, not by
+``schema_version``.  Error responses on both endpoints still use the
+uniform JSON envelope.  Every response on every endpoint carries
+``X-Repro-Trace-Id`` (echoing the request's id, if it sent one) and
+``X-Repro-Duration-Ms`` headers; both are additive metadata outside the
+schema version.
 """
 
 from __future__ import annotations
@@ -375,6 +391,24 @@ class StatsResponseV1:
                        gateway=payload_object(payload, "gateway"))
         except ValueError as exc:
             raise bad_request(f"bad stats response: {exc}") from None
+
+
+@dataclass(frozen=True)
+class TraceResponseV1:
+    """``GET /v1/trace/recent`` — the last N finished span trees."""
+
+    traces: list = field(default_factory=list)  # TraceStore.recent() dicts
+
+    def to_payload(self) -> dict:
+        return _versioned({"traces": list(self.traces)})
+
+    @classmethod
+    def decode(cls, payload: dict) -> "TraceResponseV1":
+        check_schema_version(payload)
+        try:
+            return cls(traces=payload_list(payload, "traces"))
+        except ValueError as exc:
+            raise bad_request(f"bad trace response: {exc}") from None
 
 
 @dataclass(frozen=True)

@@ -2,11 +2,26 @@
 
 :class:`GatewayHTTPServer` is a :class:`ThreadingHTTPServer` whose handler
 routes the versioned ``/v1/...`` endpoints to a :class:`GatewayApp`.  The
-transport layer owns exactly three jobs — routing, body decoding and
-response encoding — and converts every failure into the uniform error
-envelope: a :class:`GatewayFault` keeps its stable code and status, any
-other exception becomes a 500 ``internal`` envelope (never a traceback on
-the wire).
+transport layer owns exactly four jobs — routing, body decoding, response
+encoding and request telemetry — and converts every failure into the
+uniform error envelope: a :class:`GatewayFault` keeps its stable code and
+status, any other exception becomes a 500 ``internal`` envelope (never a
+traceback on the wire).
+
+Telemetry contract (see :mod:`repro.telemetry`):
+
+* every request runs under a root span named ``"<METHOD> <path>"``; the
+  trace id comes from the client's ``X-Repro-Trace-Id`` header when
+  present (sanitized), else is freshly generated;
+* every response — success *and* error envelope — carries
+  ``X-Repro-Trace-Id`` and ``X-Repro-Duration-Ms`` headers;
+* every request increments ``gateway_requests_total{endpoint,status}``
+  and observes ``gateway_request_seconds{endpoint}``; error envelopes
+  additionally count ``gateway_errors_total{code}`` and emit one
+  structured JSON log line;
+* finished traces land in the hub's :class:`TraceStore` ring — except
+  scrapes of ``/v1/metrics`` and ``/v1/trace/recent`` themselves, which
+  would otherwise evict the interesting traces they came to read.
 
 ``serve_in_thread`` backs the tests and benchmarks; the blocking
 ``serve_forever`` path backs ``repro gateway``.
@@ -16,7 +31,9 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.gateway.app import GatewayApp
 from repro.gateway.schema import (
@@ -33,26 +50,66 @@ from repro.gateway.schema import (
     decode_json_body,
     error_envelope,
 )
+from repro.telemetry import (
+    DURATION_HEADER,
+    TRACE_HEADER,
+    new_trace_id,
+    sanitize_trace_id,
+    start_trace,
+)
 
 #: Raw request bodies beyond this fail with ``payload_too_large`` before
 #: any JSON parsing — a gateway facing the open internet must bound reads.
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
+
+def _parse_limit(query: dict) -> int | None:
+    """``?limit=N`` for ``/v1/trace/recent`` (last value wins)."""
+    values = query.get("limit")
+    if not values:
+        return None
+    try:
+        limit = int(values[-1])
+    except ValueError:
+        raise bad_request("limit must be an integer") from None
+    if limit < 0:
+        raise bad_request("limit must be >= 0")
+    return limit
+
+
+# Route handlers take (app, payload, query).  A handler returning ``str``
+# is served as plain text (the Prometheus exposition); everything else is
+# a schema response object encoded via ``to_payload()``.
 _GET_ROUTES = {
-    "/v1/healthz": lambda app, _payload: app.healthz(),
-    "/v1/stats": lambda app, _payload: app.stats(),
-    "/v1/models": lambda app, _payload: app.models(),
+    "/v1/healthz": lambda app, _payload, _query: app.healthz(),
+    "/v1/stats": lambda app, _payload, _query: app.stats(),
+    "/v1/models": lambda app, _payload, _query: app.models(),
+    "/v1/metrics": lambda app, _payload, _query: app.metrics_text(),
+    "/v1/trace/recent": lambda app, _payload, query: app.trace_recent(
+        _parse_limit(query)),
 }
 
 _POST_ROUTES = {
-    "/v1/rank": lambda app, payload: app.rank(RankRequestV1.decode(payload)),
-    "/v1/rank/batch": lambda app, payload: app.rank_batch(
+    "/v1/rank": lambda app, payload, _query: app.rank(
+        RankRequestV1.decode(payload)),
+    "/v1/rank/batch": lambda app, payload, _query: app.rank_batch(
         RankBatchRequestV1.decode(payload)),
-    "/v1/observe": lambda app, payload: app.observe(
+    "/v1/observe": lambda app, payload, _query: app.observe(
         ObserveRequestV1.decode(payload)),
-    "/v1/models/reload": lambda app, payload: app.reload(
+    "/v1/models/reload": lambda app, payload, _query: app.reload(
         ReloadRequestV1.decode(payload)),
 }
+
+# Scrape endpoints: still traced (headers, timing) but not archived in
+# the TraceStore — a metrics poller must not evict real request traces.
+_UNSTORED_PATHS = frozenset({"/v1/metrics", "/v1/trace/recent"})
+
+
+def _endpoint_label(path: str) -> str:
+    """Bound the ``endpoint`` label to known routes (cardinality guard)."""
+    if path in _GET_ROUTES or path in _POST_ROUTES:
+        return path
+    return "other"
 
 
 class _GatewayHandler(BaseHTTPRequestHandler):
@@ -70,16 +127,41 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     # -- plumbing ------------------------------------------------------------
 
     def log_message(self, format: str, *args) -> None:
+        # Stdlib internals (send_error, socket chatter) routed through the
+        # structured logger instead of bare stderr prints.
         if getattr(self.server, "verbose", False):
-            super().log_message(format, *args)
+            self.app.telemetry.logger.debug("http", detail=format % args)
 
-    def _send_json(self, status: int, body: dict) -> None:
-        data = json.dumps(body).encode("utf-8")
+    def log_request(self, code="-", size="-") -> None:
+        # Access logging is handled (structured, with trace ids) at the
+        # end of _dispatch; suppress the stdlib per-response line.
+        pass
+
+    def _telemetry_headers(self) -> list[tuple[str, str]]:
+        started = getattr(self, "_trace_started", None)
+        elapsed_ms = 0.0 if started is None \
+            else (time.perf_counter() - started) * 1000.0
+        trace_id = getattr(self, "_trace_id", None) or new_trace_id()
+        return [(TRACE_HEADER, trace_id),
+                (DURATION_HEADER, f"{elapsed_ms:.3f}")]
+
+    def _send_bytes(self, status: int, content_type: str,
+                    data: bytes) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        for name, value in self._telemetry_headers():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
+
+    def _send_json(self, status: int, body: dict) -> None:
+        self._send_bytes(status, "application/json",
+                         json.dumps(body).encode("utf-8"))
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_bytes(status, "text/plain; version=0.0.4; charset=utf-8",
+                         text.encode("utf-8"))
 
     def _read_body(self) -> bytes:
         try:
@@ -106,38 +188,91 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, routes, other_routes) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        query = parse_qs(urlsplit(self.path).query)
+        app = self.app
+        hub = app.telemetry
+        self._trace_started = time.perf_counter()
+        self._trace_id = sanitize_trace_id(self.headers.get(TRACE_HEADER))
+        store = None if path in _UNSTORED_PATHS else hub.traces
+        status = 500
+        trace = start_trace(f"{self.command} {path}",
+                            trace_id=self._trace_id, store=store,
+                            endpoint=path, method=self.command)
+        # The response is buffered and written only after the trace is
+        # archived and the metrics recorded: the moment a client sees the
+        # reply, its trace is scrapeable (no bookkeeping race).
+        reply = None  # (status, send-method, payload)
+        with trace as root:
+            try:
+                # Drain the body before routing: a 404/405 that left it
+                # unread would be misparsed as the keep-alive connection's
+                # next request line.
+                body = self._read_body()
+                handler = routes.get(path)
+                if handler is None:
+                    if path in other_routes:
+                        raise GatewayFault(
+                            E_METHOD_NOT_ALLOWED, 405,
+                            f"{self.command} is not allowed on {path}",
+                        )
+                    raise GatewayFault(E_NOT_FOUND, 404,
+                                       f"no such endpoint: {path}")
+                payload = None
+                if routes is _POST_ROUTES:
+                    payload = decode_json_body(body)
+                response = handler(app, payload, query)
+                status = 200
+                if isinstance(response, str):
+                    reply = (200, self._send_text, response)
+                else:
+                    reply = (200, self._send_json, response.to_payload())
+            except GatewayFault as fault:
+                status = fault.status
+                self._record_fault(path, fault)
+                reply = (fault.status, self._send_json,
+                         error_envelope(fault))
+            except ConnectionError:  # pragma: no cover - client went away
+                status = 0
+            except Exception as exc:  # noqa: BLE001 - boundary: envelope, not trace
+                self.close_connection = True
+                fault = GatewayFault(
+                    E_INTERNAL, 500,
+                    f"internal error ({type(exc).__name__}); see server logs",
+                )
+                self._record_fault(path, fault, exc=exc)
+                reply = (500, self._send_json, error_envelope(fault))
+            root.set("status", status)
+        elapsed = time.perf_counter() - self._trace_started
+        app.record_request(_endpoint_label(path), status, elapsed)
+        hub.maybe_log_slow(root)
+        if getattr(self.server, "verbose", False):
+            hub.logger.info(
+                "request", method=self.command, path=path, status=status,
+                duration_ms=round(elapsed * 1000.0, 3),
+                trace_id=self._trace_id,
+            )
         try:
-            # Drain the body before routing: a 404/405 that left it unread
-            # would be misparsed as the keep-alive connection's next
-            # request line.
-            body = self._read_body()
-            handler = routes.get(path)
-            if handler is None:
-                if path in other_routes:
-                    raise GatewayFault(
-                        E_METHOD_NOT_ALLOWED, 405,
-                        f"{self.command} is not allowed on {path}",
-                    )
-                raise GatewayFault(E_NOT_FOUND, 404,
-                                   f"no such endpoint: {path}")
-            payload = None
-            if routes is _POST_ROUTES:
-                payload = decode_json_body(body)
-            response = handler(self.app, payload)
-            self._send_json(200, response.to_payload())
-        except GatewayFault as fault:
-            self.app.count("errors")
-            self._send_json(fault.status, error_envelope(fault))
+            if reply is not None:
+                reply_status, send, data = reply
+                send(reply_status, data)
         except BrokenPipeError:  # pragma: no cover - client went away
             pass
-        except Exception as exc:  # noqa: BLE001 - boundary: envelope, not trace
-            self.app.count("errors")
-            self.close_connection = True
-            fault = GatewayFault(
-                E_INTERNAL, 500,
-                f"internal error ({type(exc).__name__}); see server logs",
-            )
-            self._send_json(500, error_envelope(fault))
+
+    def _record_fault(self, path: str, fault: GatewayFault,
+                      exc: Exception | None = None) -> None:
+        """One error envelope = one counter bump + one structured line."""
+        app = self.app
+        app.count("errors")
+        app.record_error(fault.code)
+        log = app.telemetry.logger
+        emit = log.error if fault.status >= 500 else log.warning
+        fields = {
+            "code": fault.code, "status": fault.status, "endpoint": path,
+            "method": self.command, "message": str(fault),
+        }
+        if exc is not None:
+            fields["exception"] = type(exc).__name__
+        emit("gateway_error", **fields)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._dispatch(_GET_ROUTES, _POST_ROUTES)

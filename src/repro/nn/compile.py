@@ -40,6 +40,7 @@ import numpy as np
 from repro.nn.layers import MLP, Linear
 from repro.nn.module import Module
 from repro.nn.tensor import no_grad, stable_sigmoid
+from repro.telemetry import default_registry
 
 
 class CompileError(RuntimeError):
@@ -156,10 +157,17 @@ class CompiledInference:
         model = self._model_ref()
         if model is None:
             raise CompileError("source module was garbage-collected")
+        import time as _time
+
+        started = _time.perf_counter()
         compiled = self._execute(batch) if _compiled is None else _compiled
         model.eval()
         with no_grad():
             eager = model(batch).numpy()
+        default_registry().histogram(
+            "compile_verify_seconds",
+            "Wall time to verify a compiled plan against the eager forward.",
+        ).observe(_time.perf_counter() - started)
         if compiled.shape != eager.shape or not np.allclose(
             compiled, eager, rtol=1e-6, atol=1e-9
         ):
@@ -412,6 +420,10 @@ def compile_inference(model: Module, sample_batch=None) -> CompiledInference:
     """
     steps, output, watched = _lower_ranker(model)
     plan = CompiledInference(model, steps, output, watched)
+    default_registry().counter(
+        "compile_plan_builds_total", "Inference plans traced, per model class.",
+        ("model",),
+    ).labels(model=type(model).__name__).inc()
     if sample_batch is not None:
         plan.verify(sample_batch)
     return plan

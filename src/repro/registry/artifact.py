@@ -59,6 +59,7 @@ from repro.ml.scaling import StandardScaler
 from repro.nn.compile import prewarm
 from repro.nn.module import Module
 from repro.nn.serialize import read_state_dict, save_state_dict
+from repro.telemetry import default_registry, span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.predictor import TargetCoinPredictor
@@ -73,6 +74,23 @@ STATE_NAME = "state.npz"
 
 # state.npz keys holding the fitted scaler statistics.
 _STATE_KEYS = ("numeric_mean", "numeric_std", "seq_mean", "seq_std")
+
+
+def _record_load(started: float, outcome: str) -> None:
+    """Count one artifact load attempt in the process-wide registry.
+
+    Instruments are (re-)resolved per call — registration is idempotent
+    and this keeps working when tests swap the default registry.
+    """
+    registry = default_registry()
+    registry.counter(
+        "artifact_loads_total", "Predictor-artifact load attempts by outcome.",
+        ("outcome",),
+    ).labels(outcome=outcome).inc()
+    registry.histogram(
+        "artifact_load_seconds",
+        "Wall time to load and verify a predictor artifact.",
+    ).observe(time.perf_counter() - started)
 
 
 class ArtifactError(RuntimeError):
@@ -323,6 +341,24 @@ class PredictorArtifact:
     @classmethod
     def load(cls, path: str | Path) -> "PredictorArtifact":
         """Load and verify a saved bundle (schema, then checksums)."""
+        started = time.perf_counter()
+        try:
+            with span("artifact.load", path=str(path)):
+                artifact = cls._load(path)
+        except ArtifactSchemaError:
+            _record_load(started, "schema_error")
+            raise
+        except ArtifactIntegrityError:
+            _record_load(started, "integrity_error")
+            raise
+        except ArtifactError:
+            _record_load(started, "error")
+            raise
+        _record_load(started, "ok")
+        return artifact
+
+    @classmethod
+    def _load(cls, path: str | Path) -> "PredictorArtifact":
         path = Path(path)
         manifest = read_manifest(path)
         verify_files(path, manifest)
@@ -551,9 +587,18 @@ def verify_files(path: str | Path, manifest: dict | None = None) -> None:
     set (weights + state), so an emptied ``files`` section cannot
     silently disable tamper protection.
     """
+    started = time.perf_counter()
     path = Path(path)
     if manifest is None:
         manifest = read_manifest(path)
+    _verify_files_inner(path, manifest)
+    default_registry().histogram(
+        "artifact_verify_seconds",
+        "Wall time to checksum-verify an artifact's bundled files.",
+    ).observe(time.perf_counter() - started)
+
+
+def _verify_files_inner(path: Path, manifest: dict) -> None:
     for name, meta in manifest["files"].items():
         if not isinstance(meta, dict):
             raise ArtifactIntegrityError(

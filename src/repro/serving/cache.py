@@ -22,6 +22,7 @@ from typing import Callable
 import numpy as np
 
 from repro.serving.stats import ServiceStats
+from repro.telemetry import span
 
 # ComputeFn(exchange_id, coins, time) -> raw feature block (len(coins), D).
 ComputeFn = Callable[[int, np.ndarray, float], np.ndarray]
@@ -73,15 +74,18 @@ class FeatureCache:
         """
         at = bucket_time(time, self.bucket_hours)
         key = (int(exchange_id), at, coins.tobytes())
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.stats.cache_hit()
-            return cached
-        self.stats.cache_miss()
-        block = self.compute(exchange_id, coins, at)
-        if self.max_entries:
-            self._entries[key] = block
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-        return block
+        with span("cache.features", candidates=len(coins)) as current:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.cache_hit()
+                current.set("hit", True)
+                return cached
+            self.stats.cache_miss()
+            current.set("hit", False)
+            block = self.compute(exchange_id, coins, at)
+            if self.max_entries:
+                self._entries[key] = block
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+            return block

@@ -24,6 +24,7 @@ from repro.serving.sinks import AlertSink
 from repro.serving.stats import ServiceStats
 from repro.serving.stream import MessageStream
 from repro.sources.base import as_source
+from repro.telemetry import span
 
 # Two stream timestamps closer than this are "concurrent" for batching.
 TIME_EPSILON = 1e-9
@@ -57,9 +58,10 @@ def drive_stream(stream: MessageStream, *, detector: OnlineDetector,
             batch, pending[:] = pending[:max_batch], pending[max_batch:]
             batch_alerts, batch_skipped = rank_batch(batch)
             skipped.extend(batch_skipped)
-            for alert in batch_alerts:
-                for sink in sinks:
-                    sink.emit(alert)
+            with span("sink.emit", alerts=len(batch_alerts)):
+                for alert in batch_alerts:
+                    for sink in sinks:
+                        sink.emit(alert)
             alerts.extend(batch_alerts)
 
     with stats.timed_run():

@@ -30,6 +30,7 @@ from repro.nn.compile import prewarm
 from repro.serving.cache import FeatureCache
 from repro.serving.online import Announcement
 from repro.serving.stats import ServiceStats
+from repro.telemetry import span
 from repro.utils.payload import payload_float, payload_object
 
 
@@ -101,6 +102,8 @@ class PredictionService:
                  stats: ServiceStats | None = None):
         self.predictor = predictor
         self.stats = stats or ServiceStats()
+        # Labels the rank_latency_seconds series (and trace attributes).
+        self.model_name = type(predictor.model).__name__
         self.bucket_hours = bucket_hours
         self._cache = FeatureCache(
             predictor.coin_market_block, bucket_hours=bucket_hours,
@@ -224,16 +227,18 @@ class PredictionService:
         if not announcements:
             return []
         started = _time.perf_counter()
-        requests = [
-            RankRequest(a.channel_id, a.exchange_id, a.time,
-                        candidates=self._candidates(a))
-            for a in announcements
-        ]
-        rankings = self.predictor.rank_many(
-            requests,
-            features_fn=self._cache.features,
-            history_fn=self._history_before,
-        )
+        with span("service.rank_batch", batch=len(announcements),
+                  model=self.model_name):
+            requests = [
+                RankRequest(a.channel_id, a.exchange_id, a.time,
+                            candidates=self._candidates(a))
+                for a in announcements
+            ]
+            rankings = self.predictor.rank_many(
+                requests,
+                features_fn=self._cache.features,
+                history_fn=self._history_before,
+            )
         elapsed_ms = (_time.perf_counter() - started) * 1000.0
         per_announcement = elapsed_ms / len(announcements)
         if any(ranking.scores for ranking in rankings):
@@ -244,7 +249,8 @@ class PredictionService:
         for announcement, ranking in zip(announcements, rankings):
             self.stats.scored_rows += len(ranking.scores)
             self.stats.alerts += 1
-            self.stats.record_latency(per_announcement)
+            self.stats.record_latency(per_announcement,
+                                      model=self.model_name)
             alerts.append(Alert(announcement=announcement, ranking=ranking,
                                 latency_ms=per_announcement))
         for announcement in announcements:

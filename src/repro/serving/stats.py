@@ -1,50 +1,165 @@
-"""Service metrics for the streaming engine.
+"""Service metrics for the streaming engine, backed by the telemetry registry.
 
 One :class:`ServiceStats` instance is threaded through the stream engine,
 the online detector/sessionizer, the feature cache and the prediction
-service, accumulating counters, cache hits and per-announcement scoring
-latencies.  ``summary()`` renders everything a deployment dashboard would
-plot: throughput, p50/p99 latency and cache hit-rate.
+service.  Since ISSUE 6 it is a *view over a
+:class:`repro.telemetry.MetricsRegistry`*: every counter attribute
+(``stats.messages += 1`` keeps working unchanged) is stored in a typed
+instrument, so the same numbers ``summary()`` renders are scraped from
+``GET /v1/metrics`` in Prometheus text format — the accumulator no longer
+dies with the process's stdout.
+
+Latency recordings go two places at once:
+
+* a fixed-bucket ``rank_latency_seconds{model}`` histogram — O(1) memory
+  however long the service runs (the old unbounded ``_latencies_ms`` list
+  grew forever on a long-running service);
+* a bounded reservoir of the most recent :data:`RESERVOIR_CAPACITY`
+  values — short runs (every test, every replay) get *exact* p50/p99,
+  identical to the old ``np.percentile`` behaviour; beyond the capacity
+  the percentiles fall back to the histogram's bucket-interpolated
+  estimate.
+
+``summary()`` keeps its exact key set and value semantics.
 """
 
 from __future__ import annotations
 
 import time as _time
+from collections import deque
 from contextlib import contextmanager
 
 import numpy as np
 
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Exact-percentile window: recordings beyond this many fall back to the
+#: histogram estimate.  Bounds a long-running service's memory at O(1).
+RESERVOIR_CAPACITY = 4096
+
+#: Scoring-latency bucket bounds in seconds (sub-ms cache hits through
+#: multi-second cold batches).
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class _CounterAttr:
+    """A ``ServiceStats`` attribute stored in a registry counter.
+
+    Reads return ints (as before); writes translate into counter deltas so
+    ``stats.messages += 1`` and the legacy ``stats.messages = 0`` both
+    keep working while the registry sees every change.
+    """
+
+    def __set_name__(self, owner, name: str):
+        self._attr = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return int(obj._counters[self._attr].value())
+
+    def __set__(self, obj, value) -> None:
+        counter = obj._counters[self._attr]
+        delta = float(value) - counter.value()
+        if delta >= 0:
+            counter.inc(delta)
+        else:
+            # Legacy direct assignment below the current value (e.g. a
+            # reset); monotonic scrapes are the caller's concern then.
+            counter.force_set(float(value))
+
 
 class ServiceStats:
-    """Mutable accumulator of one serving run's operational metrics."""
+    """Operational metrics of one serving run, recorded into a registry.
 
-    def __init__(self) -> None:
-        self.messages = 0            # messages consumed from the stream
-        self.pump_messages = 0       # messages the online detector flagged
-        self.sessions_closed = 0     # 24h-gap sessions completed
-        self.announcements = 0       # resolvable coin releases seen
-        self.duplicate_releases = 0  # repeat releases within one session
-        self.alerts = 0              # ranked alerts emitted
-        self.unknown_channels = 0    # announcements from untrained channels
-        self.no_candidates = 0       # announcements with no listed coins
-        self.forward_passes = 0      # model invocations (micro-batches)
-        self.scored_rows = 0         # candidate rows pushed through the model
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self._latencies_ms: list[float] = []
-        self._wall_seconds = 0.0
+    Parameters
+    ----------
+    registry:
+        The :class:`MetricsRegistry` instruments live in.  Defaults to a
+        private registry so two services in one process never merge
+        counters; the gateway exposes it via ``GET /v1/metrics``.
+    """
+
+    messages = _CounterAttr()            # messages consumed from the stream
+    pump_messages = _CounterAttr()       # messages the online detector flagged
+    sessions_closed = _CounterAttr()     # 24h-gap sessions completed
+    announcements = _CounterAttr()       # resolvable coin releases seen
+    duplicate_releases = _CounterAttr()  # repeat releases within one session
+    alerts = _CounterAttr()              # ranked alerts emitted
+    unknown_channels = _CounterAttr()    # announcements from untrained channels
+    no_candidates = _CounterAttr()       # announcements with no listed coins
+    forward_passes = _CounterAttr()      # model invocations (micro-batches)
+    scored_rows = _CounterAttr()         # candidate rows pushed through model
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        simple = {
+            "messages": "Messages consumed from the stream",
+            "pump_messages": "Messages the online detector flagged",
+            "sessions_closed": "24h-gap sessions completed",
+            "announcements": "Resolvable coin releases seen",
+            "duplicate_releases": "Repeat releases within one session",
+            "alerts": "Ranked alerts emitted",
+            "unknown_channels": "Announcements from untrained channels",
+            "no_candidates": "Announcements with no listed coins",
+            "forward_passes": "Model invocations (micro-batches)",
+            "scored_rows": "Candidate rows pushed through the model",
+        }
+        # `.labels()` with no labels binds the single unlabelled child, so
+        # every entry exposes the same bound API (inc/value/force_set).
+        self._counters = {
+            name: self.registry.counter(f"service_{name}_total", help).labels()
+            for name, help in simple.items()
+        }
+        lookups = self.registry.counter(
+            "service_cache_lookups_total",
+            "Feature-cache lookups by result", ("result",),
+        )
+        self._counters["cache_hits"] = lookups.labels(result="hit")
+        self._counters["cache_misses"] = lookups.labels(result="miss")
+        self._latency = self.registry.histogram(
+            "rank_latency_seconds",
+            "Per-announcement scoring latency (share of its micro-batch)",
+            ("model",), buckets=LATENCY_BUCKETS,
+        )
+        self._wall = self.registry.gauge(
+            "service_wall_seconds", "Accumulated replay wall-clock time",
+        )
+        self.registry.gauge_fn(
+            "service_cache_hit_ratio",
+            "Feature-cache hit rate over the run", self.cache_hit_rate,
+        )
+        # Exact-percentile window over the most recent recordings (ms).
+        self._reservoir: deque[float] = deque(maxlen=RESERVOIR_CAPACITY)
+        self._latency_count = 0
+
+    # Registered like the others so `stats.cache_hits += 1` still works,
+    # but they share one labelled counter (`result="hit"/"miss"`).
+    cache_hits = _CounterAttr()
+    cache_misses = _CounterAttr()
 
     # -- recording -----------------------------------------------------------
 
     def cache_hit(self) -> None:
-        self.cache_hits += 1
+        self._counters["cache_hits"].inc()
 
     def cache_miss(self) -> None:
-        self.cache_misses += 1
+        self._counters["cache_misses"].inc()
 
-    def record_latency(self, milliseconds: float) -> None:
-        """One announcement's scoring latency (share of its micro-batch)."""
-        self._latencies_ms.append(float(milliseconds))
+    def record_latency(self, milliseconds: float, model: str = "") -> None:
+        """One announcement's scoring latency (share of its micro-batch).
+
+        ``model`` labels the Prometheus series (the serving layer passes
+        the ranker class name); the reservoir that backs exact short-run
+        percentiles is model-agnostic, matching the old flat list.
+        """
+        value = float(milliseconds)
+        self._latency.labels(model=model).observe(value / 1000.0)
+        self._reservoir.append(value)
+        self._latency_count += 1
 
     @contextmanager
     def timed_run(self):
@@ -53,29 +168,36 @@ class ServiceStats:
         try:
             yield self
         finally:
-            self._wall_seconds += _time.perf_counter() - start
+            self._wall.inc(_time.perf_counter() - start)
 
     # -- derived metrics -----------------------------------------------------
 
     @property
     def wall_seconds(self) -> float:
-        return self._wall_seconds
+        return self._wall.value
 
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
     def latency_ms(self, percentile: float) -> float:
-        """Scoring-latency percentile in milliseconds (0 when no alerts)."""
-        if not self._latencies_ms:
+        """Scoring-latency percentile in milliseconds (0 when no alerts).
+
+        Exact (``np.percentile`` over every recording) while the run fits
+        the reservoir; a histogram-interpolated estimate on longer runs.
+        """
+        if not self._latency_count:
             return 0.0
-        return float(np.percentile(self._latencies_ms, percentile))
+        if self._latency_count <= RESERVOIR_CAPACITY:
+            return float(np.percentile(list(self._reservoir), percentile))
+        return self._latency.quantile(percentile / 100.0) * 1000.0
 
     def throughput(self) -> float:
         """Messages consumed per wall-clock second of replay."""
-        if self._wall_seconds <= 0:
+        wall = self._wall.value
+        if wall <= 0:
             return 0.0
-        return self.messages / self._wall_seconds
+        return self.messages / wall
 
     def mean_batch_size(self) -> float:
         if not self.forward_passes:
@@ -102,5 +224,5 @@ class ServiceStats:
             "latency_p50_ms": round(self.latency_ms(50), 3),
             "latency_p99_ms": round(self.latency_ms(99), 3),
             "throughput_msg_per_s": round(self.throughput(), 1),
-            "wall_seconds": round(self._wall_seconds, 3),
+            "wall_seconds": round(self._wall.value, 3),
         }

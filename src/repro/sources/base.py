@@ -37,7 +37,20 @@ class SourceDataError(RuntimeError):
     Raised instead of returning wrong features: an incomplete candle grid
     or an unknown symbol must stop the pipeline with a diagnostic, never
     silently fill zeros into a feature matrix.
+
+    Every construction bumps ``source_errors_total`` in the process-wide
+    telemetry registry — the raise sites are scattered across backends,
+    and this is the one chokepoint they all share.
     """
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        from repro.telemetry import default_registry
+
+        default_registry().counter(
+            "source_errors_total",
+            "Data-source failures (missing/malformed/unanswerable).",
+        ).labels().inc()
 
 
 @runtime_checkable

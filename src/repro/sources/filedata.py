@@ -82,6 +82,21 @@ def _open_text(path: Path):
     return open(path, "r", encoding="utf-8")
 
 
+def _count_rows(path: Path, n: int) -> None:
+    """Record ``n`` ingested rows under the file's table name.
+
+    The label is the canonical table stem (``coins``, ``candles``, ...)
+    so plain and ``.gz`` variants land in the same series.
+    """
+    from repro.telemetry import default_registry
+
+    table = path.name[:-3] if path.name.endswith(".gz") else path.name
+    table = table.rsplit(".", 1)[0]
+    default_registry().counter(
+        "source_rows_total", "Rows read from source dump tables.", ("table",),
+    ).labels(table=table).inc(n)
+
+
 def read_csv_table(path: Path, required: Sequence[str]) -> list[dict]:
     """Read a CSV into dict rows, checking the required header columns.
 
@@ -100,7 +115,9 @@ def read_csv_table(path: Path, required: Sequence[str]) -> list[dict]:
                 f"{path} is missing required column(s) {missing}; "
                 f"found {list(header)}"
             )
-        return list(reader)
+        rows = list(reader)
+    _count_rows(path, len(rows))
+    return rows
 
 
 _read_csv = read_csv_table
@@ -458,6 +475,7 @@ def _load_messages(path: Path) -> list[Message]:
                 text=str(record["text"]),
                 kind=kind,
             ))
+    _count_rows(path, len(messages))
     return messages
 
 

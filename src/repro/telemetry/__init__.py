@@ -1,0 +1,68 @@
+"""repro.telemetry — stdlib-only observability for the serving stack.
+
+One subsystem, three concerns (ISSUE 6):
+
+* **metrics** — :class:`MetricsRegistry` with typed, labelled instruments
+  (:class:`Counter`, :class:`Gauge`, :class:`Histogram`), safe under the
+  gateway's thread pool; :func:`default_registry` carries the
+  cross-cutting series (training epochs, artifact loads, plan compiles,
+  source ingest) so one scrape observes the whole model lifecycle.
+* **tracing** — :func:`span` / :func:`start_trace` build per-request span
+  trees propagated via a contextvar and the ``X-Repro-Trace-Id`` header;
+  finished traces ring-buffer in a :class:`TraceStore` behind
+  ``GET /v1/trace/recent`` and slow-request log lines.
+* **exposition & logging** — ``GET /v1/metrics`` Prometheus text
+  (:func:`render_text` / strict :func:`parse_text`), structured JSON
+  logging (:class:`StructuredLogger`) with automatic trace correlation.
+
+:class:`TelemetryHub` bundles all of it for one observable component.
+Instrumentation is parity-safe by construction: it only ever *times and
+counts* around the existing code paths — rankings remain bit-for-bit
+identical with telemetry on (pinned by tests/gateway/test_telemetry.py).
+"""
+
+from repro.telemetry.exposition import (
+    ExpositionError,
+    Sample,
+    parse_text,
+    render_text,
+)
+from repro.telemetry.hub import DEFAULT_SLOW_MS, TelemetryHub
+from repro.telemetry.logging import (
+    CapturingLogger,
+    StructuredLogger,
+    get_logger,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from repro.telemetry.tracing import (
+    DURATION_HEADER,
+    TRACE_HEADER,
+    Span,
+    TraceStore,
+    current_span,
+    current_trace_id,
+    new_trace_id,
+    sanitize_trace_id,
+    span,
+    start_trace,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS", "MetricError", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "default_registry", "set_default_registry",
+    "ExpositionError", "Sample", "parse_text", "render_text",
+    "TRACE_HEADER", "DURATION_HEADER", "Span", "TraceStore",
+    "current_span", "current_trace_id", "new_trace_id",
+    "sanitize_trace_id", "span", "start_trace",
+    "StructuredLogger", "CapturingLogger", "get_logger",
+    "TelemetryHub", "DEFAULT_SLOW_MS",
+]

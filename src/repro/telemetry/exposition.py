@@ -1,0 +1,189 @@
+"""Prometheus text exposition: render registries, parse scrapes.
+
+:func:`render_text` emits the version-0.0.4 text format (``# HELP`` /
+``# TYPE`` comments, escaped label values, cumulative histogram
+``_bucket{le=...}`` series ending in ``+Inf``, ``_sum`` and ``_count``).
+:func:`parse_text` is the inverse used by the ``repro telemetry`` CLI and
+the CI smoke job — it is deliberately strict, raising
+:class:`ExpositionError` on any line that is not a comment, a blank, or a
+well-formed sample, so a formatting regression fails the scrape instead
+of silently dropping series.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.telemetry.metrics import Gauge, Histogram, MetricsRegistry
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*'
+    r"(?P<sep>,|$)"
+)
+
+
+class ExpositionError(ValueError):
+    """A scrape body that is not valid Prometheus text format."""
+
+
+def escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r"\""))
+
+
+def _unescape(value: str) -> str:
+    return (value.replace(r"\"", '"').replace(r"\n", "\n")
+            .replace(r"\\", "\\"))
+
+
+def format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(names: tuple[str, ...], values: tuple[str, ...],
+                 extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{n}="{escape_label_value(v)}"'
+             for n, v in list(zip(names, values)) + list(extra)]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_text(*registries: MetricsRegistry) -> str:
+    """The concatenated exposition of one or more registries.
+
+    Registries are deduplicated by identity; the serving stack names its
+    series so families never repeat *across* registries (``service_*`` vs
+    ``gateway_*`` vs the cross-cutting defaults), keeping the combined
+    document valid.
+    """
+    seen: list[MetricsRegistry] = []
+    for registry in registries:
+        if not any(registry is r for r in seen):
+            seen.append(registry)
+    lines: list[str] = []
+    for registry in seen:
+        for metric in registry.collect():
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                _render_histogram(metric, lines)
+                continue
+            samples = metric.samples()
+            if not samples and isinstance(metric, Gauge):
+                # An unlabelled gauge that was registered but never set
+                # still exposes its zero — absence reads as "series gone".
+                samples = [((), 0.0)] if not metric.labelnames else []
+            for key, value in samples:
+                labels = _labels_text(metric.labelnames, key)
+                lines.append(
+                    f"{metric.name}{labels} {format_value(float(value))}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _render_histogram(metric: Histogram, lines: list[str]) -> None:
+    for key, value in metric.samples():
+        cumulative = 0
+        for bound, count in zip(metric.buckets, value.counts):
+            cumulative += count
+            labels = _labels_text(metric.labelnames, key,
+                                  extra=(("le", format_value(bound)),))
+            lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+        cumulative += value.counts[-1]
+        labels = _labels_text(metric.labelnames, key, extra=(("le", "+Inf"),))
+        lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+        labels = _labels_text(metric.labelnames, key)
+        lines.append(f"{metric.name}_sum{labels} "
+                     f"{format_value(value.total)}")
+        lines.append(f"{metric.name}_count{labels} {value.count}")
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One parsed exposition line: ``name{labels} value``."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+    @property
+    def labels_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+def _parse_labels(raw: str, line_no: int) -> tuple[tuple[str, str], ...]:
+    pairs: list[tuple[str, str]] = []
+    position = 0
+    while position < len(raw):
+        match = _LABEL_PAIR.match(raw, position)
+        if match is None:
+            raise ExpositionError(
+                f"line {line_no}: malformed label pair at {raw[position:]!r}"
+            )
+        pairs.append((match.group("name"), _unescape(match.group("value"))))
+        position = match.end()
+        if match.group("sep") == "" and position < len(raw):
+            raise ExpositionError(
+                f"line {line_no}: trailing garbage in labels {raw!r}"
+            )
+    return tuple(pairs)
+
+
+def _parse_value(raw: str, line_no: int) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise ExpositionError(
+            f"line {line_no}: {raw!r} is not a number"
+        ) from None
+
+
+def parse_text(text: str) -> list[Sample]:
+    """Parse a scrape body; strict — any unexpected line raises.
+
+    Comments (``# HELP`` / ``# TYPE`` / plain ``#``) and blank lines are
+    skipped; everything else must match ``name[{labels}] value``.
+    """
+    samples: list[Sample] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(stripped)
+        if match is None:
+            raise ExpositionError(
+                f"line {line_no}: not a valid exposition sample: {line!r}"
+            )
+        labels_raw = match.group("labels")
+        samples.append(Sample(
+            name=match.group("name"),
+            labels=(_parse_labels(labels_raw, line_no)
+                    if labels_raw else ()),
+            value=_parse_value(match.group("value"), line_no),
+        ))
+    return samples
+
+
+__all__ = [
+    "ExpositionError", "Sample", "escape_label_value", "format_value",
+    "parse_text", "render_text",
+]

@@ -1,0 +1,70 @@
+"""The telemetry hub: one bundle of registry + traces + logger + policy.
+
+A :class:`TelemetryHub` is what a serving process hands around instead of
+four separate objects: its metrics registry, its trace ring buffer, its
+structured logger and the slow-request threshold.  The gateway owns one
+per :class:`~repro.gateway.GatewayApp` (tests inject a fresh hub with a
+:class:`~repro.telemetry.logging.CapturingLogger`); ``/v1/metrics``
+renders the hub's registry together with the service's stats registry and
+the process default registry, so one scrape covers transport, serving,
+and the cross-cutting train/load/compile series.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.logging import StructuredLogger, get_logger
+from repro.telemetry.metrics import MetricsRegistry, default_registry
+from repro.telemetry.tracing import Span, TraceStore
+
+#: A root span at least this long (ms) gets its tree attached to a
+#: structured ``slow_request`` log line.
+DEFAULT_SLOW_MS = 500.0
+
+
+class TelemetryHub:
+    """Metrics + traces + logging for one observable process/component."""
+
+    def __init__(self, *, registry: MetricsRegistry | None = None,
+                 traces: TraceStore | None = None,
+                 logger: StructuredLogger | None = None,
+                 slow_ms: float = DEFAULT_SLOW_MS,
+                 trace_capacity: int = 64):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.traces = (traces if traces is not None
+                       else TraceStore(capacity=trace_capacity))
+        self.logger = logger if logger is not None else get_logger("repro")
+        if slow_ms < 0:
+            raise ValueError("slow_ms must be >= 0")
+        self.slow_ms = slow_ms
+
+    def maybe_log_slow(self, root: Span) -> bool:
+        """Log a finished root span's tree when it crossed ``slow_ms``.
+
+        Returns True when a ``slow_request`` line was emitted — the
+        threshold is inclusive so ``slow_ms=0`` traces everything.
+        """
+        if root.duration_ms is None or root.duration_ms < self.slow_ms:
+            return False
+        self.logger.warning(
+            "slow_request",
+            trace_id=root.trace_id,
+            name=root.name,
+            duration_ms=round(root.duration_ms, 3),
+            threshold_ms=self.slow_ms,
+            trace=root.to_dict(),
+        )
+        return True
+
+    def render_metrics(self, *extra: MetricsRegistry) -> str:
+        """Prometheus exposition of this hub + any extra registries.
+
+        The process :func:`default_registry` is always included, so the
+        scrape of a gateway also shows artifact-load, compile and
+        training series recorded before serving started.
+        """
+        from repro.telemetry.exposition import render_text
+
+        return render_text(self.registry, *extra, default_registry())
+
+
+__all__ = ["DEFAULT_SLOW_MS", "TelemetryHub"]

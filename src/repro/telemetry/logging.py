@@ -1,0 +1,112 @@
+"""Structured JSON logging with trace-id correlation.
+
+One JSON object per line on a stream (stderr by default) — the format
+log aggregators ingest directly, replacing the gateway's ad-hoc
+``--verbose`` prints.  Every record automatically carries the active
+trace id (see :mod:`repro.telemetry.tracing`), so a slow-request span
+dump, its error envelope and its access-log line all join on
+``trace_id``::
+
+    {"ts": 1722945600.123, "level": "warning", "logger": "repro.gateway",
+     "event": "request_failed", "trace_id": "9f1c...", "code": "bad_json",
+     "endpoint": "/v1/rank", "status": 400}
+
+``event`` is a stable machine-readable name (snake_case, like metric
+names); free-form prose goes in ``message``.  Values that are not
+JSON-serializable are stringified rather than raising — a log line must
+never take down a handler thread.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import threading
+import time as _time
+from typing import TextIO
+
+from repro.telemetry.tracing import current_trace_id
+
+_LEVELS = ("debug", "info", "warning", "error")
+
+
+class StructuredLogger:
+    """Write one JSON object per line, trace-correlated and thread-safe."""
+
+    def __init__(self, name: str, stream: TextIO | None = None,
+                 min_level: str = "info"):
+        if min_level not in _LEVELS:
+            raise ValueError(f"unknown level {min_level!r}")
+        self.name = name
+        self._stream = stream
+        self._min = _LEVELS.index(min_level)
+        self._lock = threading.Lock()
+
+    @property
+    def stream(self) -> TextIO:
+        # Resolved lazily so monkeypatched/captured sys.stderr (pytest's
+        # capsys) is honoured; an explicit stream pins the destination.
+        return self._stream if self._stream is not None else sys.stderr
+
+    def log(self, level: str, event: str, **fields) -> None:
+        if level not in _LEVELS:
+            raise ValueError(f"unknown level {level!r}")
+        if _LEVELS.index(level) < self._min:
+            return
+        record = {
+            "ts": round(_time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None and "trace_id" not in fields:
+            record["trace_id"] = trace_id
+        record.update(fields)
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        with self._lock:
+            try:
+                print(line, file=self.stream, flush=True)
+            except (OSError, ValueError):  # pragma: no cover - closed stream
+                pass
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+class CapturingLogger(StructuredLogger):
+    """A logger whose records are kept in memory — the test double."""
+
+    def __init__(self, name: str = "test", min_level: str = "debug"):
+        super().__init__(name, stream=io.StringIO(), min_level=min_level)
+
+    @property
+    def records(self) -> list[dict]:
+        raw = self.stream.getvalue()
+        return [json.loads(line) for line in raw.splitlines() if line]
+
+
+_loggers: dict[str, StructuredLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Process-wide logger instances, memoized by name."""
+    with _loggers_lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = _loggers[name] = StructuredLogger(name)
+        return logger
+
+
+__all__ = ["CapturingLogger", "StructuredLogger", "get_logger"]

@@ -1,0 +1,225 @@
+"""Request tracing: lightweight spans, contextvar propagation, ring store.
+
+A **trace** is one request's tree of timed :class:`Span` nodes.  The
+gateway opens a root span per HTTP request (honouring an inbound
+``X-Repro-Trace-Id`` header so a client-side replay and the server share
+one id); the serving layers annotate the path with :func:`span` context
+managers::
+
+    with start_trace("POST /v1/rank", store=traces) as root:
+        with span("service.rank_batch", batch=3):
+            with span("nn.forward", rows=412):
+                ...
+
+The active span lives in a :class:`~contextvars.ContextVar`, so nesting
+works across helper calls without plumbing and each gateway handler
+thread gets its own tree.  Outside any trace, :func:`span` returns a
+shared no-op (one contextvar read, no allocation) — offline training and
+assembly loops pay effectively nothing.
+
+Finished root spans land in a :class:`TraceStore` ring buffer, served by
+``GET /v1/trace/recent`` and attached to slow-request log lines.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+import uuid
+from collections import deque
+from contextvars import ContextVar
+from typing import Iterator
+
+#: HTTP header carrying the trace id across the wire (both directions).
+TRACE_HEADER = "X-Repro-Trace-Id"
+#: HTTP response header with the server-side handling duration.
+DURATION_HEADER = "X-Repro-Duration-Ms"
+
+_current: ContextVar["Span | None"] = ContextVar("repro_current_span",
+                                                 default=None)
+
+# Trace ids are hex and bounded so a hostile header cannot stuff logs.
+_MAX_TRACE_ID = 64
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+def sanitize_trace_id(raw: str | None) -> str:
+    """A usable trace id from an (untrusted) inbound header."""
+    if raw:
+        candidate = raw.strip()[:_MAX_TRACE_ID]
+        if candidate and all(c.isalnum() or c in "-_" for c in candidate):
+            return candidate
+    return new_trace_id()
+
+
+class Span:
+    """One timed node of a trace tree."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "attributes",
+                 "children", "started_at", "_t0", "duration_ms")
+
+    def __init__(self, name: str, trace_id: str,
+                 parent_id: str | None = None, attributes: dict | None = None):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = uuid.uuid4().hex[:16]
+        self.parent_id = parent_id
+        self.attributes = dict(attributes) if attributes else {}
+        self.children: list[Span] = []
+        self.started_at = _time.time()
+        self._t0 = _time.perf_counter()
+        self.duration_ms: float | None = None
+
+    def set(self, key: str, value) -> None:
+        """Attach/overwrite one attribute (e.g. the final HTTP status)."""
+        self.attributes[key] = value
+
+    def finish(self) -> None:
+        if self.duration_ms is None:
+            self.duration_ms = (_time.perf_counter() - self._t0) * 1000.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe span tree (the ``/v1/trace/recent`` wire form)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_at": self.started_at,
+            "duration_ms": (round(self.duration_ms, 3)
+                            if self.duration_ms is not None else None),
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _SpanContext:
+    """Context manager activating one span on the contextvar."""
+
+    __slots__ = ("span", "_token")
+
+    def __init__(self, span: Span):
+        self.span = span
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _current.set(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.span.finish()
+        if exc_type is not None:
+            self.span.set("error", exc_type.__name__)
+        _current.reset(self._token)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span for code running outside any trace."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **attributes):
+    """A child span of the active trace; a shared no-op outside one."""
+    parent = _current.get()
+    if parent is None:
+        return _NOOP
+    child = Span(name, parent.trace_id, parent_id=parent.span_id,
+                 attributes=attributes)
+    parent.children.append(child)
+    return _SpanContext(child)
+
+
+class _TraceContext(_SpanContext):
+    """Root-span context that archives the finished tree in a store."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self, span: Span, store: "TraceStore | None"):
+        super().__init__(span)
+        self._store = store
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        suppressed = super().__exit__(exc_type, exc, tb)
+        if self._store is not None:
+            self._store.add(self.span)
+        return suppressed
+
+
+def start_trace(name: str, *, trace_id: str | None = None,
+                store: "TraceStore | None" = None, **attributes):
+    """Open a root span (a fresh trace id unless one is supplied)."""
+    root = Span(name, trace_id or new_trace_id(), attributes=attributes)
+    return _TraceContext(root, store)
+
+
+def current_span() -> Span | None:
+    return _current.get()
+
+
+def current_trace_id() -> str | None:
+    """The active trace's id, or ``None`` outside any trace.
+
+    The gateway client stamps this onto outbound requests, so a traced
+    local replay and the remote server log the same id.
+    """
+    active = _current.get()
+    return active.trace_id if active is not None else None
+
+
+class TraceStore:
+    """Thread-safe ring buffer of the last N finished trace trees."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: deque[Span] = deque(maxlen=capacity)
+
+    def add(self, root: Span) -> None:
+        with self._lock:
+            self._traces.append(root)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def recent(self, limit: int | None = None) -> list[dict]:
+        """Most-recent-first span trees as JSON-safe dicts."""
+        with self._lock:
+            roots = list(self._traces)
+        roots.reverse()
+        if limit is not None:
+            if limit < 0:
+                raise ValueError("limit must be >= 0")
+            roots = roots[:limit]
+        return [root.to_dict() for root in roots]
+
+
+__all__ = [
+    "DURATION_HEADER", "TRACE_HEADER", "Span", "TraceStore",
+    "current_span", "current_trace_id", "new_trace_id",
+    "sanitize_trace_id", "span", "start_trace",
+]

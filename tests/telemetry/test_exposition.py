@@ -1,0 +1,110 @@
+"""repro.telemetry.exposition — golden render + strict parse."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.telemetry import (
+    ExpositionError,
+    MetricsRegistry,
+    parse_text,
+    render_text,
+)
+from repro.telemetry.exposition import escape_label_value, format_value
+
+
+def test_golden_exposition():
+    """Exact text for a small registry — pins the 0.0.4 format."""
+    registry = MetricsRegistry()
+    c = registry.counter("requests_total", "Requests handled.",
+                         ("endpoint", "status"))
+    c.labels(endpoint="/v1/rank", status="200").inc(3)
+    g = registry.gauge("uptime_seconds", "Seconds up.")
+    g.set(12.5)
+    h = registry.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    assert render_text(registry) == (
+        "# HELP requests_total Requests handled.\n"
+        "# TYPE requests_total counter\n"
+        'requests_total{endpoint="/v1/rank",status="200"} 3\n'
+        "# HELP uptime_seconds Seconds up.\n"
+        "# TYPE uptime_seconds gauge\n"
+        "uptime_seconds 12.5\n"
+        "# HELP lat_seconds Latency.\n"
+        "# TYPE lat_seconds histogram\n"
+        'lat_seconds_bucket{le="0.1"} 1\n'
+        'lat_seconds_bucket{le="1"} 2\n'
+        'lat_seconds_bucket{le="+Inf"} 3\n'
+        "lat_seconds_sum 5.55\n"
+        "lat_seconds_count 3\n"
+    )
+
+
+def test_unset_unlabelled_gauge_renders_zero():
+    registry = MetricsRegistry()
+    registry.gauge("idle_seconds", "Never set.")
+    assert "idle_seconds 0\n" in render_text(registry)
+
+
+def test_registries_deduplicated_by_identity():
+    registry = MetricsRegistry()
+    registry.counter("a_total").inc()
+    once = render_text(registry)
+    assert render_text(registry, registry, registry) == once
+
+
+def test_label_value_escaping_roundtrip():
+    registry = MetricsRegistry()
+    nasty = 'he said "hi"\\path\nnext'
+    registry.counter("odd_total", "", ("text",)).labels(text=nasty).inc()
+    text = render_text(registry)
+    (sample,) = parse_text(text)
+    assert sample.labels_dict["text"] == nasty
+
+
+def test_format_value_specials():
+    assert format_value(3.0) == "3"
+    assert format_value(2.5) == "2.5"
+    assert format_value(math.inf) == "+Inf"
+    assert format_value(-math.inf) == "-Inf"
+    assert format_value(math.nan) == "NaN"
+    assert escape_label_value('a"b') == 'a\\"b'
+
+
+def test_parse_roundtrip_values():
+    registry = MetricsRegistry()
+    registry.counter("reqs_total", "", ("code",)).labels(code="404").inc(7)
+    registry.gauge("depth").set(-2.25)
+    samples = parse_text(render_text(registry))
+    by_name = {(s.name, s.labels): s.value for s in samples}
+    assert by_name[("reqs_total", (("code", "404"),))] == 7
+    assert by_name[("depth", ())] == -2.25
+
+
+def test_parse_skips_comments_and_blanks():
+    text = "# HELP x_total h\n# TYPE x_total counter\n\nx_total 1\n"
+    (sample,) = parse_text(text)
+    assert sample.name == "x_total" and sample.value == 1
+
+
+@pytest.mark.parametrize("bad", [
+    "not a metric line at all !",
+    "x_total one",
+    'x_total{code=404} 1',          # unquoted label value
+    'x_total{code="404" 1',         # unterminated label block
+    "{} 1",
+])
+def test_parse_rejects_malformed_lines(bad):
+    with pytest.raises(ExpositionError):
+        parse_text(f"# ok\n{bad}\n")
+
+
+def test_parse_special_values():
+    samples = parse_text("a 1\nb +Inf\nc -Inf\nd NaN\n")
+    assert samples[1].value == math.inf
+    assert samples[2].value == -math.inf
+    assert math.isnan(samples[3].value)

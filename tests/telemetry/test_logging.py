@@ -1,0 +1,90 @@
+"""repro.telemetry.logging — structured JSON records, trace correlation."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    CapturingLogger,
+    StructuredLogger,
+    get_logger,
+    start_trace,
+)
+
+
+def test_records_carry_standard_fields():
+    log = CapturingLogger()
+    log.info("model_loaded", name="snn", version=3)
+    (record,) = log.records
+    assert record["level"] == "info"
+    assert record["logger"] == "test"
+    assert record["event"] == "model_loaded"
+    assert record["name"] == "snn"
+    assert record["version"] == 3
+    assert isinstance(record["ts"], float)
+    assert "trace_id" not in record  # no active trace
+
+
+def test_min_level_filters():
+    log = CapturingLogger(min_level="warning")
+    log.debug("noise")
+    log.info("noise")
+    log.warning("kept")
+    log.error("kept_too", code="boom")
+    events = [r["event"] for r in log.records]
+    assert events == ["kept", "kept_too"]
+
+
+def test_unknown_levels_raise():
+    with pytest.raises(ValueError):
+        StructuredLogger("x", min_level="loud")
+    log = CapturingLogger()
+    with pytest.raises(ValueError):
+        log.log("loud", "event")
+
+
+def test_trace_id_auto_correlated():
+    log = CapturingLogger()
+    with start_trace("req", trace_id="trace-xyz"):
+        log.info("inside")
+    log.info("outside")
+    inside, outside = log.records
+    assert inside["trace_id"] == "trace-xyz"
+    assert "trace_id" not in outside
+
+
+def test_explicit_trace_id_wins():
+    log = CapturingLogger()
+    with start_trace("req", trace_id="ambient"):
+        log.info("evt", trace_id="explicit")
+    (record,) = log.records
+    assert record["trace_id"] == "explicit"
+
+
+def test_non_serializable_values_are_stringified():
+    log = CapturingLogger()
+    log.info("evt", obj=object(), path=threading.Lock())
+    (record,) = log.records  # must not raise
+    assert "object object" in record["obj"]
+
+
+def test_one_json_object_per_line():
+    stream = io.StringIO()
+    log = StructuredLogger("repro", stream=stream, min_level="debug")
+    log.debug("a")
+    log.info("b")
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    assert [json.loads(line)["event"] for line in lines] == ["a", "b"]
+
+
+def test_get_logger_memoizes_by_name():
+    a = get_logger("repro.test.memo")
+    b = get_logger("repro.test.memo")
+    other = get_logger("repro.test.other")
+    assert a is b
+    assert a is not other

@@ -1,0 +1,127 @@
+"""repro.telemetry.tracing — span trees, contextvars, ring store."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    TraceStore,
+    current_span,
+    current_trace_id,
+    new_trace_id,
+    sanitize_trace_id,
+    span,
+    start_trace,
+)
+from repro.telemetry.tracing import _NOOP
+
+
+def test_span_outside_trace_is_shared_noop():
+    assert current_span() is None
+    s = span("anything", key="value")
+    assert s is _NOOP
+    with s as inner:
+        inner.set("still", "a no-op")
+    assert current_span() is None
+
+
+def test_nesting_builds_the_tree():
+    with start_trace("root", request="r1") as root:
+        assert current_span() is root
+        with span("child_a", n=1) as a:
+            with span("grandchild") as g:
+                assert current_span() is g
+            assert current_span() is a
+        with span("child_b"):
+            pass
+    assert [c.name for c in root.children] == ["child_a", "child_b"]
+    assert root.children[0].children[0].name == "grandchild"
+    assert root.attributes == {"request": "r1"}
+    assert root.duration_ms is not None and root.duration_ms >= 0
+    # Every node shares the root's trace id and records its parent.
+    for node in root.walk():
+        assert node.trace_id == root.trace_id
+    assert root.children[0].parent_id == root.span_id
+    assert current_span() is None
+
+
+def test_to_dict_is_json_safe_and_recursive():
+    with start_trace("root") as root:
+        with span("child", rows=3):
+            pass
+    tree = json.loads(json.dumps(root.to_dict()))
+    assert tree["name"] == "root"
+    assert tree["children"][0]["attributes"] == {"rows": 3}
+    assert tree["children"][0]["duration_ms"] is not None
+
+
+def test_exception_recorded_and_propagated():
+    with pytest.raises(RuntimeError):
+        with start_trace("root") as root:
+            with span("failing"):
+                raise RuntimeError("boom")
+    assert root.children[0].attributes["error"] == "RuntimeError"
+    assert root.attributes["error"] == "RuntimeError"
+    assert current_span() is None
+
+
+def test_supplied_and_current_trace_id():
+    assert current_trace_id() is None
+    with start_trace("root", trace_id="abc-123"):
+        assert current_trace_id() == "abc-123"
+    assert current_trace_id() is None
+
+
+def test_store_archives_on_exit():
+    store = TraceStore(capacity=2)
+    for i in range(3):
+        with start_trace(f"req-{i}", store=store):
+            pass
+    assert len(store) == 2
+    recent = store.recent()
+    assert [r["name"] for r in recent] == ["req-2", "req-1"]  # newest first
+    assert store.recent(limit=1)[0]["name"] == "req-2"
+    with pytest.raises(ValueError):
+        store.recent(limit=-1)
+
+
+def test_store_capacity_validation():
+    with pytest.raises(ValueError):
+        TraceStore(capacity=0)
+
+
+def test_sanitize_trace_id():
+    assert sanitize_trace_id("Abc-123_xyz") == "Abc-123_xyz"
+    assert sanitize_trace_id("  padded  ") == "padded"  # outer space stripped
+    long = "a" * 200
+    assert sanitize_trace_id(long) == "a" * 64
+    for hostile in (None, "", "a b", 'x"y', "a\nb"):
+        fresh = sanitize_trace_id(hostile)
+        assert len(fresh) == 32 and fresh.isalnum()
+    assert new_trace_id() != new_trace_id()
+
+
+def test_threads_get_independent_spans():
+    """Contextvars isolate handler threads (the ThreadingHTTPServer case)."""
+    seen = {}
+    barrier = threading.Barrier(2)
+
+    def worker(name: str) -> None:
+        with start_trace(name) as root:
+            barrier.wait()
+            with span("inner"):
+                seen[name] = (current_trace_id(), root.trace_id)
+            barrier.wait()
+
+    threads = [threading.Thread(target=worker, args=(n,))
+               for n in ("t1", "t2")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert seen["t1"][0] == seen["t1"][1]
+    assert seen["t2"][0] == seen["t2"][1]
+    assert seen["t1"][0] != seen["t2"][0]
