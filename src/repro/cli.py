@@ -15,6 +15,12 @@ Commands
 ``gateway``   — serve the versioned HTTP/JSON prediction API
                 (``repro.gateway``): rank/observe/models/reload/healthz/
                 stats endpoints over a hot-swappable registry artifact.
+                ``--store DB`` makes the stream durable (``repro.store``)
+                and rehydrates it on boot; ``--max-inflight`` /
+                ``--deadline-ms`` bound load and latency.
+``history``   — backtest-style queries over a ``--store`` event log:
+                ``summary``, ``alerts`` (channel/window filters), ``hr``
+                (hit rate @ k over the logged alerts).
 ``telemetry`` — scrape a running gateway: ``metrics`` fetches + validates
                 the Prometheus exposition (``--require`` gates CI on a
                 series being live), ``traces`` pretty-prints recent span
@@ -112,6 +118,22 @@ def _build_source(args, command: str):
             getattr(args, "source", "synthetic"), config=_config(args)
         ), None
     except SourceDataError as exc:
+        return None, _fail(command, str(exc))
+
+
+def _open_store(args, command: str):
+    """Open ``--store`` as a durable event log, if one was requested.
+
+    Returns ``(store_or_None, error_code)``; at most one is non-None.
+    """
+    path = getattr(args, "store", "")
+    if not path:
+        return None, None
+    from repro.store import SQLiteEventStore, StoreError
+
+    try:
+        return SQLiteEventStore(path), None
+    except StoreError as exc:
         return None, _fail(command, str(exc))
 
 
@@ -397,6 +419,9 @@ def cmd_serve(args) -> int:
     except SourceDataError as exc:
         return _fail("serve", str(exc))
 
+    store, error = _open_store(args, "serve")
+    if error is not None:
+        return error
     sinks = [ConsoleAlertSink(top_k=args.top_k)]
     if args.jsonl:
         sinks.append(JsonLinesAlertSink(args.jsonl, top_k=args.top_k))
@@ -405,15 +430,23 @@ def cmd_serve(args) -> int:
             source, collection, predictor, sinks=tuple(sinks),
             bucket_hours=args.bucket_hours,
             cache_entries=0 if args.no_cache else 512,
-            max_batch=args.max_batch,
+            max_batch=args.max_batch, store=store,
         )
+        if store is not None:
+            store.append_stats(result.stats.summary())
     except SourceDataError as exc:
         return _fail("serve", str(exc))
     finally:
         for sink in sinks:
             sink.close()
+        if store is not None:
+            store.flush()
+            store.close()
 
     _print_replay_outcome(result, args)
+    if store is not None:
+        print(f"event log appended to {args.store} "
+              f"(inspect with: repro history summary --store {args.store})")
     return 0
 
 
@@ -422,6 +455,14 @@ def cmd_gateway(args) -> int:
         return _fail("gateway", "--max-batch must be >= 1")
     if not 0 <= args.port <= 65535:
         return _fail("gateway", "--port must be in [0, 65535]")
+    if args.max_inflight is not None and args.max_inflight < 1:
+        return _fail("gateway", "--max-inflight must be >= 1")
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        return _fail("gateway", "--deadline-ms must be > 0")
+    if args.snapshot_s <= 0:
+        return _fail("gateway", "--snapshot-s must be > 0")
+    if args.drain_s <= 0:
+        return _fail("gateway", "--drain-s must be > 0")
 
     artifact_path, error = _resolve_artifact_path(
         args.load, args.registry, "gateway"
@@ -429,6 +470,9 @@ def cmd_gateway(args) -> int:
     if error is not None:
         return error
     source, error = _build_source(args, "gateway")
+    if error is not None:
+        return error
+    store, error = _open_store(args, "gateway")
     if error is not None:
         return error
 
@@ -447,6 +491,8 @@ def cmd_gateway(args) -> int:
         "bucket_hours": args.bucket_hours,
         "cache_entries": 0 if args.no_cache else 512,
     }
+    if store is not None:
+        service_options["store"] = store
     try:
         collection = collect(source)
         try:
@@ -458,6 +504,16 @@ def cmd_gateway(args) -> int:
             return _fail("gateway", f"cannot load {artifact_path}: {exc}")
     except SourceDataError as exc:
         return _fail("gateway", str(exc))
+
+    if store is not None:
+        from repro.store import rehydrate_service
+
+        recovered = rehydrate_service(service, store)
+        if recovered["observations"] or recovered["alerts"]:
+            print(f"rehydrated from {args.store}: "
+                  f"{recovered['observations']} observations, "
+                  f"{recovered['alerts']} alerts, stats snapshot "
+                  f"{'restored' if recovered['stats_snapshot'] else 'absent'}")
 
     # A bare/registry ref keeps its name; a path ref records only the path.
     name = None
@@ -477,7 +533,9 @@ def cmd_gateway(args) -> int:
         telemetry=TelemetryHub(slow_ms=args.slow_ms),
     )
     try:
-        server = make_server(app, args.host, args.port, verbose=args.verbose)
+        server = make_server(app, args.host, args.port, verbose=args.verbose,
+                             max_inflight=args.max_inflight,
+                             deadline_ms=args.deadline_ms)
     except OSError as exc:
         return _fail("gateway",
                      f"cannot bind {args.host}:{args.port}: {exc}")
@@ -488,13 +546,136 @@ def cmd_gateway(args) -> int:
     print("           GET /v1/models  POST /v1/models/reload  "
           "GET /v1/healthz  GET /v1/stats")
     print("           GET /v1/metrics  GET /v1/trace/recent")
+    if store is not None:
+        print(f"event log: {args.store} (snapshot every {args.snapshot_s:g}s)")
+
+    import signal
+    import threading
+
+    def _on_sigterm(signum, frame):
+        # serve_forever() runs in this (main) thread, so shutdown() must
+        # happen from another one — calling it here would deadlock.
+        print("gateway: SIGTERM received, draining", flush=True)
+        server.begin_drain()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous_handler = signal.signal(signal.SIGTERM, _on_sigterm)
+
+    stop_snapshots = threading.Event()
+    if store is not None:
+        def _snapshot_loop():
+            while not stop_snapshots.wait(args.snapshot_s):
+                app.snapshot_stats()
+
+        threading.Thread(target=_snapshot_loop, name="repro-store-snapshot",
+                         daemon=True).start()
+
     try:
         server.serve_forever()
+        # Reached via SIGTERM-triggered shutdown(): finish in-flight work.
+        if not server.wait_drained(args.drain_s):
+            print("gateway: drain timed out with requests still in flight",
+                  file=sys.stderr)
     except KeyboardInterrupt:
         print("gateway: shutting down")
+        server.begin_drain()
+        server.wait_drained(args.drain_s)
     finally:
+        stop_snapshots.set()
+        signal.signal(signal.SIGTERM, previous_handler)
+        if store is not None:
+            app.snapshot_stats()
+            store.flush()
+            store.close()
         server.server_close()
+    print("gateway: drained, event log flushed" if store is not None
+          else "gateway: stopped")
     return 0
+
+
+def cmd_history(args) -> int:
+    """Backtest-style queries against a durable event log (repro.store)."""
+    from repro.store import SQLiteEventStore, StoreError
+
+    path = Path(args.store)
+    if not path.exists():
+        return _fail("history", f"no event log at {args.store}")
+    try:
+        store = SQLiteEventStore(path)
+    except StoreError as exc:
+        return _fail("history", f"cannot open {args.store}: {exc}")
+
+    try:
+        if args.history_command == "summary":
+            counts = store.counts()
+            span = store.time_span()
+            rows = [(table, str(count)) for table, count in counts.items()]
+            rows.append(("scored_rows", str(store.scored_rows())))
+            if span is not None:
+                rows.append(("alert_time_span",
+                             f"{span[0]:.3f} .. {span[1]:.3f} h"))
+            print(format_table(["table", "rows"], rows,
+                               title=f"event log @ {args.store}"))
+            snapshot = store.latest_stats()
+            if snapshot is not None:
+                print("latest stats snapshot:")
+                for key in sorted(snapshot):
+                    print(f"  {key} = {snapshot[key]}")
+            return 0
+
+        if args.history_command == "alerts":
+            alerts = store.alerts(
+                channel_id=args.channel, since=args.since,
+                until=args.until, limit=args.limit,
+            )
+            if args.json:
+                for alert in alerts:
+                    print(json.dumps(alert.to_payload(), sort_keys=True))
+                return 0
+            if not alerts:
+                print("no alerts match")
+                return 0
+            rows = []
+            for alert in alerts:
+                top = ", ".join(
+                    f"{score.symbol}:{score.probability:.4f}"
+                    for score in alert.ranking.scores[:args.top_k]
+                )
+                rank = alert.announced_rank
+                rows.append((
+                    f"{alert.announcement.time:.3f}",
+                    str(alert.announcement.channel_id),
+                    str(rank) if rank else "-",
+                    top,
+                ))
+            print(format_table(
+                ["time(h)", "channel", "hit@rank", f"top-{args.top_k}"],
+                rows, title=f"{len(alerts)} alerts @ {args.store}"))
+            return 0
+
+        # hr — hit rate over a window of the log
+        since, until = args.since, args.until
+        if args.last_hours is not None:
+            span = store.time_span()
+            if span is None:
+                return _fail("history", "event log holds no alerts")
+            since, until = span[1] - args.last_hours, span[1]
+        hits, total = store.hit_rate(args.k, since=since, until=until)
+        window = ""
+        if since is not None or until is not None:
+            lo = f"{since:.3f}" if since is not None else "start"
+            hi = f"{until:.3f}" if until is not None else "end"
+            window = f" in [{lo}, {hi}] h"
+        if total == 0:
+            print(f"HR@{args.k}: no labeled alerts{window}")
+            return 0
+        print(f"HR@{args.k} = {hits / total:.4f} "
+              f"({hits}/{total} labeled alerts{window})")
+        return 0
+    except StoreError as exc:
+        return _fail("history", f"query failed: {exc}")
+    finally:
+        store.close()
 
 
 def _print_span_tree(node: dict, depth: int = 0) -> None:
@@ -837,6 +1018,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="coins shown per alert")
     p_serve.add_argument("--jsonl", default="",
                          help="also append alerts to this JSON-lines file")
+    p_serve.add_argument("--store", default="", metavar="DB",
+                         help="append every streamed event to this durable "
+                              "SQLite event log (repro.store)")
     p_serve.add_argument("--bucket-hours", type=float, default=1.0,
                          help="feature-cache time bucket (0 = exact times)")
     p_serve.add_argument("--no-cache", action="store_true",
@@ -885,7 +1069,76 @@ def build_parser() -> argparse.ArgumentParser:
     p_gateway.add_argument("--slow-ms", type=float, default=500.0,
                            help="requests at or above this duration dump "
                                 "their span tree to the structured log")
+    p_gateway.add_argument("--store", default="", metavar="DB",
+                           help="durable SQLite event log: every streamed "
+                                "event is appended as it flows, and on boot "
+                                "the service rehydrates history + stats "
+                                "from it (crash-safe restarts)")
+    p_gateway.add_argument("--max-inflight", type=int, default=None,
+                           metavar="N",
+                           help="load-shed (429 overloaded) once more than "
+                                "N scoring requests are in flight")
+    p_gateway.add_argument("--deadline-ms", type=float, default=None,
+                           metavar="MS",
+                           help="default per-request deadline budget; "
+                                "clients override via the "
+                                "X-Repro-Deadline-Ms header")
+    p_gateway.add_argument("--snapshot-s", type=float, default=30.0,
+                           metavar="S",
+                           help="seconds between periodic stats snapshots "
+                                "appended to --store")
+    p_gateway.add_argument("--drain-s", type=float, default=10.0,
+                           metavar="S",
+                           help="max seconds to wait for in-flight requests "
+                                "on SIGTERM/Ctrl-C before exiting")
     p_gateway.set_defaults(fn=cmd_gateway)
+
+    p_history = sub.add_parser(
+        "history",
+        help="query a durable event log written by serve/gateway --store",
+    )
+    history_sub = p_history.add_subparsers(dest="history_command",
+                                           required=True)
+    p_hsummary = history_sub.add_parser(
+        "summary", help="row counts, latest stats snapshot, time span"
+    )
+    p_hsummary.add_argument("--store", required=True, metavar="DB",
+                            help="event log path")
+    p_hsummary.set_defaults(fn=cmd_history)
+    p_halerts = history_sub.add_parser(
+        "alerts", help="list persisted alerts (backtest-style filters)"
+    )
+    p_halerts.add_argument("--store", required=True, metavar="DB",
+                           help="event log path")
+    p_halerts.add_argument("--channel", type=int, default=None,
+                           help="only alerts for this channel id")
+    p_halerts.add_argument("--since", type=float, default=None,
+                           metavar="HOURS", help="window start (hours)")
+    p_halerts.add_argument("--until", type=float, default=None,
+                           metavar="HOURS", help="window end (hours)")
+    p_halerts.add_argument("--limit", type=int, default=None,
+                           help="most recent N alerts only")
+    p_halerts.add_argument("--top-k", type=int, default=3,
+                           help="coins shown per alert")
+    p_halerts.add_argument("--json", action="store_true",
+                           help="print raw alert payloads, one per line")
+    p_halerts.set_defaults(fn=cmd_history)
+    p_hr = history_sub.add_parser(
+        "hr", help="hit rate @ k over the logged alerts"
+    )
+    p_hr.add_argument("--store", required=True, metavar="DB",
+                      help="event log path")
+    p_hr.add_argument("--k", type=int, default=3,
+                      help="count a hit when the pumped coin ranks <= k")
+    p_hr.add_argument("--since", type=float, default=None, metavar="HOURS",
+                      help="window start (hours)")
+    p_hr.add_argument("--until", type=float, default=None, metavar="HOURS",
+                      help="window end (hours)")
+    p_hr.add_argument("--last-hours", type=float, default=None,
+                      metavar="HOURS",
+                      help="window = the trailing HOURS before the newest "
+                           "logged alert (overrides --since/--until)")
+    p_hr.set_defaults(fn=cmd_history)
 
     p_telemetry = sub.add_parser(
         "telemetry", help="scrape a running gateway's metrics and traces"
@@ -985,7 +1238,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-print (`repro history
+        # ... | head`).  Point stdout at devnull so the interpreter's
+        # shutdown flush does not raise a second time, and exit quietly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,7 +24,9 @@ Layers
 ``server``  — :class:`GatewayHTTPServer` (stdlib ``ThreadingHTTPServer``)
               plus :func:`make_server` / :func:`serve_in_thread`.
 ``client``  — :class:`GatewayClient`: the Python SDK; decodes responses
-              through the same codecs the server encodes with.
+              through the same codecs the server encodes with, and
+              retries transient failures under a
+              :class:`~repro.resilience.RetryPolicy` (ISSUE 7).
 ``replay``  — :func:`replay_against_gateway`: drive a remote gateway from
               a locally replayed message stream (``repro serve
               --gateway``).
@@ -32,10 +34,14 @@ Layers
 
 from repro.gateway.app import DEFAULT_MAX_BATCH, GatewayApp, describe_model
 from repro.gateway.client import (
+    DEFAULT_TIMEOUT,
+    RETRYABLE_STATUSES,
+    GatewayCircuitOpenError,
     GatewayClient,
     GatewayClientError,
     GatewayConnectionError,
     GatewayRequestError,
+    GatewayTimeoutError,
 )
 from repro.gateway.replay import (
     RemoteReplay,
@@ -43,6 +49,7 @@ from repro.gateway.replay import (
     replay_against_gateway,
 )
 from repro.gateway.schema import (
+    DEADLINE_HEADER,
     ERROR_CODES,
     SCHEMA_VERSION,
     GatewayFault,
@@ -61,7 +68,9 @@ __all__ = [
     "GatewayApp", "describe_model", "DEFAULT_MAX_BATCH",
     "GatewayHTTPServer", "make_server", "serve_in_thread",
     "GatewayClient", "GatewayClientError", "GatewayConnectionError",
-    "GatewayRequestError",
+    "GatewayRequestError", "GatewayTimeoutError", "GatewayCircuitOpenError",
+    "DEFAULT_TIMEOUT", "RETRYABLE_STATUSES",
     "RemoteReplay", "RemoteReplayResult", "replay_against_gateway",
     "TraceResponseV1", "TRACE_HEADER", "DURATION_HEADER",
+    "DEADLINE_HEADER",
 ]

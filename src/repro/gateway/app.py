@@ -27,6 +27,7 @@ import time as _time
 from repro.gateway.schema import (
     E_BAD_ARTIFACT,
     E_BATCH_TOO_LARGE,
+    E_DEADLINE_EXCEEDED,
     E_NO_CANDIDATES,
     E_NO_REGISTRY,
     E_UNKNOWN_CHANNEL,
@@ -46,6 +47,7 @@ from repro.gateway.schema import (
     TraceResponseV1,
     bad_request,
 )
+from repro.resilience import current_deadline
 from repro.serving.online import Announcement
 from repro.serving.service import Alert, PredictionService
 from repro.telemetry import TelemetryHub
@@ -104,6 +106,10 @@ class GatewayApp:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self._service = service
+        # The durable event log the service writes through (NullEventStore
+        # when serving from memory); the app reuses it for stats snapshots
+        # and threads it into every reload-built replacement service.
+        self.store = service.store
         self.registry = registry
         self.max_batch = max_batch
         self._service_options = dict(service_options or {})
@@ -143,6 +149,12 @@ class GatewayApp:
             "gateway_model_info",
             "Currently served model (always 1; identity in the labels).",
             labelnames=("name", "version", "arch"),
+        )
+        self._m_shed = reg.counter(
+            "gateway_shed_total",
+            "Requests refused before doing work (overload, drain, "
+            "expired deadline).",
+            labelnames=("reason",),
         )
         reg.gauge_fn(
             "gateway_uptime_seconds",
@@ -198,6 +210,16 @@ class GatewayApp:
         know *why* an announcement was refused.
         """
         with self._score_lock:
+            deadline = current_deadline()
+            if deadline is not None and deadline.expired:
+                # The budget burned away waiting for the lock: the caller
+                # has given up, so scoring now only wastes capacity.
+                self.record_shed("deadline")
+                raise GatewayFault(
+                    E_DEADLINE_EXCEEDED, 503,
+                    f"request deadline ({deadline.budget_seconds * 1000:.0f}"
+                    " ms) expired before scoring started",
+                )
             service = self._service
             for announcement in announcements:
                 self._check_coin(service, announcement)
@@ -242,10 +264,14 @@ class GatewayApp:
         with self._score_lock:
             service = self._service
             self._check_coin(service, announcement)
-            service.observe(announcement)
+            grew = service.observe(announcement, event_id=request.event_id)
             length = len(service.history(announcement.channel_id))
+        # Coin id is validated >= 0 at decode, so "didn't grow" with an
+        # event id attached can only mean the id was folded before.
+        duplicate = request.event_id is not None and not grew
         return ObserveResponseV1(channel_id=announcement.channel_id,
-                                 history_length=length)
+                                 history_length=length,
+                                 duplicate=duplicate)
 
     # -- model lifecycle -----------------------------------------------------
 
@@ -273,11 +299,13 @@ class GatewayApp:
                 raise GatewayFault(E_UNKNOWN_MODEL, 404, str(exc)) from None
             old_service = self._service
             predictor = old_service.predictor
+            options = dict(self._service_options)
+            options.setdefault("store", old_service.store)
             try:
                 manifest = read_manifest(path)
                 replacement = PredictionService.from_artifact(
                     path, predictor.source, predictor.dataset,
-                    stats=old_service.stats, **self._service_options,
+                    stats=old_service.stats, **options,
                 )
             except ArtifactError as exc:
                 self._m_reloads.labels(outcome="bad_artifact").inc()
@@ -289,8 +317,11 @@ class GatewayApp:
                                         name=name, version=path.name)
             with self._score_lock:
                 # Carry the streamed history across so the new model sees
-                # exactly the pump sequences the old one accumulated.
+                # exactly the pump sequences the old one accumulated, and
+                # the dedup window so a retry straddling the swap still
+                # deduplicates.
                 replacement.restore_history(old_service.history_snapshot())
+                replacement.restore_seen(old_service.seen_snapshot())
                 previous, self.model = self.model, descriptor
                 self._service = replacement
             self.reloads += 1
@@ -342,6 +373,24 @@ class GatewayApp:
     def record_error(self, code: str) -> None:
         """Count one error response by its stable wire code."""
         self._m_errors.labels(code=code).inc()
+
+    def record_shed(self, reason: str) -> None:
+        """Count one request refused before doing work.
+
+        ``reason`` is one of ``overloaded`` (admission bound),
+        ``draining`` (graceful shutdown in progress) or ``deadline``
+        (request budget spent before scoring).
+        """
+        self._m_shed.labels(reason=reason).inc()
+
+    def snapshot_stats(self) -> None:
+        """Persist the current service-stats summary to the event store.
+
+        Called periodically and at graceful shutdown; rehydration
+        restores counters from the latest snapshot (exact row-backed
+        counters are then overridden from the log itself).
+        """
+        self.store.append_stats(self._service.stats.summary())
 
     def metrics_text(self) -> str:
         """Prometheus text exposition of every registry this app can see."""

@@ -6,8 +6,25 @@ same domain objects the in-process API produces — ``rank`` returns an
 ``from_payload`` codecs, so a remote ranking compares bit-for-bit with an
 in-process one.  Server refusals surface as
 :class:`GatewayRequestError` carrying the envelope's stable ``code``;
-transport problems (connection refused, timeouts, non-JSON replies) as
-:class:`GatewayConnectionError`.
+transport problems (connection refused, non-JSON replies) as
+:class:`GatewayConnectionError`; a request that outran the socket
+timeout as :class:`GatewayTimeoutError` (a connection-error subclass, so
+existing handlers keep working).
+
+Resilience (ISSUE 7)
+--------------------
+Transient failures retry under a :class:`~repro.resilience.RetryPolicy`
+(exponential backoff with jitter): connection errors, timeouts, and the
+retryable statuses 429/500/502/503/504.  Retried endpoints are the
+idempotent ones — ``rank``/``rank_batch`` (scoring is history-pure and
+the server folds each announcement's deterministic event id at most
+once), ``observe`` (the client mints one ``event_id`` per logical call
+*before* the retry loop, so a retransmission deduplicates server-side),
+and the read-only GETs.  ``reload`` is never retried.  An optional
+:class:`~repro.resilience.CircuitBreaker` trips on connection errors and
+5xx envelopes; refused calls raise :class:`GatewayCircuitOpenError`
+without touching the socket.  Every retry counts
+``client_retries_total{endpoint}`` in the process default registry.
 
 >>> client = GatewayClient("http://127.0.0.1:8787")        # doctest: +SKIP
 >>> alert = client.rank(Announcement(channel_id=3, coin_id=-1,
@@ -21,10 +38,13 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import time as _time
+import uuid
 from typing import Sequence
 from urllib.parse import urlsplit
 
 from repro.gateway.schema import (
+    DEADLINE_HEADER,
     SCHEMA_VERSION,
     GatewayFault,
     HealthResponseV1,
@@ -40,9 +60,26 @@ from repro.gateway.schema import (
     StatsResponseV1,
     TraceResponseV1,
 )
+from repro.resilience import (
+    DEFAULT_RETRY_POLICY,
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+)
 from repro.serving.online import Announcement
 from repro.serving.service import Alert
 from repro.telemetry import DURATION_HEADER, TRACE_HEADER, current_trace_id
+from repro.telemetry.metrics import default_registry
+
+#: Default connect/read timeout.  Finite and small on purpose: a wedged
+#: gateway must cost a caller seconds, not minutes (the old default of
+#: 60s was effectively "hang").
+DEFAULT_TIMEOUT = 10.0
+
+#: Envelope statuses worth retrying: shed (429), transient server-side
+#: failures and proxy errors.  Everything else 4xx is a caller bug that
+#: will fail identically on every attempt.
+RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
 
 
 class GatewayClientError(RuntimeError):
@@ -51,6 +88,19 @@ class GatewayClientError(RuntimeError):
 
 class GatewayConnectionError(GatewayClientError):
     """The gateway could not be reached or answered gibberish."""
+
+
+class GatewayTimeoutError(GatewayConnectionError):
+    """The gateway did not answer within the client's timeout."""
+
+
+class GatewayCircuitOpenError(GatewayClientError):
+    """The client's circuit breaker refused the call locally."""
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        #: Seconds until the breaker will admit a probe.
+        self.retry_after = retry_after
 
 
 class GatewayRequestError(GatewayClientError):
@@ -68,9 +118,27 @@ class GatewayClient:
 
     A fresh connection is opened per request, so one client instance is
     safe to share across threads (the benchmark's concurrent clients do).
+
+    Parameters
+    ----------
+    timeout:
+        Connect/read timeout in seconds (:data:`DEFAULT_TIMEOUT`).
+    retry:
+        Backoff policy for transient failures on idempotent endpoints.
+        Pass :data:`~repro.resilience.NO_RETRY` to disable.
+    breaker:
+        Optional shared :class:`~repro.resilience.CircuitBreaker`; when
+        open, calls raise :class:`GatewayCircuitOpenError` locally.
+    deadline_ms:
+        When set, every request carries an ``X-Repro-Deadline-Ms``
+        header so the server can refuse work the client has already
+        given up on.
     """
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    def __init__(self, base_url: str, timeout: float = DEFAULT_TIMEOUT, *,
+                 retry: RetryPolicy = DEFAULT_RETRY_POLICY,
+                 breaker: CircuitBreaker | None = None,
+                 deadline_ms: float | None = None):
         parts = urlsplit(base_url if "//" in base_url
                          else f"http://{base_url}")
         if parts.scheme not in ("", "http"):
@@ -87,6 +155,14 @@ class GatewayClient:
         # the proxy root.
         self.path_prefix = parts.path.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
+        self.breaker = breaker
+        self.deadline_ms = deadline_ms
+        self._m_retries = default_registry().counter(
+            "client_retries_total",
+            "Gateway client retries after a transient failure.",
+            ("endpoint",),
+        )
         # Per-thread telemetry of the last completed exchange: one client
         # is shared across threads, so a benchmark worker must never read
         # another worker's duration.
@@ -130,6 +206,13 @@ class GatewayClient:
             status = response.status
             duration = response.getheader(DURATION_HEADER)
             self._last.trace_id = response.getheader(TRACE_HEADER)
+        except TimeoutError as exc:
+            # socket.timeout is TimeoutError (an OSError subclass) — the
+            # order of these clauses is what gives it a distinct type.
+            raise GatewayTimeoutError(
+                f"gateway at {self.base_url} did not answer within "
+                f"{self.timeout}s"
+            ) from exc
         except (OSError, http.client.HTTPException) as exc:
             raise GatewayConnectionError(
                 f"cannot reach gateway at {self.base_url}: {exc}"
@@ -163,6 +246,8 @@ class GatewayClient:
                  payload: dict | None = None) -> dict:
         body = None
         headers = {"Accept": "application/json"}
+        if self.deadline_ms is not None:
+            headers[DEADLINE_HEADER] = f"{self.deadline_ms:g}"
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -191,48 +276,142 @@ class GatewayClient:
                 f"gateway response failed schema decode: {fault.message}"
             ) from None
 
+    # -- resilience ----------------------------------------------------------
+
+    @staticmethod
+    def _is_breaker_failure(exc: GatewayClientError) -> bool:
+        """Connection errors/timeouts and 5xx envelopes trip the breaker;
+        any other envelope proves the server is alive (429 included —
+        shedding is healthy behaviour, not an outage)."""
+        if isinstance(exc, GatewayConnectionError):
+            return True
+        return isinstance(exc, GatewayRequestError) and exc.status >= 500
+
+    @staticmethod
+    def _is_retryable(exc: GatewayClientError) -> bool:
+        if isinstance(exc, GatewayConnectionError):
+            return True
+        return isinstance(exc, GatewayRequestError) \
+            and exc.status in RETRYABLE_STATUSES
+
+    def _call(self, endpoint: str, fn):
+        """Run one logical API call under the breaker + retry policy.
+
+        ``fn`` must be safe to invoke repeatedly — every retried endpoint
+        is idempotent by construction (see the module docstring).
+        """
+        policy = self.retry
+        attempt = 1
+        while True:
+            if self.breaker is not None:
+                try:
+                    self.breaker.allow()
+                except CircuitOpenError as exc:
+                    raise GatewayCircuitOpenError(
+                        str(exc), exc.retry_after) from None
+            try:
+                result = fn()
+            except GatewayClientError as exc:
+                if self.breaker is not None:
+                    if self._is_breaker_failure(exc):
+                        self.breaker.record_failure()
+                    else:
+                        self.breaker.record_success()
+                if not self._is_retryable(exc) \
+                        or attempt >= policy.max_attempts:
+                    raise
+                self._m_retries.labels(endpoint=endpoint).inc()
+                pause = policy.delay(attempt)
+                if pause > 0:
+                    _time.sleep(pause)
+                attempt += 1
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return result
+
     # -- API -----------------------------------------------------------------
 
     def rank(self, announcement: Announcement) -> Alert:
         """Score one announcement; returns the decoded :class:`Alert`."""
-        payload = self._request(
-            "POST", "/v1/rank", RankRequestV1(announcement).to_payload()
+        request = RankRequestV1(announcement).to_payload()
+        payload = self._call(
+            "rank", lambda: self._request("POST", "/v1/rank", request)
         )
         return self._decode(RankResponseV1.decode, payload).alert
 
     def rank_batch(self,
                    announcements: Sequence[Announcement]) -> list[Alert]:
         """Score a micro-batch in one server-side forward pass."""
-        request = RankBatchRequestV1(tuple(announcements))
-        payload = self._request("POST", "/v1/rank/batch",
-                                request.to_payload())
+        request = RankBatchRequestV1(tuple(announcements)).to_payload()
+        payload = self._call(
+            "rank_batch",
+            lambda: self._request("POST", "/v1/rank/batch", request),
+        )
         return list(self._decode(RankBatchResponseV1.decode, payload).alerts)
 
-    def observe(self, announcement: Announcement) -> ObserveResponseV1:
-        """Feed a resolved release into the server's history cache."""
-        payload = self._request(
-            "POST", "/v1/observe",
-            ObserveRequestV1(announcement).to_payload(),
+    def observe(self, announcement: Announcement,
+                event_id: str | None = None) -> ObserveResponseV1:
+        """Feed a resolved release into the server's history cache.
+
+        The ``event_id`` (minted here when not supplied) is fixed
+        *before* the retry loop: a retransmission after a lost response
+        carries the same id, the server folds it at most once, and the
+        duplicate reply reports ``duplicate=True``.
+        """
+        if event_id is None:
+            event_id = f"cli:{uuid.uuid4().hex}"
+        request = ObserveRequestV1(announcement,
+                                   event_id=event_id).to_payload()
+        payload = self._call(
+            "observe", lambda: self._request("POST", "/v1/observe", request)
         )
         return self._decode(ObserveResponseV1.decode, payload)
 
     def models(self) -> ModelsResponseV1:
-        return self._decode(ModelsResponseV1.decode,
-                            self._request("GET", "/v1/models"))
+        payload = self._call(
+            "models", lambda: self._request("GET", "/v1/models")
+        )
+        return self._decode(ModelsResponseV1.decode, payload)
 
     def reload(self, ref: str) -> ReloadResponseV1:
-        """Hot-swap the serving model to a registry ``name[@version]``."""
-        payload = self._request("POST", "/v1/models/reload",
-                                ReloadRequestV1(ref).to_payload())
+        """Hot-swap the serving model to a registry ``name[@version]``.
+
+        Never retried: a reload that timed out may still be swapping
+        server-side, and blind retransmission could interleave swaps.
+        The breaker still observes the outcome.
+        """
+        request = ReloadRequestV1(ref).to_payload()
+        if self.breaker is not None:
+            try:
+                self.breaker.allow()
+            except CircuitOpenError as exc:
+                raise GatewayCircuitOpenError(
+                    str(exc), exc.retry_after) from None
+        try:
+            payload = self._request("POST", "/v1/models/reload", request)
+        except GatewayClientError as exc:
+            if self.breaker is not None:
+                if self._is_breaker_failure(exc):
+                    self.breaker.record_failure()
+                else:
+                    self.breaker.record_success()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
         return self._decode(ReloadResponseV1.decode, payload)
 
     def healthz(self) -> HealthResponseV1:
-        return self._decode(HealthResponseV1.decode,
-                            self._request("GET", "/v1/healthz"))
+        payload = self._call(
+            "healthz", lambda: self._request("GET", "/v1/healthz")
+        )
+        return self._decode(HealthResponseV1.decode, payload)
 
     def stats(self) -> StatsResponseV1:
-        return self._decode(StatsResponseV1.decode,
-                            self._request("GET", "/v1/stats"))
+        payload = self._call(
+            "stats", lambda: self._request("GET", "/v1/stats")
+        )
+        return self._decode(StatsResponseV1.decode, payload)
 
     def metrics_text(self) -> str:
         """Raw Prometheus text exposition from ``GET /v1/metrics``."""
@@ -247,14 +426,18 @@ class GatewayClient:
         path = "/v1/trace/recent"
         if limit is not None:
             path += f"?limit={int(limit)}"
-        payload = self._request("GET", path)
+        payload = self._call("traces", lambda: self._request("GET", path))
         return list(self._decode(TraceResponseV1.decode, payload).traces)
 
 
 __all__ = [
+    "DEFAULT_TIMEOUT",
+    "RETRYABLE_STATUSES",
     "SCHEMA_VERSION",
     "GatewayClient",
+    "GatewayCircuitOpenError",
     "GatewayClientError",
     "GatewayConnectionError",
     "GatewayRequestError",
+    "GatewayTimeoutError",
 ]

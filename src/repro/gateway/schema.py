@@ -80,6 +80,8 @@ E_NO_REGISTRY = "no_registry"                    # 409: gateway has no registry
 E_NOT_FOUND = "not_found"                        # 404: unknown route
 E_METHOD_NOT_ALLOWED = "method_not_allowed"      # 405
 E_INTERNAL = "internal"                          # 500
+E_OVERLOADED = "overloaded"                      # 429: admission bound hit
+E_DEADLINE_EXCEEDED = "deadline_exceeded"        # 503: request budget spent
 
 #: Every code a conforming server may emit — pinned by tests so clients
 #: can switch on them without chasing a moving target.
@@ -87,8 +89,15 @@ ERROR_CODES = frozenset({
     E_BAD_JSON, E_BAD_REQUEST, E_UNSUPPORTED_SCHEMA, E_UNKNOWN_CHANNEL,
     E_NO_CANDIDATES, E_BATCH_TOO_LARGE, E_PAYLOAD_TOO_LARGE,
     E_UNKNOWN_MODEL, E_BAD_ARTIFACT, E_NO_REGISTRY, E_NOT_FOUND,
-    E_METHOD_NOT_ALLOWED, E_INTERNAL,
+    E_METHOD_NOT_ALLOWED, E_INTERNAL, E_OVERLOADED, E_DEADLINE_EXCEEDED,
 })
+
+#: Optional per-request deadline budget, in milliseconds (additive
+#: metadata like the trace headers).  The server refuses to *start*
+#: expensive work once the budget is spent and answers 503
+#: ``deadline_exceeded`` — the client has already given up, so finishing
+#: the work would only burn capacity nobody collects.
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
 
 
 class GatewayFault(Exception):
@@ -223,22 +232,34 @@ class RankBatchRequestV1:
 
 @dataclass(frozen=True)
 class ObserveRequestV1:
-    """``POST /v1/observe`` — feed a resolved release into the history."""
+    """``POST /v1/observe`` — feed a resolved release into the history.
+
+    ``event_id`` (additive, optional) names the observation uniquely so
+    retransmissions deduplicate: the server folds a given id at most
+    once, however many times a retrying client delivers it.  Omitting it
+    keeps the pre-ISSUE-7 at-least-once semantics.
+    """
 
     announcement: Announcement
+    event_id: str | None = None
 
     def to_payload(self) -> dict:
-        return {"schema_version": SCHEMA_VERSION,
-                "announcement": self.announcement.to_payload()}
+        payload = {"schema_version": SCHEMA_VERSION,
+                   "announcement": self.announcement.to_payload()}
+        if self.event_id is not None:
+            payload["event_id"] = self.event_id
+        return payload
 
     @classmethod
     def decode(cls, payload: dict) -> "ObserveRequestV1":
         check_schema_version(payload)
         try:
             obj = payload_object(payload, "announcement")
+            event_id = payload_str(payload, "event_id", default="")
         except ValueError as exc:
             raise bad_request(str(exc)) from None
-        return cls(_decode_announcement(obj, require_coin=True))
+        return cls(_decode_announcement(obj, require_coin=True),
+                   event_id=event_id or None)
 
 
 @dataclass(frozen=True)
@@ -309,17 +330,22 @@ class RankBatchResponseV1:
 class ObserveResponseV1:
     channel_id: int
     history_length: int
+    # Additive: True when the event_id had been folded before — a retry
+    # landing after the original succeeded.  The history did not grow.
+    duplicate: bool = False
 
     def to_payload(self) -> dict:
         return _versioned({"observed": True, "channel_id": self.channel_id,
-                           "history_length": self.history_length})
+                           "history_length": self.history_length,
+                           "duplicate": self.duplicate})
 
     @classmethod
     def decode(cls, payload: dict) -> "ObserveResponseV1":
         check_schema_version(payload)
         try:
             return cls(channel_id=payload_int(payload, "channel_id"),
-                       history_length=payload_int(payload, "history_length"))
+                       history_length=payload_int(payload, "history_length"),
+                       duplicate=bool(payload.get("duplicate", False)))
         except ValueError as exc:
             raise bad_request(f"bad observe response: {exc}") from None
 

@@ -37,9 +37,11 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.gateway.app import GatewayApp
 from repro.gateway.schema import (
+    DEADLINE_HEADER,
     E_INTERNAL,
     E_METHOD_NOT_ALLOWED,
     E_NOT_FOUND,
+    E_OVERLOADED,
     E_PAYLOAD_TOO_LARGE,
     GatewayFault,
     ObserveRequestV1,
@@ -50,6 +52,7 @@ from repro.gateway.schema import (
     decode_json_body,
     error_envelope,
 )
+from repro.resilience import AdmissionQueue, Deadline, deadline_scope
 from repro.telemetry import (
     DURATION_HEADER,
     TRACE_HEADER,
@@ -103,6 +106,12 @@ _POST_ROUTES = {
 # Scrape endpoints: still traced (headers, timing) but not archived in
 # the TraceStore — a metrics poller must not evict real request traces.
 _UNSTORED_PATHS = frozenset({"/v1/metrics", "/v1/trace/recent"})
+
+# Endpoints subject to admission control and drain refusal: the ones that
+# reach the model or mutate serving state.  Health probes, metric scrapes
+# and introspection must keep answering under overload and during drain —
+# that is when operators need them most.
+_SHEDDABLE_PATHS = frozenset({"/v1/rank", "/v1/rank/batch", "/v1/observe"})
 
 
 def _endpoint_label(path: str) -> str:
@@ -186,6 +195,56 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             )
         return self.rfile.read(length) if length else b""
 
+    def _parse_deadline(self) -> Deadline | None:
+        """The request's deadline budget, from header or server default."""
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            default_ms = getattr(self.server, "deadline_ms", None)
+            if default_ms is None:
+                return None
+            return Deadline.after_ms(default_ms)
+        try:
+            milliseconds = float(raw)
+        except ValueError:
+            raise bad_request(
+                f"{DEADLINE_HEADER} must be a number of milliseconds"
+            ) from None
+        if not milliseconds > 0:  # also rejects NaN
+            raise bad_request(f"{DEADLINE_HEADER} must be > 0")
+        return Deadline.after_ms(milliseconds)
+
+    def _admit(self, path: str) -> bool:
+        """Admission control for sheddable paths; True when a matching
+        ``leave()`` is owed.
+
+        Runs *after* the body is read: refusing with unread body bytes
+        would desync the keep-alive connection.  Shedding closes the
+        connection anyway — an overloaded gateway should not hold idle
+        sockets open for clients it just turned away.
+        """
+        if path not in _SHEDDABLE_PATHS:
+            return False
+        app = self.app
+        if getattr(self.server, "draining", False):
+            app.record_shed("draining")
+            self.close_connection = True
+            raise GatewayFault(
+                E_OVERLOADED, 429,
+                "gateway is draining for shutdown; retry elsewhere",
+            )
+        queue = getattr(self.server, "admission", None)
+        if queue is None:
+            return False
+        if not queue.try_enter():
+            app.record_shed("overloaded")
+            self.close_connection = True
+            raise GatewayFault(
+                E_OVERLOADED, 429,
+                f"gateway is at its in-flight limit ({queue.limit}); "
+                "back off and retry",
+            )
+        return True
+
     def _dispatch(self, routes, other_routes) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         query = parse_qs(urlsplit(self.path).query)
@@ -217,10 +276,16 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                         )
                     raise GatewayFault(E_NOT_FOUND, 404,
                                        f"no such endpoint: {path}")
-                payload = None
-                if routes is _POST_ROUTES:
-                    payload = decode_json_body(body)
-                response = handler(app, payload, query)
+                admitted = self._admit(path)
+                try:
+                    payload = None
+                    if routes is _POST_ROUTES:
+                        payload = decode_json_body(body)
+                    with deadline_scope(self._parse_deadline()):
+                        response = handler(app, payload, query)
+                finally:
+                    if admitted:
+                        self.server.admission.leave()
                 status = 200
                 if isinstance(response, str):
                     reply = (200, self._send_text, response)
@@ -294,33 +359,75 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
 
 class GatewayHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP server bound to one :class:`GatewayApp`."""
+    """Threaded HTTP server bound to one :class:`GatewayApp`.
+
+    Resilience knobs (ISSUE 7):
+
+    * ``max_inflight`` bounds concurrently *served* rank/observe requests
+      via an :class:`AdmissionQueue`; excess requests get a fast 429
+      ``overloaded`` envelope instead of queueing behind the model.
+    * ``deadline_ms`` is a default per-request budget applied when the
+      client sends no ``X-Repro-Deadline-Ms`` header; expired budgets
+      answer 503 ``deadline_exceeded`` before scoring starts.
+    * :meth:`begin_drain` / :meth:`wait_drained` implement graceful
+      shutdown: new work is refused (sheddable paths answer 429 with the
+      connection closed) while in-flight requests run to completion.
+    """
 
     daemon_threads = True
 
     def __init__(self, address: tuple[str, int], app: GatewayApp,
-                 verbose: bool = False):
+                 verbose: bool = False, max_inflight: int | None = None,
+                 deadline_ms: float | None = None):
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0 (or None)")
         super().__init__(address, _GatewayHandler)
         self.app = app
         self.verbose = verbose
+        self.admission = AdmissionQueue(max_inflight)
+        self.deadline_ms = deadline_ms
+        self.draining = False
 
     @property
     def url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
+    # -- graceful shutdown ---------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting sheddable work; already-running requests finish.
+
+        A bare ``bool`` flag is enough: handler threads only read it, and
+        Python attribute stores are atomic.  Callers follow up with
+        :meth:`wait_drained` and then the normal ``shutdown()``.
+        """
+        self.draining = True
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        """Block until every admitted request left; True when drained."""
+        return self.admission.drain(timeout)
+
 
 def make_server(app: GatewayApp, host: str = "127.0.0.1",
-                port: int = 0, verbose: bool = False) -> GatewayHTTPServer:
+                port: int = 0, verbose: bool = False,
+                max_inflight: int | None = None,
+                deadline_ms: float | None = None) -> GatewayHTTPServer:
     """Bind a gateway server (``port=0`` picks a free port)."""
-    return GatewayHTTPServer((host, port), app, verbose=verbose)
+    return GatewayHTTPServer((host, port), app, verbose=verbose,
+                             max_inflight=max_inflight,
+                             deadline_ms=deadline_ms)
 
 
 def serve_in_thread(app: GatewayApp, host: str = "127.0.0.1",
-                    port: int = 0) -> tuple[GatewayHTTPServer,
-                                            threading.Thread]:
-    """Start a gateway in a daemon thread; caller shuts the server down."""
-    server = make_server(app, host, port)
+                    port: int = 0, **server_kwargs) -> tuple[
+                        GatewayHTTPServer, threading.Thread]:
+    """Start a gateway in a daemon thread; caller shuts the server down.
+
+    Keyword arguments (``max_inflight``, ``deadline_ms``, ``verbose``)
+    pass through to :func:`make_server`.
+    """
+    server = make_server(app, host, port, **server_kwargs)
     thread = threading.Thread(target=server.serve_forever,
                               name="repro-gateway", daemon=True)
     thread.start()

@@ -1,0 +1,80 @@
+"""A bounded admission queue: load shedding at the serving front door.
+
+:class:`AdmissionQueue` caps how many requests may be *in flight* at
+once.  Admission is non-blocking — a request over the bound is refused
+immediately (the gateway answers 429 ``overloaded``) instead of queueing
+unboundedly until every caller times out anyway.  Refusing early is the
+whole point: under overload, a fast typed "no" preserves the latency of
+the requests that *are* admitted.
+
+The queue doubles as the graceful-shutdown rendezvous: :meth:`drain`
+blocks until every admitted request has left, which is exactly the
+"finish in-flight work" step of SIGTERM handling.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class AdmissionQueue:
+    """Bounded concurrent-admission counter with a drain barrier.
+
+    Parameters
+    ----------
+    limit:
+        Maximum concurrently admitted requests.  ``None`` means
+        unbounded (the gate still counts, so drain works either way).
+    """
+
+    def __init__(self, limit: int | None = None):
+        if limit is not None and limit < 0:
+            raise ValueError("admission limit must be >= 0 (or None)")
+        self.limit = limit
+        self._inflight = 0
+        self._admitted_total = 0
+        self._shed_total = 0
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def shed_total(self) -> int:
+        with self._lock:
+            return self._shed_total
+
+    def try_enter(self) -> bool:
+        """Admit the caller, or refuse immediately when at the bound."""
+        with self._lock:
+            if self.limit is not None and self._inflight >= self.limit:
+                self._shed_total += 1
+                return False
+            self._inflight += 1
+            self._admitted_total += 1
+            return True
+
+    def leave(self) -> None:
+        """Mark one admitted request finished (success or failure)."""
+        with self._lock:
+            if self._inflight <= 0:
+                raise RuntimeError("leave() without a matching try_enter()")
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until no request is in flight; True when fully drained.
+
+        Callers stop admitting first (the gateway sets its draining flag
+        and closes the listener), then wait here for stragglers.
+        """
+        with self._lock:
+            return self._idle.wait_for(lambda: self._inflight == 0,
+                                       timeout=timeout)
+
+
+__all__ = ["AdmissionQueue"]

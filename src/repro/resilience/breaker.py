@@ -1,0 +1,108 @@
+"""A circuit breaker: stop hammering a peer that is demonstrably down.
+
+Classic three-state machine, thread-safe:
+
+* **closed** — traffic flows; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures every call
+  is refused locally (:class:`CircuitOpenError`) without touching the
+  socket, for ``reset_after`` seconds.  A hung or dead gateway costs the
+  caller one timeout, not one timeout per request.
+* **half-open** — once ``reset_after`` elapses, a single probe call is
+  let through; success closes the circuit, failure re-opens it (and
+  restarts the clock).
+
+The breaker never swallows or transforms the underlying error — callers
+``allow()`` before the attempt and ``record_success()`` /
+``record_failure()`` after, so the typed-error contract of the transport
+stays intact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class CircuitOpenError(RuntimeError):
+    """The breaker is open: the call was refused without being attempted."""
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        #: Seconds until the breaker will admit a probe.
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with timed half-open probes."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, *, failure_threshold: int = 5,
+                 reset_after: float = 30.0, clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_after <= 0:
+            raise ValueError("reset_after must be > 0 seconds")
+        self.failure_threshold = failure_threshold
+        self.reset_after = float(reset_after)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def allow(self) -> None:
+        """Admit one call or raise :class:`CircuitOpenError`.
+
+        In the open state, the first caller past ``reset_after`` becomes
+        the half-open probe; everyone else keeps being refused until the
+        probe reports back.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return
+            elapsed = self._clock() - self._opened_at
+            if self._state == self.OPEN and elapsed >= self.reset_after:
+                self._state = self.HALF_OPEN
+                self._probe_inflight = False
+            if self._state == self.HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return
+            retry_after = max(0.0, self.reset_after - elapsed)
+            raise CircuitOpenError(
+                f"circuit breaker is {self._state} after "
+                f"{self._failures} consecutive failures; "
+                f"next probe in {retry_after:.1f}s",
+                retry_after,
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == self.HALF_OPEN \
+                    or self._failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probe_inflight = False
+
+
+__all__ = ["CircuitBreaker", "CircuitOpenError"]

@@ -1,0 +1,100 @@
+"""Deadline budgets: a wall-clock allowance a request must finish within.
+
+A :class:`Deadline` is an absolute point on the monotonic clock.  The
+serving stack threads the *current request's* deadline through a
+contextvar (:func:`deadline_scope` / :func:`current_deadline`) so layers
+that queue or lock — the gateway's scoring section most of all — can ask
+"is this request already dead?" without plumbing an argument through
+every call.  A request whose budget is exhausted before scoring begins is
+refused with the stable wire code ``deadline_exceeded`` instead of
+burning a forward pass nobody is waiting for.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+
+class DeadlineExceeded(RuntimeError):
+    """Raised by :meth:`Deadline.check` once the budget is exhausted."""
+
+
+class Deadline:
+    """An absolute monotonic-clock deadline.
+
+    Parameters
+    ----------
+    budget_seconds:
+        Seconds from *now* until the deadline.  Must be > 0.
+    clock:
+        Injectable monotonic clock (tests freeze time with this).
+    """
+
+    __slots__ = ("_clock", "_expires", "budget_seconds")
+
+    def __init__(self, budget_seconds: float, *, clock=time.monotonic):
+        if budget_seconds <= 0:
+            raise ValueError("deadline budget must be > 0 seconds")
+        self.budget_seconds = float(budget_seconds)
+        self._clock = clock
+        self._expires = clock() + self.budget_seconds
+
+    @classmethod
+    def after_ms(cls, milliseconds: float, *,
+                 clock=time.monotonic) -> "Deadline":
+        return cls(float(milliseconds) / 1000.0, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left, clamped at 0."""
+        return max(0.0, self._expires - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self._expires
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is gone."""
+        if self.expired:
+            raise DeadlineExceeded(
+                f"{what}: deadline of {self.budget_seconds * 1000.0:.0f}ms "
+                "exhausted"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Deadline(budget={self.budget_seconds:.3f}s, "
+                f"remaining={self.remaining():.3f}s)")
+
+
+#: The deadline of the request currently being handled, if any.  Each
+#: gateway handler thread sets it for the span of one request.
+_current: ContextVar[Deadline | None] = ContextVar("repro_deadline",
+                                                  default=None)
+
+
+def current_deadline() -> Deadline | None:
+    """The ambient request deadline, or ``None`` outside a scope."""
+    return _current.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None):
+    """Install ``deadline`` as the ambient one for the enclosed block.
+
+    ``None`` is accepted and simply leaves no deadline in scope, so call
+    sites need no conditional wrapping.
+    """
+    token = _current.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _current.reset(token)
+
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "current_deadline",
+    "deadline_scope",
+]

@@ -136,7 +136,8 @@ def build_engine(source, collection: CollectionResult,
                  sinks: tuple[AlertSink, ...] = (), bucket_hours: float = 1.0,
                  cache_entries: int = 512, max_batch: int = 64,
                  history_cutoff: float | None = None,
-                 detector_threshold: float | None = None) -> StreamEngine:
+                 detector_threshold: float | None = None,
+                 store=None) -> StreamEngine:
     """Wire a stream engine from the offline pipeline's artefacts.
 
     ``source`` is any :class:`repro.sources.DataSource` backend (or a
@@ -170,7 +171,7 @@ def build_engine(source, collection: CollectionResult,
     )
     service = PredictionService(
         predictor, bucket_hours=bucket_hours, cache_entries=cache_entries,
-        history_cutoff=history_cutoff, stats=stats,
+        history_cutoff=history_cutoff, stats=stats, store=store,
     )
     return StreamEngine(detector, sessionizer, service, sinks=sinks,
                         max_batch=max_batch, stats=stats)
@@ -180,7 +181,7 @@ def replay_test_period(source, collection: CollectionResult,
                        predictor, *,
                        sinks: tuple[AlertSink, ...] = (),
                        bucket_hours: float = 1.0, cache_entries: int = 512,
-                       max_batch: int = 64) -> EngineResult:
+                       max_batch: int = 64, store=None) -> EngineResult:
     """Replay the held-out test period as a live deployment simulation.
 
     Streams every explored channel's messages from the validation/test
@@ -194,7 +195,7 @@ def replay_test_period(source, collection: CollectionResult,
     engine = build_engine(
         source, collection, predictor, sinks=sinks, bucket_hours=bucket_hours,
         cache_entries=cache_entries, max_batch=max_batch,
-        history_cutoff=start,
+        history_cutoff=start, store=store,
     )
     stream = MessageStream.replay(
         source, start=start,

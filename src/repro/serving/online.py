@@ -63,6 +63,17 @@ class Announcement:
                          exchange_id=self.exchange_id, pair=self.pair,
                          time=self.time)
 
+    def event_id(self) -> str:
+        """Deterministic identity of this announcement as a stream event.
+
+        Two announcements with identical fields are the *same* event (the
+        sessionizer emits at most one announcement per session, so field
+        equality cannot conflate distinct releases).  ``repr`` of the
+        float keeps the id exact — no two distinct times collide.
+        """
+        return (f"{self.channel_id}/{self.coin_id}/{self.exchange_id}/"
+                f"{self.pair}@{self.time!r}")
+
     # -- wire codec (shared by the gateway server, client and sinks) --------
 
     def to_payload(self) -> dict:

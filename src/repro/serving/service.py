@@ -19,6 +19,7 @@ offline :meth:`TargetCoinPredictor.rank` path.
 from __future__ import annotations
 
 import time as _time
+import uuid
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -30,8 +31,14 @@ from repro.nn.compile import prewarm
 from repro.serving.cache import FeatureCache
 from repro.serving.online import Announcement
 from repro.serving.stats import ServiceStats
+from repro.store.base import EventStore, NullEventStore
 from repro.telemetry import span
 from repro.utils.payload import payload_float, payload_object
+
+#: In-memory dedup window for observation event ids.  A durable store
+#: also enforces uniqueness, so evicting old ids here never readmits a
+#: duplicate when one is attached; without a store this bounds memory.
+SEEN_EVENTS_CAPACITY = 65536
 
 
 @dataclass(frozen=True)
@@ -94,13 +101,20 @@ class PredictionService:
         Feature-time quantization (see :mod:`repro.serving.cache`).
     cache_entries:
         Feature-cache LRU capacity; ``0`` disables memoization.
+    store:
+        An :class:`~repro.store.EventStore` every streamed event is
+        appended to as it flows (announcements submitted for ranking,
+        the ranked alerts, observed releases).  ``None`` serves from
+        memory only, exactly as before.
     """
 
     def __init__(self, predictor: TargetCoinPredictor, *,
                  history_cutoff: float | None = None,
                  bucket_hours: float = 1.0, cache_entries: int = 512,
-                 stats: ServiceStats | None = None):
+                 stats: ServiceStats | None = None,
+                 store: EventStore | None = None):
         self.predictor = predictor
+        self.store = store if store is not None else NullEventStore()
         self.stats = stats or ServiceStats()
         # Labels the rank_latency_seconds series (and trace attributes).
         self.model_name = type(predictor.model).__name__
@@ -121,6 +135,9 @@ class PredictionService:
         # Candidate sets resolved by the has_candidates() gate, kept until
         # rank_batch() consumes them so the lookup runs once per alert.
         self._candidates_memo: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        # Observation event ids already folded (value unused) — the fast
+        # path of retry/replay dedup; the durable store is the slow path.
+        self._seen_events: "OrderedDict[str, None]" = OrderedDict()
         self._history: dict[int, list[PnDSample]] = {}
         for channel_id, samples in predictor.dataset.history.items():
             seeded = [s for s in samples if s.time < history_cutoff - 1e-9]
@@ -173,19 +190,69 @@ class PredictionService:
         """The channel's cached pump history (chronological)."""
         return list(self._history.get(channel_id, ()))
 
-    def observe(self, announcement: Announcement) -> None:
+    def observe(self, announcement: Announcement,
+                event_id: str | None = None) -> bool:
         """Fold a served announcement into the channel's history cache.
 
         Announcements carrying the ``coin_id == -1`` sentinel (a gateway
         prediction request whose released coin is not known yet) are
         ignored: a placeholder coin in the pump history would poison the
         sequence features of every later request on that channel.
+
+        ``event_id`` makes the fold idempotent: an id already folded (in
+        memory or in the attached durable store) is skipped, so client
+        retries and crash/replay recovery never double-count an event.
+        Without one, a fresh unique id is minted and the call always
+        folds — the pre-existing semantics of repeated ``observe``.
+
+        Returns ``True`` when the history actually grew.
         """
+        if announcement.coin_id < 0:
+            return False
+        if event_id is None:
+            event_id = f"obs:{uuid.uuid4().hex}"
+        elif event_id in self._seen_events:
+            return False
+        if not self.store.append_observation(announcement, event_id):
+            self._remember_event(event_id)
+            return False
+        self._remember_event(event_id)
+        self._history.setdefault(announcement.channel_id, []).append(
+            announcement.sample()
+        )
+        return True
+
+    def adopt_observation(self, announcement: Announcement,
+                          event_id: str) -> None:
+        """Fold an observation already present in the durable store.
+
+        Rehydration replays the store's observation log through this
+        method: it updates the history cache and the dedup window but
+        never writes back to the store (``INSERT OR IGNORE`` would
+        reject every row it is replaying).
+        """
+        if event_id in self._seen_events:
+            return
+        self._remember_event(event_id)
         if announcement.coin_id < 0:
             return
         self._history.setdefault(announcement.channel_id, []).append(
             announcement.sample()
         )
+
+    def _remember_event(self, event_id: str) -> None:
+        self._seen_events[event_id] = None
+        while len(self._seen_events) > SEEN_EVENTS_CAPACITY:
+            self._seen_events.popitem(last=False)
+
+    def seen_snapshot(self) -> list[str]:
+        """The dedup window's event ids, oldest first (for hot-swaps)."""
+        return list(self._seen_events)
+
+    def restore_seen(self, event_ids: list[str]) -> None:
+        """Replace the dedup window with a :meth:`seen_snapshot`."""
+        self._seen_events = OrderedDict((event_id, None)
+                                        for event_id in event_ids)
 
     def history_snapshot(self) -> dict[int, list[PnDSample]]:
         """Copy of the full per-channel history cache (for hot-swaps)."""
@@ -226,6 +293,10 @@ class PredictionService:
         """
         if not announcements:
             return []
+        for announcement in announcements:
+            # Logged before scoring: a crash mid-batch still leaves a
+            # durable record of what was asked.
+            self.store.append_announcement(announcement)
         started = _time.perf_counter()
         with span("service.rank_batch", batch=len(announcements),
                   model=self.model_name):
@@ -253,6 +324,11 @@ class PredictionService:
                                       model=self.model_name)
             alerts.append(Alert(announcement=announcement, ranking=ranking,
                                 latency_ms=per_announcement))
+        for alert in alerts:
+            self.store.append_alert(alert)
         for announcement in announcements:
-            self.observe(announcement)
+            # The deterministic event id makes the fold idempotent: a
+            # retried rank of the same announcement scores again (scores
+            # are history-pure) but never double-counts the release.
+            self.observe(announcement, event_id=announcement.event_id())
         return alerts

@@ -204,6 +204,23 @@ class ServiceStats:
             return 0.0
         return self.alerts / self.forward_passes
 
+    def restore(self, summary: dict) -> None:
+        """Adopt the counter values of a persisted :meth:`summary`.
+
+        Rehydration (see :mod:`repro.store.rehydrate`) boots a fresh
+        service and then replays a stats snapshot taken by the previous
+        process, so ``repro history``/``/v1/stats`` keep counting from
+        where the crashed run stopped instead of from zero.  Only plain
+        counters restore; derived values (percentiles, ratios, wall
+        clock) are recomputed live and start over.
+        """
+        for name in self._counters:
+            value = summary.get(name)
+            if value is None:
+                continue
+            # Descriptor assignment routes through the registry counter.
+            setattr(self, name, int(value))
+
     def summary(self) -> dict[str, float]:
         """All derived metrics in one flat dict (CLI/dashboard payload)."""
         return {

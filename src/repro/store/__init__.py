@@ -1,0 +1,23 @@
+"""repro.store — durable, append-only event log for the serving stack.
+
+Everything the serving path streams (announcements, ranked alerts,
+observed releases, periodic stats snapshots) can persist through an
+:class:`EventStore` as it flows; :func:`rehydrate_service` replays a
+store into a fresh service after a crash, restoring rankings
+bit-identically (ISSUE 7 / ROADMAP item 2).  The default backend is a
+single WAL-mode SQLite file (:class:`SQLiteEventStore`); tests and
+store-less deployments use :class:`NullEventStore`.
+"""
+
+from repro.store.base import EventStore, NullEventStore, StoreError
+from repro.store.rehydrate import rehydrate_service
+from repro.store.sqlite import SQLiteEventStore, STORE_SCHEMA_VERSION
+
+__all__ = [
+    "EventStore",
+    "NullEventStore",
+    "SQLiteEventStore",
+    "STORE_SCHEMA_VERSION",
+    "StoreError",
+    "rehydrate_service",
+]

@@ -1,0 +1,60 @@
+"""Rebuild serving state from a durable event store after a crash.
+
+A gateway booted with ``--store`` on a file that already holds history
+replays it before taking traffic:
+
+1. every recorded **observation** is folded back into the fresh
+   :class:`~repro.serving.PredictionService` in append order via
+   :meth:`adopt_observation` — so the per-channel history cache (and
+   therefore every future ranking) is **bit-identical** to the moment
+   the previous process died: the model weights come from the artifact,
+   the histories from the log, and the features are deterministic
+   functions of both;
+2. service stats restore from the latest periodic **snapshot**, then the
+   counters the store can reconstruct *exactly* are overridden with the
+   durable truth: ``alerts`` = stored alert rows, ``scored_rows`` = sum
+   of their candidate counts.  Sessionizer-level counters (messages,
+   announcements, …) keep the snapshot value — they count events the
+   gateway path never increments, so the snapshot is the best record.
+
+The replay touches only the service; it never writes to the store
+(``adopt_observation`` exists precisely so the idempotent append path
+is not re-entered during its own replay).
+"""
+
+from __future__ import annotations
+
+from repro.store.base import EventStore
+
+
+def rehydrate_service(service, store: EventStore) -> dict:
+    """Fold a store's history into a freshly built service.
+
+    Returns a small summary dict (observation/alert counts, whether a
+    stats snapshot was found) for boot-time logging.
+    """
+    observations = store.observations()
+    for event_id, announcement in observations:
+        service.adopt_observation(announcement, event_id)
+
+    snapshot = store.latest_stats()
+    if snapshot is not None:
+        service.stats.restore(snapshot)
+
+    counts = store.counts()
+    if counts.get("alerts"):
+        # Exact per-row truth beats the (possibly stale) snapshot.
+        service.stats.alerts = counts["alerts"]
+        scored = getattr(store, "scored_rows", None)
+        if scored is not None:
+            service.stats.scored_rows = scored()
+
+    return {
+        "observations": len(observations),
+        "alerts": counts.get("alerts", 0),
+        "announcements": counts.get("announcements", 0),
+        "stats_snapshot": snapshot is not None,
+    }
+
+
+__all__ = ["rehydrate_service"]

@@ -91,6 +91,46 @@ def test_hot_swap_drops_and_corrupts_nothing(gw_world, gw_collection,
     assert health.model["name"] == "dnn"
 
 
+def test_reload_of_corrupt_artifact_leaves_champion_serving(
+        gw_world, gw_collection, gw_registry, gateway, test_positives,
+        tmp_path):
+    """Regression (ISSUE 7 satellite): a tampered artifact must be a
+    structured refusal, never a half-swapped or crashed gateway."""
+    import shutil
+
+    import pytest
+
+    from repro.gateway.client import GatewayRequestError
+
+    # A doomed registry entry: a copy of a good artifact with its weights
+    # replaced by garbage.  A separate name so session artifacts stay good.
+    source = gw_registry.resolve("dnn")
+    mangled = gw_registry.root / "mangled" / "v0001"
+    shutil.copytree(source, mangled)
+    (mangled / "weights.npz").write_bytes(b"not an npz archive at all")
+
+    service = service_from(gw_registry, "snn", gw_world, gw_collection)
+    app = GatewayApp(service, registry=gw_registry)
+    _server, client = gateway(app)
+
+    probe = stateless_probe(test_positives)
+    before_swap = exact(client.rank(probe).ranking)
+
+    with pytest.raises(GatewayRequestError) as exc:
+        client.reload("mangled")
+    assert exc.value.status == 409
+    assert exc.value.code == "bad_artifact"
+
+    # The champion never stopped serving, identically, and the failed
+    # attempt is not counted as a reload.
+    assert exact(client.rank(probe).ranking) == before_swap
+    health = client.healthz()
+    assert health.status == "ok"
+    assert health.reloads == 0
+    # A subsequent good reload still works — the swap lock was released.
+    assert client.reload("dnn").model["name"] == "dnn"
+
+
 def test_reload_carries_streamed_history_across(gw_world, gw_collection,
                                                 gw_registry, gateway,
                                                 test_positives):

@@ -182,6 +182,7 @@ class TestErrorContract:
             "unknown_channel", "no_candidates", "batch_too_large",
             "payload_too_large", "unknown_model", "bad_artifact",
             "no_registry", "not_found", "method_not_allowed", "internal",
+            "overloaded", "deadline_exceeded",
         }
 
     def test_envelope_shape(self):

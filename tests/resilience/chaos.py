@@ -1,0 +1,186 @@
+"""A chaos TCP proxy: programmable network faults in front of a gateway.
+
+The proxy listens on a free port and forwards to an upstream gateway.
+Each accepted connection consumes the next planned fault (or passes
+through cleanly when the plan is empty) — and the client SDK opens one
+connection per request, so "the next N connections" is exactly "the next
+N requests":
+
+* ``reset``     — close the client socket immediately (RST-ish: the
+                  client sees the connection die before any response).
+* ``stall``     — read the request, then sit silent until the client's
+                  socket timeout fires.
+* ``truncate``  — answer with valid headers promising more body than is
+                  sent, then close (an ``IncompleteRead`` client-side).
+* ``error_503`` — answer with a well-formed 503 JSON error envelope
+                  without consulting the upstream at all.
+
+Everything runs on daemon threads; ``close()`` is idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+FAULTS = ("reset", "stall", "truncate", "error_503")
+
+_503_BODY = json.dumps({
+    "schema_version": 1,
+    "error": {"code": "internal", "message": "chaos proxy injected fault"},
+}).encode("utf-8")
+
+_503_RESPONSE = (
+    b"HTTP/1.1 503 Service Unavailable\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Content-Length: " + str(len(_503_BODY)).encode() + b"\r\n"
+    b"Connection: close\r\n\r\n" + _503_BODY
+)
+
+_TRUNCATED_RESPONSE = (
+    b"HTTP/1.1 200 OK\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Content-Length: 65536\r\n"
+    b"Connection: close\r\n\r\n"
+    b'{"schema_version": 1, "alert": {"trunca'
+)
+
+
+class ChaosProxy:
+    """Forward 127.0.0.1:<port> → upstream, injecting planned faults."""
+
+    def __init__(self, upstream_host: str, upstream_port: int):
+        self.upstream = (upstream_host, upstream_port)
+        self._plan: list[str] = []
+        self._lock = threading.Lock()
+        self._closed = threading.Event()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(32)
+        self.port = self._listener.getsockname()[1]
+        self.url = f"http://127.0.0.1:{self.port}"
+        self.connections_seen = 0
+        self._accept_thread = threading.Thread(target=self._accept_loop,
+                                               daemon=True)
+        self._accept_thread.start()
+
+    # -- fault planning ------------------------------------------------------
+
+    def inject(self, fault: str, count: int = 1) -> None:
+        """Queue ``count`` connections' worth of ``fault``."""
+        if fault not in FAULTS:
+            raise ValueError(f"unknown fault {fault!r}; one of {FAULTS}")
+        with self._lock:
+            self._plan.extend([fault] * count)
+
+    def pending_faults(self) -> int:
+        with self._lock:
+            return len(self._plan)
+
+    def _next_fault(self) -> str | None:
+        with self._lock:
+            self.connections_seen += 1
+            return self._plan.pop(0) if self._plan else None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return   # listener closed
+            threading.Thread(target=self._handle, args=(client,),
+                             daemon=True).start()
+
+    def _handle(self, client: socket.socket) -> None:
+        fault = self._next_fault()
+        try:
+            if fault == "reset":
+                # Linger-0 turns close() into an RST so the client sees a
+                # hard reset rather than a clean FIN.
+                client.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    b"\x01\x00\x00\x00\x00\x00\x00\x00",
+                )
+                return
+            if fault == "stall":
+                # Swallow everything the client sends and answer nothing
+                # until it gives up (recv returns b"" once the client's
+                # timeout fires and it closes its end).
+                client.settimeout(60.0)
+                try:
+                    while client.recv(65536):
+                        pass
+                except OSError:
+                    pass
+                return
+            if fault == "truncate":
+                self._drain_request(client)
+                client.sendall(_TRUNCATED_RESPONSE)
+                return
+            if fault == "error_503":
+                self._drain_request(client)
+                client.sendall(_503_RESPONSE)
+                return
+            self._passthrough(client)
+        except OSError:
+            pass
+        finally:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _drain_request(client: socket.socket) -> None:
+        """Read the request's headers+body (best effort, one recv is
+        enough for the SDK's small single-send requests)."""
+        client.settimeout(5.0)
+        try:
+            client.recv(65536)
+        except OSError:
+            pass
+
+    def _passthrough(self, client: socket.socket) -> None:
+        upstream = socket.create_connection(self.upstream, timeout=30.0)
+
+        def pump(src: socket.socket, dst: socket.socket) -> None:
+            try:
+                while True:
+                    chunk = src.recv(65536)
+                    if not chunk:
+                        break
+                    dst.sendall(chunk)
+            except OSError:
+                pass
+            finally:
+                for sock in (src, dst):
+                    try:
+                        sock.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+
+        threads = [
+            threading.Thread(target=pump, args=(client, upstream),
+                             daemon=True),
+            threading.Thread(target=pump, args=(upstream, client),
+                             daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        upstream.close()
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+__all__ = ["ChaosProxy", "FAULTS"]

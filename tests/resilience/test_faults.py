@@ -1,0 +1,271 @@
+"""Fault injection: the client SDK and gateway under real network chaos.
+
+A genuine gateway serves a trained model; a :class:`ChaosProxy` between
+client and server injects connection resets, stalls, truncated responses
+and 5xx bursts.  The assertions pin the resilience contract: transient
+faults are retried to success, persistent ones surface as typed errors,
+the breaker stops hammering a dead peer, and the server sheds load with
+fast 429s instead of queueing.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.gateway import (
+    GatewayCircuitOpenError,
+    GatewayClient,
+    GatewayConnectionError,
+    GatewayRequestError,
+    GatewayTimeoutError,
+)
+from repro.gateway.schema import DEADLINE_HEADER
+from repro.resilience import NO_RETRY, CircuitBreaker, RetryPolicy
+from tests.store.conftest import announcements_from
+
+#: Fast backoff so a chaos run costs milliseconds, not the default 50ms+.
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay=0.01, max_delay=0.05,
+                         jitter=0.0)
+
+
+@pytest.fixture
+def proxied(live_gateway, chaos, st_positives):
+    """(proxy, client, probe): a retrying client talking through chaos."""
+    _app, server = live_gateway()
+    proxy = chaos(server)
+    client = GatewayClient(proxy.url, timeout=5.0, retry=FAST_RETRY)
+    probe = announcements_from(st_positives, 1)[0]
+    return proxy, client, probe
+
+
+def retries_of(client, endpoint: str) -> float:
+    return client._m_retries.labels(endpoint=endpoint).value()
+
+
+class TestTransientFaultsRetryToSuccess:
+    def test_connection_reset(self, proxied):
+        proxy, client, probe = proxied
+        before = retries_of(client, "rank")
+        proxy.inject("reset", count=2)
+        alert = client.rank(probe)
+        assert alert.announced_rank >= 1
+        assert proxy.pending_faults() == 0
+        assert retries_of(client, "rank") == before + 2
+
+    def test_5xx_burst(self, proxied):
+        proxy, client, probe = proxied
+        proxy.inject("error_503", count=3)
+        alert = client.rank(probe)
+        assert alert.announcement == probe
+        assert proxy.pending_faults() == 0
+
+    def test_truncated_response(self, proxied):
+        proxy, client, probe = proxied
+        before = retries_of(client, "rank")
+        proxy.inject("truncate")
+        assert client.rank(probe).announced_rank >= 1
+        assert retries_of(client, "rank") == before + 1
+
+    def test_observe_retry_does_not_double_count(self, proxied):
+        proxy, client, probe = proxied
+        # The response of the first attempt is lost after the server may
+        # have processed it — the classic at-least-once hazard.  The
+        # client-minted event id makes the retransmission safe.
+        proxy.inject("reset")
+        response = client.observe(probe)
+        length = response.history_length
+        # An explicit retransmission of the same logical event: the
+        # server reports the duplicate and history stays put.
+        replay = client.observe(probe, event_id="cli:fixed-id")
+        again = client.observe(probe, event_id="cli:fixed-id")
+        assert again.duplicate is True
+        assert replay.history_length == again.history_length >= length
+
+    def test_mixed_fault_storm_eventually_succeeds(self, proxied):
+        proxy, client, probe = proxied
+        proxy.inject("reset")
+        proxy.inject("error_503")
+        proxy.inject("truncate")
+        assert client.rank(probe).announced_rank >= 1
+
+
+class TestPersistentFaultsSurfaceTyped:
+    def test_exhausted_retries_reraise_the_connection_error(self, proxied):
+        proxy, client, probe = proxied
+        proxy.inject("reset", count=FAST_RETRY.max_attempts + 2)
+        with pytest.raises(GatewayConnectionError):
+            client.rank(probe)
+
+    def test_stall_becomes_a_typed_timeout(self, live_gateway, chaos,
+                                           st_positives):
+        _app, server = live_gateway()
+        proxy = chaos(server)
+        client = GatewayClient(proxy.url, timeout=0.3, retry=NO_RETRY)
+        proxy.inject("stall")
+        probe = announcements_from(st_positives, 1)[0]
+        started = time.monotonic()
+        with pytest.raises(GatewayTimeoutError):
+            client.rank(probe)
+        # The timeout fired, not the 60s stall.
+        assert time.monotonic() - started < 5.0
+
+    def test_non_retryable_4xx_is_not_retried(self, proxied):
+        proxy, client, _probe = proxied
+        before = retries_of(client, "rank")
+        with pytest.raises(GatewayRequestError) as exc:
+            client._call("rank", lambda: client._request(
+                "POST", "/v1/rank", {"schema_version": 1}))
+        assert exc.value.code == "bad_request"
+        assert retries_of(client, "rank") == before
+
+
+class TestCircuitBreaker:
+    def test_opens_and_stops_touching_the_socket(self, live_gateway, chaos,
+                                                 st_positives):
+        _app, server = live_gateway()
+        proxy = chaos(server)
+        breaker = CircuitBreaker(failure_threshold=2, reset_after=60.0)
+        client = GatewayClient(proxy.url, timeout=5.0, retry=NO_RETRY,
+                               breaker=breaker)
+        probe = announcements_from(st_positives, 1)[0]
+        proxy.inject("reset", count=2)
+        for _ in range(2):
+            with pytest.raises(GatewayConnectionError):
+                client.rank(probe)
+        assert breaker.state == CircuitBreaker.OPEN
+        seen = proxy.connections_seen
+        with pytest.raises(GatewayCircuitOpenError) as exc:
+            client.rank(probe)
+        assert exc.value.retry_after > 0
+        assert proxy.connections_seen == seen, \
+            "an open breaker must refuse locally, not dial the gateway"
+
+    def test_half_open_probe_success_closes(self, live_gateway, chaos,
+                                            st_positives):
+        _app, server = live_gateway()
+        proxy = chaos(server)
+        breaker = CircuitBreaker(failure_threshold=2, reset_after=0.05)
+        client = GatewayClient(proxy.url, timeout=5.0, retry=NO_RETRY,
+                               breaker=breaker)
+        probe = announcements_from(st_positives, 1)[0]
+        proxy.inject("reset", count=2)
+        for _ in range(2):
+            with pytest.raises(GatewayConnectionError):
+                client.rank(probe)
+        time.sleep(0.1)   # past reset_after: next call is the probe
+        assert client.rank(probe).announced_rank >= 1
+        assert breaker.state == CircuitBreaker.CLOSED
+
+
+class TestLoadShedding:
+    def test_over_limit_requests_get_fast_429(self, live_gateway,
+                                              st_positives):
+        app, server = live_gateway(max_inflight=1)
+        client = GatewayClient(server.url, retry=NO_RETRY)
+        probe = announcements_from(st_positives, 1)[0]
+        assert server.admission.try_enter()   # occupy the only slot
+        try:
+            with pytest.raises(GatewayRequestError) as exc:
+                client.rank(probe)
+            assert exc.value.status == 429
+            assert exc.value.code == "overloaded"
+            assert app._m_shed.labels(reason="overloaded").value() >= 1
+            # Health and metrics must keep answering under overload.
+            assert client.healthz().status == "ok"
+            assert "gateway_shed_total" in client.metrics_text()
+        finally:
+            server.admission.leave()
+        assert client.rank(probe).announced_rank >= 1
+
+    def test_shed_is_retryable_so_backoff_wins_through(self, live_gateway,
+                                                       st_positives):
+        _app, server = live_gateway(max_inflight=1)
+        client = GatewayClient(server.url, retry=FAST_RETRY)
+        probe = announcements_from(st_positives, 1)[0]
+        assert server.admission.try_enter()
+        release = threading.Timer(0.02, server.admission.leave)
+        release.start()
+        try:
+            assert client.rank(probe).announced_rank >= 1
+        finally:
+            release.join()
+
+    def test_429_keeps_the_breaker_closed(self, live_gateway, st_positives):
+        # Shedding is the server being healthy under load — the breaker
+        # must not conflate it with an outage.
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=60.0)
+        _app, server = live_gateway(max_inflight=1)
+        client = GatewayClient(server.url, retry=NO_RETRY, breaker=breaker)
+        probe = announcements_from(st_positives, 1)[0]
+        assert server.admission.try_enter()
+        try:
+            with pytest.raises(GatewayRequestError):
+                client.rank(probe)
+            assert breaker.state == CircuitBreaker.CLOSED
+        finally:
+            server.admission.leave()
+
+
+class TestDeadlines:
+    def test_client_deadline_expired_before_scoring(self, live_gateway,
+                                                    st_positives):
+        app, server = live_gateway()
+        client = GatewayClient(server.url, retry=NO_RETRY,
+                               deadline_ms=0.001)
+        probe = announcements_from(st_positives, 1)[0]
+        with pytest.raises(GatewayRequestError) as exc:
+            client.rank(probe)
+        assert exc.value.status == 503
+        assert exc.value.code == "deadline_exceeded"
+        assert app._m_shed.labels(reason="deadline").value() >= 1
+
+    def test_server_default_deadline_applies(self, live_gateway,
+                                             st_positives):
+        _app, server = live_gateway(deadline_ms=0.001)
+        client = GatewayClient(server.url, retry=NO_RETRY)
+        probe = announcements_from(st_positives, 1)[0]
+        with pytest.raises(GatewayRequestError) as exc:
+            client.rank(probe)
+        assert exc.value.code == "deadline_exceeded"
+        # A client header overrides the stingy server default.
+        generous = GatewayClient(server.url, retry=NO_RETRY,
+                                 deadline_ms=30_000.0)
+        assert generous.rank(probe).announced_rank >= 1
+
+    def test_garbage_deadline_header_is_a_400(self, live_gateway):
+        _app, server = live_gateway()
+        client = GatewayClient(server.url, retry=NO_RETRY)
+        for bad in ("soon", "-5", "0", "nan"):
+            status, raw = client._transport(
+                "GET", "/v1/healthz", None, {DEADLINE_HEADER: bad})
+            assert status == 400, bad
+            assert b"bad_request" in raw
+
+    def test_generous_deadline_is_harmless(self, live_gateway,
+                                           st_positives):
+        _app, server = live_gateway()
+        client = GatewayClient(server.url, retry=NO_RETRY,
+                               deadline_ms=60_000.0)
+        probe = announcements_from(st_positives, 1)[0]
+        assert client.rank(probe).announced_rank >= 1
+
+
+class TestGracefulDrain:
+    def test_draining_gateway_refuses_new_work_but_stays_observable(
+            self, live_gateway, st_positives):
+        app, server = live_gateway()
+        client = GatewayClient(server.url, retry=NO_RETRY)
+        probe = announcements_from(st_positives, 1)[0]
+        assert client.rank(probe).announced_rank >= 1
+
+        server.begin_drain()
+        with pytest.raises(GatewayRequestError) as exc:
+            client.rank(probe)
+        assert exc.value.status == 429
+        assert exc.value.code == "overloaded"
+        assert app._m_shed.labels(reason="draining").value() >= 1
+        # Operators keep their eyes during the drain.
+        assert client.healthz().status == "ok"
+        assert client.stats().service["alerts"] >= 1
+        assert server.wait_drained(timeout=5.0) is True

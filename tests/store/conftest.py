@@ -1,0 +1,80 @@
+"""Shared fixtures for the durable-store tests.
+
+One tiny world and one briefly trained artifact per session; tests get a
+factory making fresh :class:`PredictionService` instances (optionally
+wired to a store) so rehydration can be compared against a clean boot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    TargetCoinPredictor,
+    Trainer,
+    make_model,
+    snn_config_for,
+)
+from repro.data import collect
+from repro.features import FeatureAssembler
+from repro.registry import ModelRegistry
+from repro.serving import Announcement, PredictionService
+from repro.simulation import SyntheticWorld
+from repro.utils import ReproConfig
+
+
+@pytest.fixture(scope="session")
+def st_world():
+    return SyntheticWorld.generate(ReproConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def st_collection(st_world):
+    return collect(st_world)
+
+
+@pytest.fixture(scope="session")
+def st_registry(st_world, st_collection, tmp_path_factory) -> ModelRegistry:
+    assembler = FeatureAssembler(st_world, st_collection.dataset)
+    assembled = assembler.assemble()
+    model = make_model("dnn", snn_config_for(assembled), seed=0)
+    Trainer(epochs=1, seed=0).fit(
+        model, assembled.train, assembled.validation
+    )
+    predictor = TargetCoinPredictor(
+        st_world, st_collection.dataset, model, assembler
+    )
+    registry = ModelRegistry(tmp_path_factory.mktemp("store-registry"))
+    registry.publish(predictor, "dnn", provenance={"model": "dnn"})
+    return registry
+
+
+@pytest.fixture(scope="session")
+def st_positives(st_collection):
+    positives = [
+        e for e in st_collection.dataset.examples
+        if e.label == 1 and e.split == "test"
+    ]
+    assert len(positives) >= 3
+    return positives
+
+
+def announcements_from(positives, n: int) -> list[Announcement]:
+    return [
+        Announcement(channel_id=e.channel_id, coin_id=e.coin_id,
+                     exchange_id=0, pair="BTC", time=e.time)
+        for e in positives[:n]
+    ]
+
+
+@pytest.fixture
+def st_service(st_registry, st_world, st_collection):
+    """Factory: a fresh service from the session artifact."""
+
+    def make(store=None) -> PredictionService:
+        return PredictionService.from_artifact(
+            st_registry.resolve("dnn"), st_world, st_collection.dataset,
+            store=store,
+        )
+
+    return make
