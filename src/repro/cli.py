@@ -29,6 +29,11 @@ Commands
                 export a synthetic replay or normalize raw CSV/JSONL files.
 ``models``    — list / inspect / validate registry contents.
 ``forecast``  — run the §7 BTC forecasting comparison (Table 8-lite).
+``lint``      — run the project's static-analysis rules (``repro.lint``):
+                layering, dependency policy, lock discipline,
+                determinism, wire-contract drift.  ``--strict`` is the
+                CI gate; ``--write-baseline`` grandfathers existing
+                findings.
 
 ``train`` and ``serve`` accept ``--source synthetic`` (default) or
 ``--source file:<dump-dir>`` — the data plane is pluggable end to end, so
@@ -970,6 +975,12 @@ def cmd_forecast(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint import cli as lint_cli
+
+    return lint_cli.run(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -1226,6 +1237,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_ingest.add_argument("--compress", action="store_true",
                           help="gzip the candle/message files")
     p_ingest.set_defaults(fn=cmd_ingest)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the project's static-analysis rules (repro.lint)"
+    )
+    # The lint CLI owns its flags so `repro lint` and
+    # `python -m repro.lint.cli` cannot drift apart.
+    from repro.lint.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(p_lint)
+    p_lint.set_defaults(fn=cmd_lint)
 
     p_forecast = sub.add_parser("forecast", help="run the §7 comparison")
     _add_common(p_forecast)

@@ -12,11 +12,27 @@ import re
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
-import networkx as nx
-
 from repro.types import Message
 
 INVITE_LINK = re.compile(r"t\.me/joinchat/(\d+)")
+
+
+def _networkx():
+    """Load networkx on first use — the exploration graph needs it, the
+    rest of the data pipeline (and anything importing this module for
+    :func:`extract_invite_links`) does not."""
+    try:
+        import networkx as nx
+    except ImportError as exc:
+        raise ImportError(
+            "repro.data.exploration requires networkx for the invitation "
+            "graph; install networkx to run the snowball exploration"
+        ) from exc
+    return nx
+
+
+def _empty_digraph():
+    return _networkx().DiGraph()
 
 
 def extract_invite_links(text: str) -> list[int]:
@@ -37,7 +53,7 @@ class ExplorationResult:
     discovered_ids: list[int]          # new channels found via links
     explored_ids: list[int]            # all live channels whose messages we read
     hops: dict[int, int] = field(default_factory=dict)  # channel -> hop found at
-    exploration_graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+    exploration_graph: "nx.DiGraph" = field(default_factory=_empty_digraph)
 
     @property
     def n_dead_seeds(self) -> int:
@@ -85,7 +101,7 @@ class ChannelExplorer:
         hops: dict[int, int] = {cid: 0 for cid in frontier}
         explored: list[int] = []
         discovered: list[int] = []
-        graph = nx.DiGraph()
+        graph = _empty_digraph()
         visited = set(frontier)
         for hop in range(self.max_hops + 1):
             next_frontier: list[int] = []

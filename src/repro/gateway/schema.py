@@ -104,7 +104,11 @@ class GatewayFault(Exception):
     """A request the gateway refuses, as a (code, HTTP status, message)."""
 
     def __init__(self, code: str, status: int, message: str):
-        assert code in ERROR_CODES, f"unregistered error code {code!r}"
+        # Registration is enforced statically by `repro lint` (WIRE001);
+        # this debug-build check only catches codes built at runtime,
+        # which the linter cannot see.  Stripped under `python -O`.
+        if __debug__ and code not in ERROR_CODES:
+            raise AssertionError(f"unregistered error code {code!r}")
         super().__init__(message)
         self.code = code
         self.status = status

@@ -1,0 +1,41 @@
+"""repro.lint — stdlib-only static analysis for the repro codebase.
+
+Five AST-based checker families enforce the invariants PR 1-7 built by
+hand and previously defended only by grep and code review:
+
+========  ===========================================================
+family    invariant
+========  ===========================================================
+LAYER     architecture DAG: serving/pipeline layers never touch the
+          simulator; ``repro.nn`` never imports serving; no import
+          cycles
+DEP       dependency policy: serving is stdlib+numpy; scipy/networkx
+          only in the offline-analysis homes, and lazily there
+LOCK      lock discipline: attributes guarded by a lock are always
+          mutated under it
+DET       determinism: no wall clock, unseeded RNG or set-iteration
+          order dependence in scoring/feature/compile paths
+WIRE      wire contract: gateway error codes registered in
+          ``schema.ERROR_CODES``; metric names follow the scrape
+          conventions
+========  ===========================================================
+
+Run via ``repro lint [--strict] [--json] [--rule ID] src`` or
+programmatically through :func:`repro.lint.run_lint`.
+"""
+
+from repro.lint.engine import LintReport, UnknownRuleError, run_lint
+from repro.lint.findings import (
+    BaselineError,
+    Finding,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.project import Project, ProjectError, load_project
+from repro.lint.rules import ALL_RULES, rule_ids
+
+__all__ = [
+    "ALL_RULES", "BaselineError", "Finding", "LintReport", "Project",
+    "ProjectError", "UnknownRuleError", "load_baseline", "load_project",
+    "rule_ids", "run_lint", "write_baseline",
+]

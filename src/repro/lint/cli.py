@@ -1,0 +1,136 @@
+"""Command-line front end for :mod:`repro.lint`.
+
+``repro lint`` (or ``python -m repro lint``) wraps :func:`run_lint`:
+
+* exit 0 — clean (baselined findings alone never fail);
+* exit 2 — fresh error findings, or any fresh finding under
+  ``--strict``;
+* exit 3 — the run itself failed (unparseable tree, bad baseline,
+  unknown ``--rule``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.engine import LintReport, UnknownRuleError, run_lint
+from repro.lint.findings import BaselineError, write_baseline
+from repro.lint.project import ProjectError
+from repro.lint.rules import ALL_RULES
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 2
+EXIT_USAGE = 3
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "path", nargs="?", default="src",
+        help="directory to lint (default: src)")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on any fresh finding, warnings included (CI mode)")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the report as JSON on stdout")
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="ID",
+        help="only run the given rule family (DEP) or id (DEP001); "
+             "repeatable")
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE} next to the "
+             f"lint root, when present)")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="grandfather every current finding into the baseline file "
+             "and exit 0")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule reference and exit")
+
+
+def _default_baseline(root: str) -> str | None:
+    """``lint-baseline.json`` beside the lint root (repo root for src)."""
+    candidate = Path(root).resolve().parent / DEFAULT_BASELINE
+    sibling = Path(root).resolve() / DEFAULT_BASELINE
+    for path in (candidate, sibling):
+        if path.exists():
+            return str(path)
+    # Nothing on disk yet: writes go next to the root's parent.
+    return str(candidate)
+
+
+def _print_rules(out) -> None:
+    for rule in ALL_RULES:
+        print(f"{rule.id:8s} {rule.summary}", file=out)
+        for rid in rule.ids:
+            print(f"  {rid}", file=out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    add_arguments(parser)
+    args = parser.parse_args(argv)
+    return run(args)
+
+
+def run(args: argparse.Namespace,
+        out=None, err=None) -> int:
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+
+    if args.list_rules:
+        _print_rules(out)
+        return EXIT_CLEAN
+
+    baseline = args.baseline or _default_baseline(args.path)
+    try:
+        report: LintReport = run_lint(
+            args.path, rule_ids_filter=args.rule,
+            baseline_path=baseline,
+            all_findings=args.write_baseline,
+        )
+    except (ProjectError, BaselineError, UnknownRuleError) as exc:
+        print(f"repro lint: {exc}", file=err)
+        return EXIT_USAGE
+
+    if args.write_baseline:
+        write_baseline(baseline, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline}",
+              file=out)
+        return EXIT_CLEAN
+
+    if args.as_json:
+        print(json.dumps(report.to_payload(args.strict), indent=2),
+              file=out)
+        return report.exit_code(args.strict)
+
+    for finding in report.findings:
+        print(finding.render(), file=out)
+    for finding in report.baselined:
+        print(f"{finding.render()} [baselined]", file=out)
+    fresh = len(report.findings)
+    print(
+        f"checked {report.modules} module(s): {fresh} finding(s) "
+        f"({len(report.errors)} error(s), {len(report.warnings)} "
+        f"warning(s)), {len(report.baselined)} baselined, "
+        f"{report.suppressed} suppressed",
+        file=out,
+    )
+    return report.exit_code(args.strict)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())
+
+
+__all__ = ["add_arguments", "main", "run",
+           "DEFAULT_BASELINE", "EXIT_CLEAN", "EXIT_FINDINGS", "EXIT_USAGE"]

@@ -1,0 +1,124 @@
+"""The lint engine: load, check, suppress, baseline, report.
+
+:func:`run_lint` is the single entry point both the CLI and the tests
+use.  It parses the tree once, runs every selected rule, drops findings
+carrying an inline ``# repro-lint: allow[RULE]`` on their line, splits
+the rest against the baseline, and returns a :class:`LintReport` whose
+:meth:`~LintReport.exit_code` encodes the CI contract:
+
+* plain run — fail (2) only on *fresh* error-severity findings;
+* ``--strict`` — fail on any fresh finding, warnings included.
+
+Baselined findings are still reported (they are debt, not absolution)
+but never fail the build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import (
+    Finding,
+    is_suppressed,
+    load_baseline,
+)
+from repro.lint.project import Project, load_project
+from repro.lint.rules import ALL_RULES, rule_ids
+
+
+class UnknownRuleError(ValueError):
+    """``--rule`` named an id no registered rule can emit."""
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    root: str
+    findings: list[Finding] = field(default_factory=list)   # fresh
+    baselined: list[Finding] = field(default_factory=list)  # grandfathered
+    suppressed: int = 0
+    modules: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def exit_code(self, strict: bool = False) -> int:
+        if strict:
+            return 2 if self.findings else 0
+        return 2 if self.errors else 0
+
+    def to_payload(self, strict: bool = False) -> dict:
+        return {
+            "root": self.root,
+            "modules": self.modules,
+            "suppressed": self.suppressed,
+            "strict": strict,
+            "exit_code": self.exit_code(strict),
+            "findings": [f.to_payload() for f in self.findings],
+            "baselined": [f.to_payload() for f in self.baselined],
+        }
+
+
+def _select_rules(only: list[str] | None):
+    if not only:
+        return list(ALL_RULES), None
+    known = set(rule_ids())
+    wanted = set(only)
+    unknown = sorted(wanted - known - {r.id for r in ALL_RULES})
+    if unknown:
+        raise UnknownRuleError(
+            f"unknown rule id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(rule_ids())})"
+        )
+    selected = [rule for rule in ALL_RULES
+                if rule.id in wanted or wanted & set(rule.ids)]
+    # When a concrete id was named (DET001), keep only those findings.
+    concrete = {rid for rid in wanted if rid in known}
+    return selected, (concrete or None)
+
+
+def run_lint(root: str | Path, rule_ids_filter: list[str] | None = None,
+             baseline_path: str | Path | None = None,
+             all_findings: bool = False) -> LintReport:
+    """Lint ``root`` and return the report.
+
+    ``rule_ids_filter`` takes rule families (``DEP``) or concrete ids
+    (``DEP001``); ``baseline_path`` points at the grandfather file (a
+    missing file is an empty baseline).  ``all_findings=True`` skips
+    baseline splitting (used by ``--write-baseline``).
+    """
+    project: Project = load_project(root)
+    rules, concrete = _select_rules(rule_ids_filter)
+    baseline = set() if all_findings else load_baseline(baseline_path)
+
+    report = LintReport(root=str(project.root), modules=len(project.modules))
+    by_relpath = {module.relpath: module for module in project.modules}
+    collected: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check(project):
+            if concrete is not None and finding.rule not in concrete:
+                continue
+            module = by_relpath.get(finding.path)
+            if module is not None and is_suppressed(
+                    finding, module.suppressions):
+                report.suppressed += 1
+                continue
+            collected.append(finding)
+
+    collected.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    for finding in collected:
+        if finding.fingerprint() in baseline:
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+    return report
+
+
+__all__ = ["LintReport", "UnknownRuleError", "run_lint"]

@@ -1,0 +1,142 @@
+"""Findings, inline suppressions and the checked-in baseline.
+
+A :class:`Finding` is one rule violation pinned to a file and line.  Two
+escape hatches keep the linter strict without being hostile:
+
+* **Inline suppressions** — a ``# repro-lint: allow[RULE]`` comment on
+  the offending line acknowledges a violation that is correct by an
+  invariant the AST cannot see (e.g. "caller holds the lock").  The rule
+  id must be named explicitly; a bare ``allow[*]`` waives every rule on
+  that line and is meant for fixture files, not production code.
+
+* **The baseline** — a JSON file of grandfathered findings
+  (``lint-baseline.json`` at the repo root).  Baselined findings are
+  reported but do not fail ``--strict``; fingerprints are
+  ``(rule, path, message)`` so ordinary edits moving a line do not churn
+  the file.  The serving stack ships with an **empty** baseline — new
+  violations there fail CI immediately.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Severities understood by the engine/CLI.  ``error`` fails a plain run;
+#: ``warning`` fails only under ``--strict``.
+SEVERITIES = ("error", "warning")
+
+_ALLOW = re.compile(r"#\s*repro-lint:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: where, what, and how bad."""
+
+    path: str        # posix path relative to the lint root
+    line: int        # 1-indexed
+    rule: str        # stable rule id, e.g. "LOCK001"
+    message: str
+    severity: str = "error"
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Baseline identity — line numbers excluded so edits above a
+        grandfathered finding do not invalidate it."""
+        return (self.rule, self.path, self.message)
+
+    def to_payload(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} " \
+               f"{self.severity}: {self.message}"
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids allowed on that line.
+
+    The comment must sit on the same physical line as the finding; ``*``
+    allows every rule.  The scan is textual (comments never reach the
+    AST), which also means a suppression inside a string literal would be
+    honoured — an acceptable cost for a zero-dependency scanner.
+    """
+    allowed: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _ALLOW.search(text)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")
+                 if part.strip()}
+        if rules:
+            allowed.setdefault(lineno, set()).update(rules)
+    return allowed
+
+
+def is_suppressed(finding: Finding,
+                  suppressions: dict[int, set[str]]) -> bool:
+    rules = suppressions.get(finding.line)
+    return bool(rules) and (finding.rule in rules or "*" in rules)
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be understood."""
+
+
+def load_baseline(path: str | Path | None) -> set[tuple[str, str, str]]:
+    """Fingerprints of grandfathered findings (empty when no file)."""
+    if path is None:
+        return set()
+    path = Path(path)
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or not isinstance(
+            payload.get("findings"), list):
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'findings' list"
+        )
+    fingerprints = set()
+    for entry in payload["findings"]:
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline {path}: entries must be objects")
+        try:
+            fingerprints.add((str(entry["rule"]), str(entry["path"]),
+                              str(entry["message"])))
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline {path}: entry missing key {exc}"
+            ) from None
+    return fingerprints
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Grandfather the given findings (sorted, stable output)."""
+    entries = sorted(
+        {f.fingerprint() for f in findings}
+    )
+    payload = {
+        "version": 1,
+        "findings": [
+            {"rule": rule, "path": rel, "message": message}
+            for rule, rel, message in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+__all__ = [
+    "BaselineError", "Finding", "SEVERITIES", "is_suppressed",
+    "load_baseline", "parse_suppressions", "write_baseline",
+]

@@ -1,0 +1,37 @@
+"""The rule registry.
+
+Each rule is a plain object with ``id`` (family prefix), ``ids`` (the
+concrete finding ids it can emit), ``summary``, and
+``check(project) -> Iterator[Finding]``.  Registration order is the
+report order for equal (path, line).
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.deps import DependencyRule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.layering import LayeringRule
+from repro.lint.rules.locks import LockDisciplineRule
+from repro.lint.rules.wire import WireContractRule
+
+ALL_RULES = (
+    LayeringRule(),
+    DependencyRule(),
+    LockDisciplineRule(),
+    DeterminismRule(),
+    WireContractRule(),
+)
+
+
+def rule_ids() -> list[str]:
+    """Every concrete finding id, in registration order."""
+    ids: list[str] = []
+    for rule in ALL_RULES:
+        ids.extend(rule.ids)
+    return ids
+
+
+__all__ = [
+    "ALL_RULES", "DependencyRule", "DeterminismRule", "LayeringRule",
+    "LockDisciplineRule", "WireContractRule", "rule_ids",
+]

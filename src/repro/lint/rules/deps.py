@@ -1,0 +1,98 @@
+"""DEP — the third-party dependency policy.
+
+The serving stack is **stdlib + numpy only** (the gateway boots on a bare
+interpreter with numpy; ``pyproject.toml`` declares exactly that).  The
+heavyweight science stack is tolerated only where the paper's offline
+analysis genuinely needs it, and even there it must be *import-time
+lazy* so ``import repro.ml`` (or a registry artifact load that touches
+it) never drags ``scipy`` into a serving process that does not have it:
+
+* **DEP001** — ``scipy``/``networkx`` imported at module level (or class
+  level — both run at import time).  Move the import inside the function
+  that uses it and raise a clear ``ImportError`` when absent.
+* **DEP002** — ``scipy``/``networkx`` imported (even lazily) outside the
+  permitted homes: ``repro.ml``, ``repro.analysis``,
+  ``repro.data.exploration``, ``repro.simulation``,
+  ``repro.utils.hashrng``.
+* **DEP003** — any other third-party import (not stdlib, not numpy, not
+  a project module).  New dependencies are a policy decision, not a
+  side effect of one patch; severity ``warning`` so a plain run reports
+  it and ``--strict`` (CI) fails it.
+
+``if TYPE_CHECKING:`` imports are ignored throughout — they never run.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+
+#: Gated heavy dependencies: permitted homes only, and lazily even there.
+HEAVY = ("scipy", "networkx")
+
+#: Module prefixes (or exact modules) where the heavy stack may be used.
+HEAVY_ALLOWED = (
+    "repro.ml", "repro.analysis", "repro.data.exploration",
+    "repro.simulation", "repro.utils.hashrng",
+)
+
+#: Importable everywhere, at import time.
+UNIVERSAL = ("numpy",)
+
+_STDLIB = frozenset(sys.stdlib_module_names)
+
+
+def _under(name: str, prefixes: tuple[str, ...]) -> bool:
+    return any(name == p or name.startswith(p + ".") for p in prefixes)
+
+
+class DependencyRule:
+    id = "DEP"
+    ids = ("DEP001", "DEP002", "DEP003")
+    summary = "serving is stdlib+numpy; scipy/networkx gated and lazy"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        project_tops = {m.name.split(".", 1)[0] for m in project.modules}
+        for module in project.modules:
+            for record in project.imports[module.name]:
+                if record.type_checking:
+                    continue
+                top = record.top_level
+                if top in _STDLIB or top in UNIVERSAL \
+                        or top in project_tops:
+                    continue
+                if top in HEAVY:
+                    if not _under(module.name, HEAVY_ALLOWED):
+                        yield Finding(
+                            path=module.relpath, line=record.lineno,
+                            rule="DEP002",
+                            message=f"{top} is not allowed in "
+                                    f"{module.name}: the serving stack is "
+                                    f"stdlib+numpy only (permitted homes: "
+                                    f"{', '.join(HEAVY_ALLOWED)})",
+                        )
+                    elif not record.lazy:
+                        yield Finding(
+                            path=module.relpath, line=record.lineno,
+                            rule="DEP001",
+                            message=f"module-level import of {top}: gated "
+                                    f"dependencies must be import-time "
+                                    f"lazy (import inside the function "
+                                    f"that needs it, with a clear "
+                                    f"ImportError message)",
+                        )
+                    continue
+                yield Finding(
+                    path=module.relpath, line=record.lineno, rule="DEP003",
+                    severity="warning",
+                    message=f"third-party import {record.target!r} is not "
+                            f"in the dependency policy (stdlib, numpy, or "
+                            f"gated scipy/networkx); extend the policy "
+                            f"deliberately if this is intended",
+                )
+
+
+__all__ = ["DependencyRule", "HEAVY", "HEAVY_ALLOWED"]

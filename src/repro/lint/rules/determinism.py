@@ -1,0 +1,226 @@
+"""DET — determinism hazards in scoring / feature / compile paths.
+
+The paper's headline guarantee (PR 1-4) is bit-identical replay: the
+same window of trades must produce the same feature vector, score and
+ranking on every run.  Three stdlib habits silently break that:
+
+* **DET001** — wall-clock reads (``time.time``, ``datetime.now``,
+  ``datetime.utcnow``, ``date.today``).  Latency measurement belongs to
+  ``time.perf_counter``/``monotonic`` (allowed); *timestamps* belong to
+  the telemetry/persistence layers, which are allowlisted.
+* **DET002** — unseeded randomness: the module-level ``random.*``
+  functions (process-global state), ``numpy.random.default_rng()`` with
+  no seed, ``numpy.random.seed``/legacy ``numpy.random.<fn>`` calls.
+  Deterministic code takes an explicit seeded generator (see
+  ``repro.utils.hashrng``).
+* **DET003** — iterating a set literal / ``set()`` / ``frozenset()``
+  call directly in a ``for`` or comprehension.  Set iteration order is
+  insertion-order-dependent and (for str keys) salted per process;
+  sort first.
+
+Scope: ``repro.serving``, ``repro.gateway``, ``repro.features``,
+``repro.nn``, ``repro.core``.  Allowlisted (timestamps are their job):
+``repro.telemetry``, ``repro.store``, ``repro.registry``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.project import ModuleInfo, Project
+
+#: Module prefixes the determinism contract covers.
+DETERMINISTIC_SCOPE = (
+    "repro.serving", "repro.gateway", "repro.features", "repro.nn",
+    "repro.core",
+)
+
+#: Explicitly outside the contract — timestamping is their purpose.
+TIMESTAMP_ALLOWED = ("repro.telemetry", "repro.store", "repro.registry")
+
+#: attribute-name -> hazard description for DET001.
+_WALL_CLOCK = {
+    ("time", "time"): "time.time() is wall-clock",
+    ("datetime", "now"): "datetime.now() is wall-clock",
+    ("datetime", "utcnow"): "datetime.utcnow() is wall-clock",
+    ("date", "today"): "date.today() is wall-clock",
+}
+
+#: module-level random functions with hidden global state.
+_RANDOM_FNS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "betavariate",
+    "seed", "getrandbits",
+}
+
+
+def _in_scope(name: str) -> bool:
+    return any(name == p or name.startswith(p + ".")
+               for p in DETERMINISTIC_SCOPE)
+
+
+class _Aliases:
+    """Which local names refer to the hazardous modules/classes."""
+
+    def __init__(self, module: ModuleInfo):
+        self.time: set[str] = set()
+        self.datetime_mod: set[str] = set()
+        self.datetime_cls: set[str] = set()
+        self.date_cls: set[str] = set()
+        self.random_mod: set[str] = set()
+        self.numpy: set[str] = set()
+        self.numpy_random: set[str] = set()  # names bound to numpy.random
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "time":
+                        self.time.add(bound)
+                    elif alias.name == "datetime":
+                        self.datetime_mod.add(bound)
+                    elif alias.name == "random":
+                        self.random_mod.add(bound)
+                    elif alias.name in ("numpy", "numpy.random"):
+                        self.numpy.add(bound)
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if node.module == "datetime":
+                        if alias.name == "datetime":
+                            self.datetime_cls.add(bound)
+                        elif alias.name == "date":
+                            self.date_cls.add(bound)
+                    elif node.module == "numpy" \
+                            and alias.name == "random":
+                        self.numpy_random.add(bound)
+
+
+class DeterminismRule:
+    id = "DET"
+    ids = ("DET001", "DET002", "DET003")
+    summary = "no wall clock, unseeded RNG or set-order dependence in " \
+              "scoring paths"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if not _in_scope(module.name):
+                continue
+            aliases = _Aliases(module)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(module, aliases, node)
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    yield from self._check_iter(module, node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    for gen in node.generators:
+                        yield from self._check_iter(module, gen.iter)
+
+    # -- DET001 / DET002 -----------------------------------------------------
+
+    def _check_call(self, module: ModuleInfo, aliases: _Aliases,
+                    node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        attr = func.attr
+        owner = func.value
+
+        # time.time() / datetime.now() / date.today()
+        if isinstance(owner, ast.Name):
+            base = owner.id
+            hazard = None
+            if base in aliases.time and attr == "time":
+                hazard = _WALL_CLOCK[("time", "time")]
+            elif base in aliases.datetime_cls and attr in ("now", "utcnow"):
+                hazard = _WALL_CLOCK[("datetime", attr)]
+            elif base in aliases.date_cls and attr == "today":
+                hazard = _WALL_CLOCK[("date", "today")]
+            if hazard is not None:
+                yield Finding(
+                    path=module.relpath, line=node.lineno, rule="DET001",
+                    message=f"{hazard}; scoring paths must use "
+                            f"time.perf_counter()/monotonic() for "
+                            f"durations and leave timestamps to "
+                            f"telemetry/store",
+                )
+                return
+            # random.random() etc. on the global-state module
+            if base in aliases.random_mod and attr in _RANDOM_FNS:
+                yield Finding(
+                    path=module.relpath, line=node.lineno, rule="DET002",
+                    message=f"random.{attr}() uses hidden process-global "
+                            f"state; take an explicit seeded generator "
+                            f"(random.Random(seed) or "
+                            f"repro.utils.hashrng)",
+                )
+                return
+        # datetime.datetime.now() through the module alias
+        if isinstance(owner, ast.Attribute) and \
+                isinstance(owner.value, ast.Name) and \
+                owner.value.id in aliases.datetime_mod:
+            if owner.attr == "datetime" and attr in ("now", "utcnow"):
+                yield Finding(
+                    path=module.relpath, line=node.lineno, rule="DET001",
+                    message=f"{_WALL_CLOCK[('datetime', attr)]}; scoring "
+                            f"paths must not read the wall clock",
+                )
+                return
+        # numpy.random.*: default_rng() with no args, seed(), legacy fns
+        np_random = (
+            isinstance(owner, ast.Attribute)
+            and owner.attr == "random"
+            and isinstance(owner.value, ast.Name)
+            and owner.value.id in aliases.numpy
+        ) or (
+            isinstance(owner, ast.Name)
+            and owner.id in aliases.numpy_random
+        )
+        if np_random:
+            if attr == "default_rng":
+                if not node.args and not node.keywords:
+                    yield Finding(
+                        path=module.relpath, line=node.lineno,
+                        rule="DET002",
+                        message="numpy.random.default_rng() without a "
+                                "seed is entropy-seeded; pass an "
+                                "explicit seed",
+                    )
+                # default_rng(seed) is exactly what we want: fine.
+            elif attr == "seed":
+                yield Finding(
+                    path=module.relpath, line=node.lineno, rule="DET002",
+                    message="numpy.random.seed mutates the process-global "
+                            "legacy RNG; use default_rng(seed) locally",
+                )
+            elif attr[0].islower():
+                yield Finding(
+                    path=module.relpath, line=node.lineno, rule="DET002",
+                    message=f"numpy.random.{attr}() draws from the "
+                            f"process-global legacy RNG; use an explicit "
+                            f"Generator",
+                )
+
+    # -- DET003 --------------------------------------------------------------
+
+    def _check_iter(self, module: ModuleInfo,
+                    iterable: ast.expr) -> Iterator[Finding]:
+        hazard = None
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            hazard = "a set literal/comprehension"
+        elif isinstance(iterable, ast.Call) and \
+                isinstance(iterable.func, ast.Name) and \
+                iterable.func.id in ("set", "frozenset"):
+            hazard = f"{iterable.func.id}(...)"
+        if hazard is not None:
+            yield Finding(
+                path=module.relpath, line=iterable.lineno, rule="DET003",
+                message=f"iterating {hazard} directly: set order is "
+                        f"process-dependent; wrap in sorted(...) to pin "
+                        f"the order",
+            )
+
+
+__all__ = ["DeterminismRule", "DETERMINISTIC_SCOPE", "TIMESTAMP_ALLOWED"]

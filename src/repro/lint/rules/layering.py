@@ -1,0 +1,203 @@
+"""LAYER — the architecture DAG, enforced statically.
+
+Replaces PR 4's grep-based convention ("``grep SyntheticWorld
+src/repro/{serving,features,core}`` is empty") with real checks:
+
+* **LAYER001** — a forbidden import edge.  The serving stack
+  (``serving``, ``gateway``, ``store``, ``resilience``, ``telemetry``,
+  ``registry``) plus the pipeline layers PR 4 decoupled (``features``,
+  ``core``) must never import ``repro.simulation`` — not even lazily: a
+  function-level import is still a layering leak, it just hides at
+  import time.  ``repro.nn`` is the bottom of the stack and must not
+  import the serving layers above it.
+* **LAYER002** — the name ``SyntheticWorld`` referenced anywhere in
+  those layers (catches re-exports and annotations that dodge LAYER001).
+* **LAYER003** — an import cycle among project modules, over
+  import-time edges only (a lazy function-level import is the sanctioned
+  way to break a cycle).  Edges from a module to its own ancestor
+  package are ignored: ``from repro.serving import x`` inside that
+  package resolves through a partially-initialized parent by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+
+#: Layers that serve traffic — they must work without the simulator.
+SERVING_STACK = (
+    "repro.serving", "repro.gateway", "repro.store", "repro.resilience",
+    "repro.telemetry", "repro.registry",
+)
+
+#: Additionally decoupled from SyntheticWorld by PR 4's refactor.
+PIPELINE_LAYERS = SERVING_STACK + ("repro.features", "repro.core")
+
+#: (importer prefixes, forbidden target prefix) — any import, even lazy.
+FORBIDDEN_EDGES: tuple[tuple[tuple[str, ...], str], ...] = (
+    (PIPELINE_LAYERS, "repro.simulation"),
+    (("repro.nn",), "repro.serving"),
+    (("repro.nn",), "repro.gateway"),
+)
+
+#: Symbol names that must not appear in the decoupled layers.
+BANNED_SYMBOLS: dict[str, tuple[str, ...]] = {
+    "SyntheticWorld": PIPELINE_LAYERS,
+}
+
+
+def _under(name: str, prefixes: tuple[str, ...]) -> bool:
+    return any(name == p or name.startswith(p + ".") for p in prefixes)
+
+
+class LayeringRule:
+    id = "LAYER"
+    ids = ("LAYER001", "LAYER002", "LAYER003")
+    summary = "architecture DAG: no simulation leaks, no import cycles"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        yield from self._forbidden_imports(project)
+        yield from self._banned_symbols(project)
+        yield from self._cycles(project)
+
+    # -- LAYER001 ------------------------------------------------------------
+
+    def _forbidden_imports(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            for importers, forbidden in FORBIDDEN_EDGES:
+                if not _under(module.name, importers):
+                    continue
+                for record in project.imports[module.name]:
+                    if record.type_checking:
+                        continue
+                    if _under(record.target, (forbidden,)):
+                        how = "lazily imports" if record.lazy else "imports"
+                        yield Finding(
+                            path=module.relpath, line=record.lineno,
+                            rule="LAYER001",
+                            message=f"{module.name} {how} {record.target}: "
+                                    f"this layer must not depend on "
+                                    f"{forbidden}",
+                        )
+
+    # -- LAYER002 ------------------------------------------------------------
+
+    def _banned_symbols(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            scopes = [prefixes for symbol, prefixes in BANNED_SYMBOLS.items()
+                      if _under(module.name, prefixes)]
+            if not scopes:
+                continue
+            for node in ast.walk(module.tree):
+                name = None
+                if isinstance(node, ast.Name):
+                    name = node.id
+                elif isinstance(node, ast.Attribute):
+                    name = node.attr
+                elif isinstance(node, ast.alias):
+                    name = node.name.split(".")[-1]
+                if name in BANNED_SYMBOLS and _under(
+                        module.name, BANNED_SYMBOLS[name]):
+                    yield Finding(
+                        path=module.relpath,
+                        line=getattr(node, "lineno", 1),
+                        rule="LAYER002",
+                        message=f"reference to banned symbol {name!r}: "
+                                f"this layer is decoupled from the "
+                                f"simulator (use repro.sources)",
+                    )
+
+    # -- LAYER003 ------------------------------------------------------------
+
+    @staticmethod
+    def _ancestors(name: str) -> set[str]:
+        parts = name.split(".")
+        return {".".join(parts[:i]) for i in range(1, len(parts))}
+
+    def _cycles(self, project: Project) -> Iterator[Finding]:
+        edges: dict[str, set[str]] = {m.name: set() for m in project.modules}
+        lines: dict[tuple[str, str], int] = {}
+        for module in project.modules:
+            skip = self._ancestors(module.name)
+            for record in project.imports[module.name]:
+                if not record.at_import_time:
+                    continue
+                target = record.target
+                if target not in edges or target == module.name:
+                    continue
+                if target in skip:
+                    continue  # submodule -> own package: sanctioned
+                edges[module.name].add(target)
+                lines.setdefault((module.name, target), record.lineno)
+
+        for component in _strongly_connected(edges):
+            if len(component) < 2:
+                continue
+            ordered = sorted(component)
+            first = ordered[0]
+            # Anchor the finding at first's import of another member.
+            member_targets = [t for t in sorted(edges[first])
+                              if t in component]
+            line = lines.get((first, member_targets[0]), 1) \
+                if member_targets else 1
+            module = project.by_name[first]
+            yield Finding(
+                path=module.relpath, line=line, rule="LAYER003",
+                message="import cycle: " + " <-> ".join(ordered),
+            )
+
+
+def _strongly_connected(edges: dict[str, set[str]]) -> list[set[str]]:
+    """Tarjan's SCC, iterative (the tree is ~140 modules; recursion would
+    be fine, but an explicit stack keeps pathological inputs safe)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[set[str]] = []
+    counter = 0
+
+    for start in edges:
+        if start in index:
+            continue
+        work = [(start, iter(sorted(edges[start])))]
+        index[start] = lowlink[start] = counter
+        counter += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(edges[child]))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+__all__ = ["LayeringRule", "SERVING_STACK", "PIPELINE_LAYERS"]

@@ -1,0 +1,191 @@
+"""LOCK001 — lockset-style discipline for classes that own locks.
+
+The serving stack mutates shared state from N gateway handler threads;
+every such mutation must happen under the lock that guards it.  The
+checker is a static approximation of a lockset analysis:
+
+* a class *owns a lock* when a method assigns
+  ``self.X = threading.Lock()`` / ``RLock()`` / ``Condition(...)``, or
+  when any method enters ``with self.X:`` (covers locks injected by a
+  collaborator, like the registry lock each metric shares);
+* an instance attribute is *guarded* when at least one mutation of it
+  (assignment, augmented assignment, ``self.attr[...] = ...`` item
+  store, ``del``) happens lexically inside a ``with self.<lock>:``
+  block;
+* a guarded attribute mutated *outside* every lock block is flagged —
+  the signature of a data race (one code path takes the lock, another
+  forgot).
+
+``__init__``/``__new__`` are exempt (construction happens-before
+publication to other threads), and mutations inside nested function
+definitions are skipped (they execute on an unknown call path).  A
+mutation that is genuinely safe because *every caller* holds the lock
+carries an inline ``# repro-lint: allow[LOCK001]`` with the invariant
+spelled out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.project import ModuleInfo, Project
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+_EXEMPT_METHODS = {"__init__", "__new__"}
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.X`` -> ``"X"``, else None."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _is_lock_factory(call: ast.expr) -> bool:
+    if not isinstance(call, ast.Call):
+        return False
+    func = call.func
+    name = func.attr if isinstance(func, ast.Attribute) else \
+        func.id if isinstance(func, ast.Name) else None
+    return name in _LOCK_FACTORIES
+
+
+class _Mutation:
+    __slots__ = ("attr", "lineno", "locked", "method")
+
+    def __init__(self, attr: str, lineno: int, locked: bool, method: str):
+        self.attr = attr
+        self.lineno = lineno
+        self.locked = locked
+        self.method = method
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Walk one method body tracking the with-lock nesting depth."""
+
+    def __init__(self, method_name: str, lock_attrs: set[str]):
+        self.method = method_name
+        self.lock_attrs = lock_attrs
+        self.mutations: list[_Mutation] = []
+        self._lock_depth = 0
+
+    # Nested defs run on their own schedule; analyzing their bodies as if
+    # they executed here would mislabel both lockedness and reachability.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+    visit_Lambda = visit_FunctionDef            # type: ignore[assignment]
+
+    def visit_With(self, node: ast.With) -> None:
+        held = sum(
+            1 for item in node.items
+            if _self_attr(item.context_expr) in self.lock_attrs
+        )
+        self._lock_depth += held
+        for item in node.items:
+            self.visit(item.context_expr)
+        for child in node.body:
+            self.visit(child)
+        self._lock_depth -= held
+
+    visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+    # -- mutation collection -------------------------------------------------
+
+    def _record_target(self, target: ast.expr, lineno: int) -> None:
+        attr = _self_attr(target)
+        if attr is None and isinstance(target, ast.Subscript):
+            # self.attr[key] = ... mutates the container held in attr.
+            attr = _self_attr(target.value)
+        if attr is None and isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_target(element, lineno)
+            return
+        if attr is not None:
+            self.mutations.append(_Mutation(
+                attr, lineno, self._lock_depth > 0, self.method))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_target(target, node.lineno)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_target(node.target, node.lineno)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_target(node.target, node.lineno)
+            self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record_target(target, node.lineno)
+
+
+def _lock_attrs(class_node: ast.ClassDef) -> set[str]:
+    """Attributes this class treats as locks (allocation or with-usage)."""
+    attrs: set[str] = set()
+    for node in ast.walk(class_node):
+        if isinstance(node, ast.Assign) and _is_lock_factory(node.value):
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    attrs.add(attr)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None:
+                    attrs.add(attr)
+    return attrs
+
+
+class LockDisciplineRule:
+    id = "LOCK"
+    ids = ("LOCK001",)
+    summary = "attributes guarded by a lock must always be mutated under it"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            lock_attrs = _lock_attrs(node)
+            if not lock_attrs:
+                continue
+            mutations: list[_Mutation] = []
+            for child in node.body:
+                if not isinstance(child, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef)):
+                    continue
+                if child.name in _EXEMPT_METHODS:
+                    continue
+                scanner = _MethodScanner(child.name, lock_attrs)
+                for statement in child.body:
+                    scanner.visit(statement)
+                mutations.extend(scanner.mutations)
+
+            guarded = {m.attr for m in mutations
+                       if m.locked and m.attr not in lock_attrs}
+            for mutation in mutations:
+                if mutation.attr in guarded and not mutation.locked:
+                    yield Finding(
+                        path=module.relpath, line=mutation.lineno,
+                        rule="LOCK001",
+                        message=f"{node.name}.{mutation.attr} is mutated "
+                                f"under a lock elsewhere but not in "
+                                f"{mutation.method}(); hold the guarding "
+                                f"lock (or annotate the caller-holds-lock "
+                                f"invariant with an allow comment)",
+                    )
+
+
+__all__ = ["LockDisciplineRule"]

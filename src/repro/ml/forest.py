@@ -7,9 +7,21 @@ model its data pipeline uses for pump-message detection.
 from __future__ import annotations
 
 import numpy as np
-from scipy import sparse
 
 from repro.ml.tree import DecisionTreeClassifier
+
+
+def _issparse(x) -> bool:
+    """True when ``x`` is a scipy sparse matrix, without requiring scipy.
+
+    A serving process without scipy cannot have produced one, so the
+    import failure itself answers the question.
+    """
+    try:
+        from scipy import sparse
+    except ImportError:
+        return False
+    return sparse.issparse(x)
 
 
 class RandomForestClassifier:
@@ -59,7 +71,7 @@ class RandomForestClassifier:
         return rng.choice(n, size=size, replace=True)
 
     def fit(self, x, y) -> "RandomForestClassifier":
-        if sparse.issparse(x):
+        if _issparse(x):
             x = np.asarray(x.todense())
         x = np.asarray(x, dtype=float)
         y = np.asarray(y, dtype=float)
@@ -82,7 +94,7 @@ class RandomForestClassifier:
         """Average of per-tree leaf probabilities, P(y=1)."""
         if not self.trees_:
             raise RuntimeError("model is not fitted")
-        if sparse.issparse(x):
+        if _issparse(x):
             x = np.asarray(x.todense())
         x = np.asarray(x, dtype=float)
         acc = np.zeros(len(x))

@@ -7,7 +7,19 @@ dense or scipy CSR matrices (TF-IDF output).
 from __future__ import annotations
 
 import numpy as np
-from scipy import sparse
+
+
+def _issparse(x) -> bool:
+    """True when ``x`` is a scipy sparse matrix, without requiring scipy.
+
+    A process without scipy cannot have produced one, so the import
+    failure itself answers the question.
+    """
+    try:
+        from scipy import sparse
+    except ImportError:
+        return False
+    return sparse.issparse(x)
 
 
 class LogisticRegression:
@@ -57,7 +69,7 @@ class LogisticRegression:
         y = np.asarray(y, dtype=float)
         if not np.isin(y, (0, 1)).all():
             raise ValueError("labels must be binary 0/1")
-        is_sparse = sparse.issparse(x)
+        is_sparse = _issparse(x)
         n, d = x.shape
         weights = self._sample_weights(y)
         w = np.zeros(d)

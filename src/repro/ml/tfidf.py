@@ -10,7 +10,24 @@ from collections import Counter
 from typing import Iterable, Sequence
 
 import numpy as np
-from scipy import sparse
+
+
+def _sparse():
+    """Load ``scipy.sparse`` on first use.
+
+    Fitting only counts tokens; scipy is needed the moment a CSR matrix
+    must be materialized, and a serving process that never runs the
+    TF-IDF detector never pays (or needs) the import.
+    """
+    try:
+        from scipy import sparse
+    except ImportError as exc:
+        raise ImportError(
+            "repro.ml.tfidf produces scipy CSR matrices: install scipy to "
+            "use the TF-IDF detector path (the serving stack does not "
+            "require it)"
+        ) from exc
+    return sparse
 
 
 class TfidfVectorizer:
@@ -55,9 +72,10 @@ class TfidfVectorizer:
         self.idf_ = np.log((1.0 + n_docs) / (1.0 + df)) + 1.0
         return self
 
-    def transform(self, documents: Sequence[str]) -> sparse.csr_matrix:
+    def transform(self, documents: Sequence[str]) -> "sparse.csr_matrix":
         if self.idf_ is None:
             raise RuntimeError("vectorizer is not fitted")
+        sparse = _sparse()
         rows: list[int] = []
         cols: list[int] = []
         vals: list[float] = []
@@ -78,7 +96,7 @@ class TfidfVectorizer:
         scale = sparse.diags(1.0 / norms)
         return scale @ matrix
 
-    def fit_transform(self, documents: Sequence[str]) -> sparse.csr_matrix:
+    def fit_transform(self, documents: Sequence[str]) -> "sparse.csr_matrix":
         return self.fit(documents).transform(documents)
 
     def get_feature_names(self) -> list[str]:

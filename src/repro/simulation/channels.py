@@ -15,11 +15,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import networkx as nx
 import numpy as np
 
 from repro.simulation.coins import CoinUniverse
 from repro.utils.config import ReproConfig
+
+
+def _empty_digraph():
+    """Build the invitation graph lazily so importing the simulator's
+    channel *types* never forces networkx into the process."""
+    try:
+        import networkx as nx
+    except ImportError as exc:
+        raise ImportError(
+            "repro.simulation.channels requires networkx for the "
+            "invitation graph; install networkx to generate worlds"
+        ) from exc
+    return nx.DiGraph()
 
 # Global exchange mix matching the paper's event distribution (§4.2):
 # Binance 62.8%, Yobit 20.6%, Hotbit 8.7%, Kucoin 3.0%, long tail 4.9%.
@@ -61,7 +73,7 @@ class ChannelPopulation:
 
     pump_channels: list[PumpChannel] = field(default_factory=list)
     noise_channels: list[NoiseChannel] = field(default_factory=list)
-    invitations: nx.DiGraph = field(default_factory=nx.DiGraph)
+    invitations: "nx.DiGraph" = field(default_factory=_empty_digraph)
 
     @classmethod
     def generate(cls, config: ReproConfig, universe: CoinUniverse) -> "ChannelPopulation":

@@ -14,7 +14,24 @@ pseudorandom number generators"), which passes BigCrush as a 64-bit mixer.
 from __future__ import annotations
 
 import numpy as np
-from scipy.special import ndtri
+
+
+def _ndtri():
+    """Load ``scipy.special.ndtri`` on first use.
+
+    Only :func:`hash_normal` needs the inverse normal CDF; the uniform
+    and integer hashes (which the serving stack's cache keys use) stay
+    scipy-free.
+    """
+    try:
+        from scipy.special import ndtri
+    except ImportError as exc:
+        raise ImportError(
+            "hash_normal requires scipy (scipy.special.ndtri) for the "
+            "inverse normal CDF; install scipy or use hash_uniform"
+        ) from exc
+    return ndtri
+
 
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
@@ -72,7 +89,7 @@ def hash_normal(*keys) -> np.ndarray:
     u = hash_uniform(*keys)
     # Keep strictly inside (0, 1) so ndtri stays finite.
     u = np.clip(u, 1e-12, 1.0 - 1e-12)
-    return ndtri(u)
+    return _ndtri()(u)
 
 
 def hash_choice(n: int, *keys) -> np.ndarray:

@@ -1,0 +1,32 @@
+"""Shared fixture machinery for the lint tests.
+
+Golden fixture files live in ``tests/lint/fixtures/``; each test copies
+a handful of them into a throwaway source tree at the *relative paths
+that make the rule under test applicable* (the layering and dependency
+rules key on dotted module names, so placement is part of the fixture).
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Build a lintable source tree: {relative path: fixture file name}."""
+
+    def build(mapping: dict[str, str]) -> Path:
+        root = tmp_path / "tree"
+        root.mkdir(exist_ok=True)
+        for relpath, fixture_name in mapping.items():
+            dest = root / relpath
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy(FIXTURES / fixture_name, dest)
+        return root
+
+    return build

@@ -1,0 +1,6 @@
+"""Fixture: one half of an import cycle."""
+import repro.beta
+
+
+def ping():
+    return repro.beta.pong()

@@ -1,0 +1,6 @@
+"""Fixture: the other half of an import cycle."""
+import repro.alpha
+
+
+def pong():
+    return repro.alpha.ping()

@@ -1,0 +1,4 @@
+"""Fixture: an allowed home importing the heavy stack at import time."""
+import networkx as nx
+
+GRAPH_FACTORY = nx.DiGraph

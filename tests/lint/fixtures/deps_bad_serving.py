@@ -1,0 +1,8 @@
+"""Fixture: a serving module violating the dependency policy."""
+from scipy import sparse
+import requests
+
+
+def lazy():
+    import networkx
+    return networkx, sparse, requests

@@ -1,0 +1,6 @@
+"""Fixture: the gated import done right — lazy, in an allowed home."""
+
+
+def load():
+    import networkx as nx
+    return nx.DiGraph()

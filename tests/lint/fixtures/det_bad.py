@@ -1,0 +1,12 @@
+"""Fixture: determinism hazards in a scoring path."""
+import random
+import time
+import numpy as np
+
+
+def score(candidates):
+    started = time.time()
+    rng = np.random.default_rng()
+    jitter = random.random()
+    order = [c for c in set(candidates)]
+    return started, rng, jitter, order

@@ -1,0 +1,10 @@
+"""Fixture: the deterministic counterparts of every hazard."""
+import time
+import numpy as np
+
+
+def score(candidates, seed):
+    started = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    order = sorted(set(candidates))
+    return started, rng, order

@@ -1,0 +1,9 @@
+"""Fixture: a serving module that leaks the simulator."""
+import repro.simulation
+
+WORLD_FACTORY = SyntheticWorld  # noqa: F821 — the reference is the point
+
+
+def lazy_leak():
+    from repro.simulation import world
+    return world

@@ -1,0 +1,6 @@
+"""Fixture: a serving module with no simulator dependency."""
+import json
+
+
+def encode(payload):
+    return json.dumps(payload, sort_keys=True)

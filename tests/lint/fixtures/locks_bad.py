@@ -1,0 +1,15 @@
+"""Fixture: a counter mutated both under and outside its lock."""
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def reset(self):
+        self.count = 0

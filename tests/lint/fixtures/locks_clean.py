@@ -1,0 +1,21 @@
+"""Fixture: every mutation of the guarded attribute holds the lock."""
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.label = ""
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def reset(self):
+        with self._lock:
+            self.count = 0
+
+    def rename(self, label):
+        # Never mutated under the lock anywhere: not a guarded attr.
+        self.label = label

@@ -1,0 +1,13 @@
+"""Fixture: a miniature wire schema (mirrors repro/gateway/schema.py)."""
+E_BAD_REQUEST = "bad_request"
+E_INTERNAL = "internal"
+E_ROGUE = "rogue"
+
+ERROR_CODES = frozenset({E_BAD_REQUEST, E_INTERNAL})
+
+
+class GatewayFault(Exception):
+    def __init__(self, code, status, message):
+        self.code = code
+        self.status = status
+        self.message = message

@@ -1,0 +1,134 @@
+"""CLI contract: flags, exit codes, JSON output, baseline workflow."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def _write(root, relpath, text):
+    dest = root / relpath
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    dest.write_text(text, encoding="utf-8")
+    return dest
+
+
+def _leaky_tree(tmp_path):
+    root = tmp_path / "tree"
+    _write(root, "repro/serving/leak.py", "import repro.simulation\n")
+    _write(root, "repro/serving/warn.py", "import requests\n")
+    return root
+
+
+def test_lint_exit_codes_plain_vs_strict(tmp_path, capsys):
+    root = _leaky_tree(tmp_path)
+    # error finding present -> 2 either way
+    assert main(["lint", str(root)]) == 2
+    capsys.readouterr()
+
+    # warnings only: plain passes, --strict fails
+    warn_only = tmp_path / "warn"
+    _write(warn_only, "repro/serving/warn.py", "import requests\n")
+    assert main(["lint", str(warn_only)]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--strict", str(warn_only)]) == 2
+
+
+def test_lint_clean_tree_exits_zero(tmp_path, capsys):
+    root = tmp_path / "tree"
+    _write(root, "repro/serving/fine.py", "import json\n")
+    assert main(["lint", "--strict", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_lint_json_output_is_machine_readable(tmp_path, capsys):
+    root = _leaky_tree(tmp_path)
+    code = main(["lint", "--json", "--strict", str(root)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert payload["exit_code"] == 2
+    assert payload["strict"] is True
+    rules = {f["rule"] for f in payload["findings"]}
+    assert rules == {"LAYER001", "DEP003"}
+    [layer] = [f for f in payload["findings"] if f["rule"] == "LAYER001"]
+    assert layer["path"] == "repro/serving/leak.py"
+    assert layer["line"] == 1
+    assert layer["severity"] == "error"
+
+
+def test_lint_rule_filter(tmp_path, capsys):
+    root = _leaky_tree(tmp_path)
+    code = main(["lint", "--json", "--rule", "DEP", str(root)])
+    payload = json.loads(capsys.readouterr().out)
+    assert {f["rule"] for f in payload["findings"]} == {"DEP003"}
+    assert code == 0  # DEP003 is warning severity; plain run passes
+
+
+def test_lint_unknown_rule_is_a_usage_error(tmp_path, capsys):
+    root = _leaky_tree(tmp_path)
+    assert main(["lint", "--rule", "BOGUS1", str(root)]) == 3
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_lint_write_baseline_then_clean_run(tmp_path, capsys):
+    root = _leaky_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", "--baseline", str(baseline),
+                 "--write-baseline", str(root)]) == 0
+    capsys.readouterr()
+    payload = json.loads(baseline.read_text())
+    assert payload["version"] == 1
+    assert len(payload["findings"]) == 2
+
+    # Grandfathered: strict passes, findings reported as baselined.
+    assert main(["lint", "--strict", "--baseline", str(baseline),
+                 str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "[baselined]" in out
+
+    # A new violation still fails.
+    _write(root, "repro/gateway/leak.py", "import repro.simulation\n")
+    assert main(["lint", "--strict", "--baseline", str(baseline),
+                 str(root)]) == 2
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rid in ("LAYER001", "LAYER002", "LAYER003", "DEP001", "DEP002",
+                "DEP003", "LOCK001", "DET001", "DET002", "DET003",
+                "WIRE001", "WIRE002"):
+        assert rid in out
+
+
+def test_lint_suppression_counts_in_summary(tmp_path, capsys):
+    root = tmp_path / "tree"
+    _write(root, "repro/serving/leak.py",
+           "import repro.simulation  # repro-lint: allow[LAYER001]\n")
+    assert main(["lint", "--strict", str(root)]) == 0
+    assert "1 suppressed" in capsys.readouterr().out
+
+
+def test_made_up_error_code_fails_lint(tmp_path, capsys):
+    """Satellite regression: the schema assert was demoted to a debug
+    aid because this — a rogue code failing `repro lint` — is now the
+    enforced contract."""
+    from pathlib import Path
+    import shutil
+
+    repo_src = Path(__file__).resolve().parents[2] / "src"
+    root = tmp_path / "tree"
+    (root / "repro/gateway").mkdir(parents=True)
+    shutil.copy(repo_src / "repro/gateway/schema.py",
+                root / "repro/gateway/schema.py")
+    _write(root, "repro/gateway/rogue.py", (
+        "from repro.gateway.schema import GatewayFault\n"
+        "def explode():\n"
+        "    raise GatewayFault('made_up_code', 500, 'boom')\n"
+    ))
+    assert main(["lint", "--strict", str(root)]) == 2
+    out = capsys.readouterr().out
+    assert "WIRE001" in out
+    assert "made_up_code" in out

@@ -1,0 +1,194 @@
+"""Engine semantics: suppressions, baselines, rule selection, project
+loading edge cases."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    BaselineError,
+    ProjectError,
+    UnknownRuleError,
+    load_project,
+    run_lint,
+    write_baseline,
+)
+
+
+def _write(root, relpath, text):
+    dest = root / relpath
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    dest.write_text(text, encoding="utf-8")
+    return dest
+
+
+# -- suppressions ------------------------------------------------------------
+
+
+def test_inline_allow_suppresses_exactly_that_rule(tmp_path):
+    _write(tmp_path / "tree", "repro/serving/leak.py",
+           "import repro.simulation  # repro-lint: allow[LAYER001]\n")
+    report = run_lint(tmp_path / "tree")
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+def test_inline_allow_for_a_different_rule_does_not_suppress(tmp_path):
+    _write(tmp_path / "tree", "repro/serving/leak.py",
+           "import repro.simulation  # repro-lint: allow[DET001]\n")
+    report = run_lint(tmp_path / "tree")
+    assert [f.rule for f in report.findings] == ["LAYER001"]
+    assert report.suppressed == 0
+
+
+def test_inline_allow_star_suppresses_everything_on_the_line(tmp_path):
+    _write(tmp_path / "tree", "repro/serving/leak.py",
+           "import repro.simulation  # repro-lint: allow[*]\n")
+    report = run_lint(tmp_path / "tree")
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+def test_suppression_on_another_line_does_not_apply(tmp_path):
+    _write(tmp_path / "tree", "repro/serving/leak.py",
+           "# repro-lint: allow[LAYER001]\nimport repro.simulation\n")
+    report = run_lint(tmp_path / "tree")
+    assert [f.rule for f in report.findings] == ["LAYER001"]
+
+
+# -- baseline ----------------------------------------------------------------
+
+
+def test_baselined_findings_are_reported_but_do_not_fail(tmp_path):
+    root = tmp_path / "tree"
+    _write(root, "repro/serving/leak.py", "import repro.simulation\n")
+    baseline = tmp_path / "baseline.json"
+
+    fresh = run_lint(root)
+    assert fresh.exit_code() == 2
+    write_baseline(baseline, fresh.findings)
+
+    rerun = run_lint(root, baseline_path=baseline)
+    assert rerun.findings == []
+    assert [f.rule for f in rerun.baselined] == ["LAYER001"]
+    assert rerun.exit_code() == 0
+    assert rerun.exit_code(strict=True) == 0
+
+
+def test_baseline_fingerprint_survives_line_moves(tmp_path):
+    root = tmp_path / "tree"
+    _write(root, "repro/serving/leak.py", "import repro.simulation\n")
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, run_lint(root).findings)
+
+    # Push the finding down two lines: same fingerprint, still baselined.
+    _write(root, "repro/serving/leak.py",
+           "\n\nimport repro.simulation\n")
+    rerun = run_lint(root, baseline_path=baseline)
+    assert rerun.findings == []
+    assert [f.line for f in rerun.baselined] == [3]
+
+
+def test_new_violations_are_not_covered_by_the_baseline(tmp_path):
+    root = tmp_path / "tree"
+    _write(root, "repro/serving/leak.py", "import repro.simulation\n")
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, run_lint(root).findings)
+
+    _write(root, "repro/gateway/leak.py", "import repro.simulation\n")
+    rerun = run_lint(root, baseline_path=baseline)
+    assert [f.path for f in rerun.findings] == ["repro/gateway/leak.py"]
+    assert rerun.exit_code() == 2
+
+
+def test_missing_baseline_file_is_an_empty_baseline(tmp_path):
+    root = tmp_path / "tree"
+    _write(root, "repro/serving/ok.py", "import json\n")
+    report = run_lint(root, baseline_path=tmp_path / "nope.json")
+    assert report.findings == []
+
+
+def test_malformed_baseline_raises(tmp_path):
+    root = tmp_path / "tree"
+    _write(root, "repro/serving/ok.py", "import json\n")
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"findings": "not-a-list"}))
+    with pytest.raises(BaselineError):
+        run_lint(root, baseline_path=bad)
+
+
+# -- rule selection ----------------------------------------------------------
+
+
+def test_rule_filter_accepts_family_and_concrete_ids(tmp_path):
+    root = tmp_path / "tree"
+    _write(root, "repro/serving/leak.py",
+           "import repro.simulation\nimport scipy\n")
+    everything = run_lint(root)
+    assert {f.rule for f in everything.findings} == {"LAYER001", "DEP002"}
+    only_dep = run_lint(root, rule_ids_filter=["DEP"])
+    assert {f.rule for f in only_dep.findings} == {"DEP002"}
+    only_layer = run_lint(root, rule_ids_filter=["LAYER001"])
+    assert {f.rule for f in only_layer.findings} == {"LAYER001"}
+
+
+def test_unknown_rule_id_raises(tmp_path):
+    root = tmp_path / "tree"
+    _write(root, "repro/ok.py", "import json\n")
+    with pytest.raises(UnknownRuleError):
+        run_lint(root, rule_ids_filter=["NOPE999"])
+
+
+# -- project loading ---------------------------------------------------------
+
+
+def test_package_dir_resolves_to_parent(tmp_path):
+    root = tmp_path / "tree"
+    _write(root, "repro/__init__.py", "")
+    _write(root, "repro/serving/leak.py", "import repro.simulation\n")
+    # Linting the package dir and the containing dir agree.
+    from_pkg = run_lint(root / "repro")
+    from_root = run_lint(root)
+    assert [f.fingerprint() for f in from_pkg.findings] == \
+        [f.fingerprint() for f in from_root.findings]
+
+
+def test_syntax_error_is_a_project_error(tmp_path):
+    root = tmp_path / "tree"
+    _write(root, "repro/broken.py", "def nope(:\n")
+    with pytest.raises(ProjectError):
+        run_lint(root)
+
+
+def test_missing_root_is_a_project_error(tmp_path):
+    with pytest.raises(ProjectError):
+        run_lint(tmp_path / "does-not-exist")
+
+
+def test_import_graph_classifies_laziness(tmp_path):
+    root = tmp_path / "tree"
+    _write(root, "repro/mod.py", (
+        "from typing import TYPE_CHECKING\n"
+        "import json\n"
+        "if TYPE_CHECKING:\n"
+        "    import csv\n"
+        "def f():\n"
+        "    import math\n"
+    ))
+    project = load_project(root)
+    records = {r.target: r for r in project.imports["repro.mod"]}
+    assert records["json"].at_import_time
+    assert records["csv"].type_checking
+    assert records["math"].lazy and not records["math"].at_import_time
+
+
+def test_relative_imports_resolve_against_the_package(tmp_path):
+    root = tmp_path / "tree"
+    _write(root, "repro/pkg/__init__.py", "")
+    _write(root, "repro/pkg/a.py", "x = 1\n")
+    _write(root, "repro/pkg/b.py", "from . import a\nfrom .a import x\n")
+    project = load_project(root)
+    targets = sorted(r.target for r in project.imports["repro.pkg.b"])
+    assert targets == ["repro.pkg.a", "repro.pkg.a"]
