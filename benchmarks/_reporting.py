@@ -7,9 +7,20 @@ stdout (visible with ``pytest -s``) and writes it under
 
 from __future__ import annotations
 
+import os
+import platform
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def machine_context() -> str:
+    """One line pinning the hardware/runtime a timing was recorded on."""
+    import numpy as np
+
+    return (f"machine: {os.cpu_count()} cpu cores, "
+            f"python {platform.python_version()}, numpy {np.__version__}, "
+            f"{platform.system().lower()}-{platform.machine()}")
 
 
 def report(name: str, text: str) -> None:

@@ -455,6 +455,113 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _run_gateway_pool(args, artifact_path, source) -> int:
+    """``repro gateway --workers N``: pre-fork pool + supervisor.
+
+    The parent binds the listening sockets, prepares everything forks
+    share copy-on-write (market source, collection, model descriptor)
+    and supervises; each forked worker builds its *own* service, store
+    connection and app (``_build`` runs post-fork — SQLite connections
+    must not cross a fork).
+    """
+    import tempfile
+
+    from repro.data import collect
+    from repro.gateway import GatewayApp, describe_model
+    from repro.gateway.pool import bind_pool_sockets, run_pool, worker_serve
+    from repro.registry import (
+        ArtifactError,
+        ModelRegistry,
+        parse_ref,
+        read_manifest,
+    )
+    from repro.serving import PredictionService
+    from repro.sources import SourceDataError
+    from repro.telemetry import TelemetryHub
+
+    try:
+        collection = collect(source)
+        manifest = read_manifest(artifact_path)
+    except (SourceDataError, ArtifactError) as exc:
+        return _fail("gateway", str(exc))
+
+    name = None
+    if "/" not in args.load and os.sep not in args.load:
+        name, _version = parse_ref(args.load)
+    descriptor = describe_model(
+        args.load, artifact_path, manifest,
+        name=name, version=artifact_path.name if name else None,
+    )
+
+    try:
+        sockets, port = bind_pool_sockets(args.host, args.port,
+                                          args.workers)
+    except OSError as exc:
+        return _fail("gateway",
+                     f"cannot bind {args.host}:{args.port}: {exc}")
+    metrics_dir = tempfile.mkdtemp(prefix="repro-gateway-metrics-")
+
+    def _build(worker_id: int):
+        store = None
+        if args.store:
+            from repro.store import (
+                SQLiteEventStore,
+                StoreError,
+                rehydrate_service,
+            )
+
+            try:
+                store = SQLiteEventStore(args.store)
+            except StoreError as exc:
+                raise SystemExit(_fail("gateway", str(exc))) from None
+        service_options = {
+            "bucket_hours": args.bucket_hours,
+            "cache_entries": 0 if args.no_cache else 512,
+        }
+        if store is not None:
+            service_options["store"] = store
+        service = PredictionService.from_artifact(
+            artifact_path, source, collection.dataset, **service_options,
+        )
+        if store is not None:
+            recovered = rehydrate_service(service, store)
+            # The store doubles as the pool's replication bus: every
+            # worker folds the others' observations in seq order, so
+            # histories (and rankings) match a single process.
+            service.enable_store_following()
+            if recovered["observations"] or recovered["alerts"]:
+                print(f"rehydrated from {args.store}: "
+                      f"{recovered['observations']} observations, "
+                      f"{recovered['alerts']} alerts, stats snapshot "
+                      f"{'restored' if recovered['stats_snapshot'] else 'absent'}",
+                      flush=True)
+        app = GatewayApp(
+            service, registry=ModelRegistry(args.registry),
+            model=dict(descriptor), max_batch=args.max_batch,
+            service_options=service_options,
+            telemetry=TelemetryHub(slow_ms=args.slow_ms),
+            batch_window_ms=args.batch_window_ms,
+        )
+        return app, store
+
+    def _child_main(worker_id, listen_socket):
+        return worker_serve(
+            worker_id, listen_socket, _build,
+            verbose=args.verbose, max_inflight=args.max_inflight,
+            deadline_ms=args.deadline_ms, snapshot_s=args.snapshot_s,
+            drain_s=args.drain_s, metrics_dir=metrics_dir,
+        )
+
+    print(f"gateway listening on http://{args.host}:{port} "
+          f"(model {args.load}, registry {args.registry}, "
+          f"{args.workers} workers)", flush=True)
+    if args.store:
+        print(f"event log: {args.store} "
+              f"(snapshot every {args.snapshot_s:g}s)", flush=True)
+    return run_pool(sockets, args.workers, _child_main,
+                    drain_s=args.drain_s)
+
+
 def cmd_gateway(args) -> int:
     if args.max_batch < 1:
         return _fail("gateway", "--max-batch must be >= 1")
@@ -468,6 +575,12 @@ def cmd_gateway(args) -> int:
         return _fail("gateway", "--snapshot-s must be > 0")
     if args.drain_s <= 0:
         return _fail("gateway", "--drain-s must be > 0")
+    if args.workers < 1:
+        return _fail("gateway", "--workers must be >= 1")
+    if args.batch_window_ms < 0:
+        return _fail("gateway", "--batch-window-ms must be >= 0")
+    if args.slow_ms < 0:
+        return _fail("gateway", "--slow-ms must be >= 0")
 
     artifact_path, error = _resolve_artifact_path(
         args.load, args.registry, "gateway"
@@ -477,6 +590,8 @@ def cmd_gateway(args) -> int:
     source, error = _build_source(args, "gateway")
     if error is not None:
         return error
+    if args.workers > 1:
+        return _run_gateway_pool(args, artifact_path, source)
     store, error = _open_store(args, "gateway")
     if error is not None:
         return error
@@ -530,12 +645,11 @@ def cmd_gateway(args) -> int:
     )
     from repro.telemetry import TelemetryHub
 
-    if args.slow_ms < 0:
-        return _fail("gateway", "--slow-ms must be >= 0")
     app = GatewayApp(
         service, registry=ModelRegistry(args.registry), model=descriptor,
         max_batch=args.max_batch, service_options=service_options,
         telemetry=TelemetryHub(slow_ms=args.slow_ms),
+        batch_window_ms=args.batch_window_ms,
     )
     try:
         server = make_server(app, args.host, args.port, verbose=args.verbose,
@@ -1102,6 +1216,17 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="S",
                            help="max seconds to wait for in-flight requests "
                                 "on SIGTERM/Ctrl-C before exiting")
+    p_gateway.add_argument("--workers", type=int, default=1, metavar="N",
+                           help="worker processes accepting on one port "
+                                "(SO_REUSEPORT where available); a "
+                                "supervisor restarts crashed workers and "
+                                "fans SIGTERM out for graceful drain")
+    p_gateway.add_argument("--batch-window-ms", type=float, default=2.0,
+                           metavar="MS",
+                           help="coalesce concurrent /v1/rank requests "
+                                "arriving within this window into one "
+                                "forward pass (0 disables; lone requests "
+                                "never wait)")
     p_gateway.set_defaults(fn=cmd_gateway)
 
     p_history = sub.add_parser(

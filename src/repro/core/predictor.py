@@ -358,14 +358,30 @@ class TargetCoinPredictor:
         if not per_request_coins:
             return rankings
         total = sum(len(c) for c in per_request_coins)
+        # A one-row batch would dispatch BLAS gemv kernels whose
+        # accumulation order differs (last-ulp) from the gemm kernels
+        # every larger batch shares; duplicating the row keeps a single-
+        # candidate announcement's score bit-identical whether it is
+        # ranked solo or coalesced into a micro-batch.  The demux loop
+        # below only reads the first ``total`` probabilities, so the
+        # padding row is never surfaced.
+        pad = total == 1
+
+        def _rows(parts, stack):
+            data = stack(parts)
+            if pad:
+                data = np.concatenate([data, data[:1]], axis=0)
+            return data
+
         batch = Batch(
-            channel_idx=np.concatenate(channel_rows),
-            coin_idx=np.concatenate(per_request_coins),
-            numeric=np.vstack(numeric_blocks),
-            seq_coin_idx=np.vstack(seq_ids_rows),
-            seq_numeric=np.concatenate(seq_numeric_rows, axis=0),
-            seq_mask=np.vstack(seq_mask_rows),
-            label=np.zeros(total),
+            channel_idx=_rows(channel_rows, np.concatenate),
+            coin_idx=_rows(per_request_coins, np.concatenate),
+            numeric=_rows(numeric_blocks, np.vstack),
+            seq_coin_idx=_rows(seq_ids_rows, np.vstack),
+            seq_numeric=_rows(seq_numeric_rows,
+                              lambda p: np.concatenate(p, axis=0)),
+            seq_mask=_rows(seq_mask_rows, np.vstack),
+            label=np.zeros(total + int(pad)),
         )
         self.model.eval()
         # One traced plan (shared with batch evaluation and the streaming

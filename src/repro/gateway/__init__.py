@@ -30,9 +30,22 @@ Layers
 ``replay``  — :func:`replay_against_gateway`: drive a remote gateway from
               a locally replayed message stream (``repro serve
               --gateway``).
+``microbatch`` — :class:`MicroBatcher`: coalesce concurrent ``/v1/rank``
+              requests across connections into one forward pass (PR 9).
+``pool``    — :func:`bind_pool_sockets` / :func:`run_pool` /
+              :func:`worker_serve`: the ``--workers N`` pre-fork worker
+              pool with crash supervision, SIGTERM fan-out and pool-level
+              metrics aggregation (PR 9).
 """
 
 from repro.gateway.app import DEFAULT_MAX_BATCH, GatewayApp, describe_model
+from repro.gateway.microbatch import DEFAULT_WINDOW_MS, MicroBatcher
+from repro.gateway.pool import (
+    PoolMetrics,
+    bind_pool_sockets,
+    run_pool,
+    worker_serve,
+)
 from repro.gateway.client import (
     DEFAULT_TIMEOUT,
     RETRYABLE_STATUSES,
@@ -73,4 +86,6 @@ __all__ = [
     "RemoteReplay", "RemoteReplayResult", "replay_against_gateway",
     "TraceResponseV1", "TRACE_HEADER", "DURATION_HEADER",
     "DEADLINE_HEADER",
+    "MicroBatcher", "DEFAULT_WINDOW_MS",
+    "PoolMetrics", "bind_pool_sockets", "run_pool", "worker_serve",
 ]

@@ -47,6 +47,7 @@ from repro.gateway.schema import (
     TraceResponseV1,
     bad_request,
 )
+from repro.gateway.microbatch import MicroBatcher
 from repro.resilience import current_deadline
 from repro.serving.online import Announcement
 from repro.serving.service import Alert, PredictionService
@@ -102,9 +103,12 @@ class GatewayApp:
     def __init__(self, service: PredictionService, *, registry=None,
                  model: dict | None = None, max_batch: int = DEFAULT_MAX_BATCH,
                  service_options: dict | None = None,
-                 telemetry: TelemetryHub | None = None):
+                 telemetry: TelemetryHub | None = None,
+                 batch_window_ms: float = 0.0):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
         self._service = service
         # The durable event log the service writes through (NullEventStore
         # when serving from memory); the app reuses it for stats snapshots
@@ -161,6 +165,26 @@ class GatewayApp:
             "Seconds since the gateway app was constructed.",
             lambda: _time.monotonic() - self._started,
         )
+        self._m_microbatch_flushes = reg.counter(
+            "gateway_microbatch_flushes_total",
+            "Coalesced /v1/rank flushes executed by the micro-batcher.",
+        )
+        self._m_microbatch_requests = reg.counter(
+            "gateway_microbatch_requests_total",
+            "Rank requests served through micro-batch flushes.",
+        )
+        # Cross-connection micro-batching (worker pools): /v1/rank
+        # requests on concurrent handler threads coalesce into one
+        # forward pass.  Window 0 keeps the direct per-request path.
+        self._batcher = None
+        if batch_window_ms > 0:
+            self._batcher = MicroBatcher(
+                self._execute_coalesced, batch_window_ms / 1000.0,
+                max_batch,
+            )
+        # Worker pools install a hook that merges peer workers' metric
+        # dumps into this process's /v1/metrics exposition.
+        self.metrics_merge = None
         self._set_model_info()
 
     def _set_model_info(self) -> None:
@@ -239,8 +263,63 @@ class GatewayApp:
                     )
             return service.rank_batch(list(announcements))
 
+    def _execute_coalesced(self, entries) -> None:
+        """Gate + score one micro-batch flush under the scoring lock.
+
+        Per-entry gating: each announcement passes exactly the checks a
+        solo ``_ranked([a])`` would run (deadline, coin universe, known
+        channel, candidates) and a failure faults only its own entry.
+        The survivors score in one ``rank_batch`` forward pass; scoring
+        is history-pure, so every alert is bit-identical to solo.
+        """
+        with self._score_lock:
+            self._m_microbatch_flushes.inc()
+            self._m_microbatch_requests.inc(len(entries))
+            service = self._service
+            ready = []
+            for entry in entries:
+                try:
+                    if entry.deadline is not None and entry.deadline.expired:
+                        self.record_shed("deadline")
+                        raise GatewayFault(
+                            E_DEADLINE_EXCEEDED, 503,
+                            f"request deadline "
+                            f"({entry.deadline.budget_seconds * 1000:.0f}"
+                            " ms) expired before scoring started",
+                        )
+                    announcement = entry.announcement
+                    self._check_coin(service, announcement)
+                    if not service.knows_channel(announcement.channel_id):
+                        raise GatewayFault(
+                            E_UNKNOWN_CHANNEL, 422,
+                            f"channel {announcement.channel_id} was not "
+                            "part of the training universe",
+                        )
+                    if not service.has_candidates(announcement):
+                        raise GatewayFault(
+                            E_NO_CANDIDATES, 422,
+                            f"no eligible coins listed on exchange "
+                            f"{announcement.exchange_id} at time "
+                            f"{announcement.time}",
+                        )
+                except GatewayFault as fault:
+                    entry.fault = fault
+                else:
+                    ready.append(entry)
+            if not ready:
+                return
+            alerts = service.rank_batch(
+                [entry.announcement for entry in ready]
+            )
+            for entry, alert in zip(ready, alerts):
+                entry.alert = alert
+
     def rank(self, request: RankRequestV1) -> RankResponseV1:
         self.count("rank")
+        if self._batcher is not None:
+            return RankResponseV1(
+                self._batcher.submit(request.announcement)
+            )
         return RankResponseV1(self._ranked([request.announcement])[0])
 
     def rank_batch(self, request: RankBatchRequestV1) -> RankBatchResponseV1:
@@ -393,8 +472,16 @@ class GatewayApp:
         self.store.append_stats(self._service.stats.summary())
 
     def metrics_text(self) -> str:
-        """Prometheus text exposition of every registry this app can see."""
-        return self.telemetry.render_metrics(self._service.stats.registry)
+        """Prometheus text exposition of every registry this app can see.
+
+        Under a worker pool, the installed ``metrics_merge`` hook folds
+        the sibling workers' latest dumps into this worker's exposition
+        so any worker answers a pool-level scrape.
+        """
+        text = self.telemetry.render_metrics(self._service.stats.registry)
+        if self.metrics_merge is not None:
+            text = self.metrics_merge(text)
+        return text
 
     def trace_recent(self, limit: int | None = None) -> TraceResponseV1:
         return TraceResponseV1(traces=self.telemetry.traces.recent(limit))

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 import time as _time
 import uuid
@@ -82,6 +83,21 @@ DEFAULT_TIMEOUT = 10.0
 RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
 
 
+class _NoDelayConnection(http.client.HTTPConnection):
+    """Keep-alive connection with Nagle's algorithm disabled.
+
+    ``http.client`` writes the request head and body as separate
+    segments; on a reused connection Nagle holds the second segment
+    until the peer ACKs the first, and with delayed ACKs that stall is
+    ~40 ms per request — dwarfing the scoring work.  TCP_NODELAY turns
+    a keep-alive round trip back into wire latency.
+    """
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
 class GatewayClientError(RuntimeError):
     """Base of everything the client raises."""
 
@@ -116,8 +132,15 @@ class GatewayRequestError(GatewayClientError):
 class GatewayClient:
     """Talk to one ``repro gateway`` over HTTP/JSON.
 
-    A fresh connection is opened per request, so one client instance is
-    safe to share across threads (the benchmark's concurrent clients do).
+    Each thread keeps one persistent keep-alive ``HTTPConnection`` to the
+    gateway (connections are thread-local, so one client instance is safe
+    to share across threads — the benchmark's concurrent clients do).  A
+    request that finds its reused socket stale (the server restarted or
+    an idle timeout closed it) reconnects and resends transparently,
+    exactly once, without consuming the retry budget; failures on a
+    *fresh* connection always surface to the retry policy so breaker and
+    ``client_retries_total`` semantics are unchanged.  Connections opened
+    count ``client_connections_opened_total``.
 
     Parameters
     ----------
@@ -163,10 +186,19 @@ class GatewayClient:
             "Gateway client retries after a transient failure.",
             ("endpoint",),
         )
+        self._m_conns = default_registry().counter(
+            "client_connections_opened_total",
+            "TCP connections the gateway client has opened.",
+        )
         # Per-thread telemetry of the last completed exchange: one client
         # is shared across threads, so a benchmark worker must never read
         # another worker's duration.
         self._last = threading.local()
+        # Per-thread keep-alive connection (HTTPConnection is not
+        # thread-safe) plus a cross-thread index so close() reaches all.
+        self._conn_state = threading.local()
+        self._open_conns: set[http.client.HTTPConnection] = set()
+        self._conn_lock = threading.Lock()
 
     @property
     def base_url(self) -> str:
@@ -189,6 +221,70 @@ class GatewayClient:
 
     # -- transport -----------------------------------------------------------
 
+    #: Failure shapes of a reused socket the peer already closed: the
+    #: request never reached the application, so resending it on a fresh
+    #: connection is safe and invisible to the retry/breaker layer.
+    _STALE_SOCKET_ERRORS = (
+        http.client.RemoteDisconnected,
+        http.client.BadStatusLine,
+        http.client.CannotSendRequest,
+        ConnectionResetError,
+        ConnectionAbortedError,
+        BrokenPipeError,
+    )
+
+    def _checkout_connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's keep-alive connection, opening one if needed.
+
+        Returns ``(connection, reused)`` — ``reused`` is True only when
+        the socket has already served at least one full exchange, which
+        is the precondition for a transparent resend.
+        """
+        connection = getattr(self._conn_state, "conn", None)
+        if connection is not None:
+            return connection, getattr(self._conn_state, "served", 0) > 0
+        connection = _NoDelayConnection(self.host, self.port,
+                                        timeout=self.timeout)
+        self._conn_state.conn = connection
+        self._conn_state.served = 0
+        self._m_conns.inc()
+        with self._conn_lock:
+            self._open_conns.add(connection)
+        return connection, False
+
+    def _discard_connection(
+            self, connection: http.client.HTTPConnection) -> None:
+        """Close and forget a connection we no longer trust."""
+        if getattr(self._conn_state, "conn", None) is connection:
+            self._conn_state.conn = None
+            self._conn_state.served = 0
+        with self._conn_lock:
+            self._open_conns.discard(connection)
+        try:
+            connection.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Close every pooled connection (all threads).  Idempotent; the
+        client remains usable — the next request simply reconnects."""
+        with self._conn_lock:
+            connections, self._open_conns = self._open_conns, set()
+        for connection in connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        if getattr(self._conn_state, "conn", None) in connections:
+            self._conn_state.conn = None
+            self._conn_state.served = 0
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def _transport(self, method: str, path: str, body: bytes | None,
                    headers: dict) -> tuple[int, bytes]:
         trace_id = current_trace_id()
@@ -196,29 +292,67 @@ class GatewayClient:
             # Propagate the caller's trace so the server's span tree joins
             # the client-side one under a single id.
             headers.setdefault(TRACE_HEADER, trace_id)
-        connection = http.client.HTTPConnection(self.host, self.port,
-                                                timeout=self.timeout)
+        connection, reused = self._checkout_connection()
         try:
-            connection.request(method, self.path_prefix + path, body=body,
-                               headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
-            status = response.status
-            duration = response.getheader(DURATION_HEADER)
-            self._last.trace_id = response.getheader(TRACE_HEADER)
+            return self._exchange(connection, method, path, body, headers)
+        except self._STALE_SOCKET_ERRORS as exc:
+            self._discard_connection(connection)
+            if not reused:
+                raise GatewayConnectionError(
+                    f"cannot reach gateway at {self.base_url}: {exc}"
+                ) from exc
+            # The keep-alive socket went stale between requests (server
+            # restart, idle close).  One transparent resend on a fresh
+            # connection; a second failure is a real outage and surfaces.
+            connection, _ = self._checkout_connection()
+            try:
+                return self._exchange(connection, method, path, body,
+                                      headers)
+            except TimeoutError as exc:
+                self._discard_connection(connection)
+                raise GatewayTimeoutError(
+                    f"gateway at {self.base_url} did not answer within "
+                    f"{self.timeout}s"
+                ) from exc
+            except (OSError, http.client.HTTPException) as exc:
+                self._discard_connection(connection)
+                raise GatewayConnectionError(
+                    f"cannot reach gateway at {self.base_url}: {exc}"
+                ) from exc
         except TimeoutError as exc:
             # socket.timeout is TimeoutError (an OSError subclass) — the
             # order of these clauses is what gives it a distinct type.
+            # Never resent, even on a reused socket: the server may still
+            # be processing the first copy.
+            self._discard_connection(connection)
             raise GatewayTimeoutError(
                 f"gateway at {self.base_url} did not answer within "
                 f"{self.timeout}s"
             ) from exc
         except (OSError, http.client.HTTPException) as exc:
+            self._discard_connection(connection)
             raise GatewayConnectionError(
                 f"cannot reach gateway at {self.base_url}: {exc}"
             ) from exc
-        finally:
-            connection.close()
+
+    def _exchange(self, connection: http.client.HTTPConnection, method: str,
+                  path: str, body: bytes | None,
+                  headers: dict) -> tuple[int, bytes]:
+        """One request/response on ``connection``; keeps it alive when the
+        server allows.  The body is always read in full (even for error
+        envelopes) so the next request never desyncs on leftover bytes."""
+        connection.request(method, self.path_prefix + path, body=body,
+                           headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        status = response.status
+        duration = response.getheader(DURATION_HEADER)
+        self._last.trace_id = response.getheader(TRACE_HEADER)
+        if response.will_close:
+            self._discard_connection(connection)
+        else:
+            self._conn_state.served = \
+                getattr(self._conn_state, "served", 0) + 1
         try:
             self._last.duration_ms = (None if duration is None
                                       else float(duration))
@@ -249,7 +383,8 @@ class GatewayClient:
         if self.deadline_ms is not None:
             headers[DEADLINE_HEADER] = f"{self.deadline_ms:g}"
         if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
+            body = json.dumps(payload,
+                              separators=(",", ":")).encode("utf-8")
             headers["Content-Type"] = "application/json"
         status, raw = self._transport(method, path, body, headers)
         if status >= 400:

@@ -128,6 +128,10 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     # body bytes than its Content-Length must not pin a handler thread
     # forever — size alone (MAX_BODY_BYTES) does not bound time.
     timeout = 60
+    # Keep-alive responses go out as head + body segments; without
+    # TCP_NODELAY, Nagle + delayed ACK can hold the body ~40 ms on a
+    # reused connection.
+    disable_nagle_algorithm = True
 
     @property
     def app(self) -> GatewayApp:
@@ -165,8 +169,12 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         self.wfile.write(data)
 
     def _send_json(self, status: int, body: dict) -> None:
+        # Compact separators: a ranking response is dominated by its
+        # scores array, and the default ", "/": " padding is ~10% of
+        # the bytes every response pays to encode and ship.
         self._send_bytes(status, "application/json",
-                         json.dumps(body).encode("utf-8"))
+                         json.dumps(body, separators=(",", ":"))
+                         .encode("utf-8"))
 
     def _send_text(self, status: int, text: str) -> None:
         self._send_bytes(status, "text/plain; version=0.0.4; charset=utf-8",
@@ -378,10 +386,26 @@ class GatewayHTTPServer(ThreadingHTTPServer):
 
     def __init__(self, address: tuple[str, int], app: GatewayApp,
                  verbose: bool = False, max_inflight: int | None = None,
-                 deadline_ms: float | None = None):
+                 deadline_ms: float | None = None,
+                 listen_socket=None):
         if deadline_ms is not None and deadline_ms <= 0:
             raise ValueError("deadline_ms must be > 0 (or None)")
-        super().__init__(address, _GatewayHandler)
+        if listen_socket is None:
+            super().__init__(address, _GatewayHandler)
+        else:
+            # Adopt a pre-bound, already-listening socket (the pool binds
+            # with SO_REUSEPORT before forking workers).  Skip the stdlib
+            # bind/activate, close the socket it would have created, and
+            # fill in the attributes server_bind() normally derives —
+            # without the getfqdn() call, which can stall on slow DNS.
+            super().__init__(address, _GatewayHandler,
+                             bind_and_activate=False)
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+            host, port = self.server_address[:2]
+            self.server_name = host
+            self.server_port = port
         self.app = app
         self.verbose = verbose
         self.admission = AdmissionQueue(max_inflight)
@@ -412,11 +436,17 @@ class GatewayHTTPServer(ThreadingHTTPServer):
 def make_server(app: GatewayApp, host: str = "127.0.0.1",
                 port: int = 0, verbose: bool = False,
                 max_inflight: int | None = None,
-                deadline_ms: float | None = None) -> GatewayHTTPServer:
-    """Bind a gateway server (``port=0`` picks a free port)."""
+                deadline_ms: float | None = None,
+                listen_socket=None) -> GatewayHTTPServer:
+    """Bind a gateway server (``port=0`` picks a free port).
+
+    ``listen_socket`` hands over a pre-bound listening socket (worker
+    pool); ``host``/``port`` are then ignored for binding.
+    """
     return GatewayHTTPServer((host, port), app, verbose=verbose,
                              max_inflight=max_inflight,
-                             deadline_ms=deadline_ms)
+                             deadline_ms=deadline_ms,
+                             listen_socket=listen_socket)
 
 
 def serve_in_thread(app: GatewayApp, host: str = "127.0.0.1",

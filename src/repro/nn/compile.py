@@ -196,7 +196,15 @@ def _lower_mlp(head: MLP, input_key: str, output_key: str,
         def run(ctx: dict) -> None:
             h = ctx[src]
             out = ctx["buffers"].get(name, (h.shape[0], linear.out_features))
-            np.matmul(h, linear.weight.data, out=out)
+            if linear.out_features == 1:
+                # Mirror the eager Linear's single-output path (multiply
+                # + pairwise row sum, batch-size-stable) op for op so the
+                # plan stays bit-identical to the eager forward.
+                prod = ctx["buffers"].get(f"{name}.prod", h.shape)
+                np.multiply(h, linear.weight.data[:, 0], out=prod)
+                np.sum(prod, axis=1, out=out[:, 0])
+            else:
+                np.matmul(h, linear.weight.data, out=out)
             if linear.bias is not None:
                 out += linear.bias.data
             if i != last:

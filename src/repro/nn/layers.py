@@ -21,7 +21,17 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
+        if self.out_features == 1:
+            # BLAS matvec kernels pick their accumulation order by batch
+            # size, so the same input row can score a ulp different alone
+            # vs inside a larger batch.  A broadcast-multiply + pairwise
+            # row sum reduces every row independently of the batch — the
+            # bit-stability the serving micro-batcher's parity contract
+            # rests on (see repro.gateway.microbatch).
+            out = (x * self.weight.reshape(self.in_features)).sum(
+                axis=-1, keepdims=True)
+        else:
+            out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
         return out

@@ -138,6 +138,11 @@ class PredictionService:
         # Observation event ids already folded (value unused) — the fast
         # path of retry/replay dedup; the durable store is the slow path.
         self._seen_events: "OrderedDict[str, None]" = OrderedDict()
+        # Store-following mode (worker pools): when enabled, every fold
+        # goes through catch_up() in store sequence order, so N workers
+        # sharing one event log converge on bit-identical histories.
+        self._follow_store = False
+        self._store_cursor = 0
         self._history: dict[int, list[PnDSample]] = {}
         for channel_id, samples in predictor.dataset.history.items():
             seeded = [s for s in samples if s.time < history_cutoff - 1e-9]
@@ -213,6 +218,15 @@ class PredictionService:
             event_id = f"obs:{uuid.uuid4().hex}"
         elif event_id in self._seen_events:
             return False
+        if self._follow_store:
+            # Append, then fold through the store's global sequence: the
+            # fold order every pooled worker sees is the seq order, so
+            # histories (and therefore sequence features) converge.
+            fresh = self.store.append_observation(announcement, event_id)
+            if not fresh:
+                self._remember_event(event_id)
+            self.catch_up()
+            return fresh
         if not self.store.append_observation(announcement, event_id):
             self._remember_event(event_id)
             return False
@@ -239,6 +253,36 @@ class PredictionService:
         self._history.setdefault(announcement.channel_id, []).append(
             announcement.sample()
         )
+
+    def enable_store_following(self, cursor: int | None = None) -> None:
+        """Treat the attached store as a replication bus (worker pools).
+
+        From here on the service folds observations exclusively through
+        :meth:`catch_up`, in store sequence order — including its own
+        (its appends get a seq like everyone else's).  ``cursor`` is the
+        seq already covered by the in-memory history (rehydration passes
+        the last replayed seq); ``None`` means "everything in the store
+        right now is already folded".
+        """
+        self._store_cursor = (self.store.last_observation_seq()
+                              if cursor is None else int(cursor))
+        self._follow_store = True
+
+    def catch_up(self) -> int:
+        """Fold observations appended since the cursor (any writer).
+
+        Idempotent per event id, ordered by store seq; returns how many
+        rows were folded.  A no-op outside store-following mode.
+        """
+        if not self._follow_store:
+            return 0
+        folded = 0
+        for seq, event_id, announcement in \
+                self.store.observations_since(self._store_cursor):
+            self.adopt_observation(announcement, event_id)
+            self._store_cursor = seq
+            folded += 1
+        return folded
 
     def _remember_event(self, event_id: str) -> None:
         self._seen_events[event_id] = None
@@ -293,6 +337,11 @@ class PredictionService:
         """
         if not announcements:
             return []
+        if self._follow_store:
+            # Fold whatever peer workers observed since our last look so
+            # this batch scores against the same global history a single
+            # process would have.
+            self.catch_up()
         for announcement in announcements:
             # Logged before scoring: a crash mid-batch still leaves a
             # durable record of what was asked.

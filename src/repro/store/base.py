@@ -62,6 +62,18 @@ class EventStore:
         """Every recorded observation, in append order."""
         raise NotImplementedError
 
+    def observations_since(
+            self, seq: int) -> list[tuple[int, str, "Announcement"]]:
+        """``(seq, event_id, announcement)`` rows with ``seq > seq``, in
+        append order.  The cursor-style read that lets N pooled workers
+        treat one store as a replication bus: each worker folds the
+        others' observations from where it last left off."""
+        raise NotImplementedError
+
+    def last_observation_seq(self) -> int:
+        """Sequence number of the newest observation (0 when empty)."""
+        raise NotImplementedError
+
     def alerts(self, *, channel_id: int | None = None,
                since: float | None = None, until: float | None = None,
                limit: int | None = None) -> list["Alert"]:
@@ -115,6 +127,12 @@ class NullEventStore(EventStore):
 
     def observations(self) -> list:
         return []
+
+    def observations_since(self, seq: int) -> list:
+        return []
+
+    def last_observation_seq(self) -> int:
+        return 0
 
     def alerts(self, **kwargs) -> list:
         return []

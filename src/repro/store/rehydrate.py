@@ -36,6 +36,10 @@ def rehydrate_service(service, store: EventStore) -> dict:
     observations = store.observations()
     for event_id, announcement in observations:
         service.adopt_observation(announcement, event_id)
+    if getattr(service, "_follow_store", False):
+        # Pooled workers: everything replayed so far is covered; the
+        # cursor resumes from the newest row instead of refolding.
+        service.enable_store_following(store.last_observation_seq())
 
     snapshot = store.latest_stats()
     if snapshot is not None:

@@ -96,6 +96,11 @@ class SQLiteEventStore(EventStore):
             )
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
+            # N pooled gateway workers share one store file; without a
+            # busy timeout a writer that collides with another process's
+            # commit fails immediately with SQLITE_BUSY instead of
+            # waiting its turn.
+            self._conn.execute("PRAGMA busy_timeout=5000")
             self._conn.executescript(_SCHEMA)
             self._check_meta()
         except sqlite3.Error as exc:
@@ -209,6 +214,29 @@ class SQLiteEventStore(EventStore):
             for event_id, channel_id, coin_id, exchange_id, pair, when
             in rows
         ]
+
+    def observations_since(self, seq: int) -> list:
+        from repro.serving.online import Announcement
+
+        rows = self._execute(
+            "SELECT seq, event_id, channel_id, coin_id, exchange_id, pair, "
+            "time FROM observations WHERE seq > ? ORDER BY seq",
+            (int(seq),),
+        ).fetchall()
+        return [
+            (row_seq,
+             event_id,
+             Announcement(channel_id=channel_id, coin_id=coin_id,
+                          exchange_id=exchange_id, pair=pair, time=when))
+            for row_seq, event_id, channel_id, coin_id, exchange_id, pair,
+            when in rows
+        ]
+
+    def last_observation_seq(self) -> int:
+        row = self._execute(
+            "SELECT COALESCE(MAX(seq), 0) FROM observations"
+        ).fetchone()
+        return int(row[0])
 
     def _alert_window(self, *, channel_id=None, since=None, until=None,
                       limit=None) -> tuple[str, list]:

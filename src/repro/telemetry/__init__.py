@@ -24,6 +24,7 @@ identical with telemetry on (pinned by tests/gateway/test_telemetry.py).
 from repro.telemetry.exposition import (
     ExpositionError,
     Sample,
+    merge_expositions,
     parse_text,
     render_text,
 )
@@ -59,7 +60,8 @@ from repro.telemetry.tracing import (
 __all__ = [
     "DEFAULT_BUCKETS", "MetricError", "Counter", "Gauge", "Histogram",
     "MetricsRegistry", "default_registry", "set_default_registry",
-    "ExpositionError", "Sample", "parse_text", "render_text",
+    "ExpositionError", "Sample", "merge_expositions", "parse_text",
+    "render_text",
     "TRACE_HEADER", "DURATION_HEADER", "Span", "TraceStore",
     "current_span", "current_trace_id", "new_trace_id",
     "sanitize_trace_id", "span", "start_trace",

@@ -183,7 +183,91 @@ def parse_text(text: str) -> list[Sample]:
     return samples
 
 
+def _merge_family(sample_name: str, families: dict) -> str:
+    """The family a sample line belongs to (histogram suffixes fold in)."""
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            family = families.get(base)
+            if family is not None and family["type"] == "histogram":
+                return base
+    return sample_name
+
+
+def merge_expositions(documents: Iterable[str]) -> str:
+    """Merge several workers' expositions into one pool-level document.
+
+    Counters and histogram series (``_bucket``/``_sum``/``_count``) sum
+    across documents; gauges take the maximum (an uptime or an info flag
+    must not multiply by the worker count).  ``# HELP``/``# TYPE`` lines
+    and family order follow first appearance, so the merged document is
+    as strictly parseable as any single worker's.  Raises
+    :class:`ExpositionError` on any line no worker should have emitted.
+    """
+    families: dict[str, dict] = {}
+
+    def family(name: str) -> dict:
+        entry = families.get(name)
+        if entry is None:
+            entry = {"help": "", "type": "untyped", "samples": {}}
+            families[name] = entry
+        return entry
+
+    for document in documents:
+        for line_no, raw in enumerate(document.splitlines(), start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                name, _, help_text = line[len("# HELP "):].partition(" ")
+                entry = family(name)
+                entry["help"] = entry["help"] or help_text
+                continue
+            if line.startswith("# TYPE "):
+                name, _, kind = line[len("# TYPE "):].partition(" ")
+                entry = family(name)
+                if entry["type"] == "untyped":
+                    entry["type"] = kind.strip() or "untyped"
+                continue
+            if line.startswith("#"):
+                continue
+            match = _SAMPLE_LINE.match(line)
+            if match is None:
+                raise ExpositionError(
+                    f"line {line_no}: not a valid exposition sample: "
+                    f"{raw!r}"
+                )
+            labels_raw = match.group("labels")
+            labels = (_parse_labels(labels_raw, line_no)
+                      if labels_raw else ())
+            value = _parse_value(match.group("value"), line_no)
+            sample_name = match.group("name")
+            entry = family(_merge_family(sample_name, families))
+            samples = entry["samples"]
+            key = (sample_name, labels)
+            if key not in samples:
+                samples[key] = value
+            elif entry["type"] == "gauge":
+                samples[key] = max(samples[key], value)
+            else:
+                samples[key] += value
+
+    lines: list[str] = []
+    for name, entry in families.items():
+        lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {entry['type']}")
+        for (sample_name, labels), value in entry["samples"].items():
+            pairs = [f'{label}="{escape_label_value(text)}"'
+                     for label, text in labels]
+            labels_text = "{" + ",".join(pairs) + "}" if pairs else ""
+            lines.append(f"{sample_name}{labels_text} "
+                         f"{format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 __all__ = [
     "ExpositionError", "Sample", "escape_label_value", "format_value",
-    "parse_text", "render_text",
+    "merge_expositions", "parse_text", "render_text",
 ]
