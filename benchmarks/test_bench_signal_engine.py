@@ -1,0 +1,120 @@
+"""Signal-engine benchmarks: per-announcement latency and HR@k lift.
+
+Latency: one ``SignalEngine.feature_block`` call scores every candidate
+of an announcement through the full six-signal battery — all vectorized
+``(n_coins, 72)`` grid math, no per-coin Python loops.  The benchmark
+walks every test-split announcement of the session world and records the
+per-announcement cost.
+
+Lift: on the phase-aware synthetic benchmark (accumulation/ignition
+overlays, 150 events) a message+signal SNN must beat the message-only
+SNN at every k — the acceptance bar for the signal subsystem.  The
+measured table is persisted so README.md can cite a stable artefact.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks._reporting import machine_context, report
+from benchmarks.conftest import run_once
+from repro.core import (
+    TargetCoinPredictor,
+    Trainer,
+    evaluate_scores,
+    make_model,
+    predict_scores,
+    snn_config_for,
+)
+from repro.data import collect
+from repro.features import FeatureAssembler
+from repro.signals import SignalEngine, SignalRanker
+from repro.simulation import generate_phase_world
+from repro.sources import SyntheticWorldSource
+from repro.utils import ReproConfig
+
+#: The recorded lift configuration: tiny scale, enough events for a
+#: decisive test split (31 lists).
+LIFT_CONFIG = ReproConfig.tiny(seed=7).with_(n_events=150)
+LIFT_KS = (1, 3, 5, 10)
+
+
+def _test_lists(dataset):
+    lists = {}
+    for example in dataset.examples:
+        if example.split == "test":
+            lists.setdefault(example.list_id, []).append(example)
+    return [(rows[0].time, np.array([e.coin_id for e in rows]))
+            for rows in lists.values()]
+
+
+def test_signal_engine_latency(benchmark, world, collection):
+    engine = SignalEngine(world.market)
+    announcements = _test_lists(collection.dataset)
+    assert announcements
+
+    def score_all():
+        blocks = []
+        for announce_time, coins in announcements:
+            blocks.append(engine.feature_block(coins, announce_time))
+        return blocks
+
+    blocks = run_once(benchmark, score_all)
+    seconds = benchmark.stats.stats.mean
+    n_scores = sum(b.size for b in blocks)
+    per_announcement = seconds / len(announcements)
+    report(
+        "bench_signal_engine",
+        f"scored {len(announcements)} announcements "
+        f"({n_scores} signal values) in {seconds:.3f}s — "
+        f"{per_announcement * 1e3:.2f} ms/announcement, "
+        f"{n_scores / seconds:,.0f} signal values/s\n"
+        f"{machine_context()}",
+    )
+    # Vectorized battery must stay far inside the serving budget.
+    assert per_announcement < 0.25
+
+
+def test_signal_ranker_lift():
+    world = generate_phase_world(LIFT_CONFIG)
+    source = SyntheticWorldSource(world)
+    collection = collect(source)
+    dataset = collection.dataset
+
+    started = time.perf_counter()
+    heuristic = SignalRanker(source).evaluate(dataset)
+
+    def train_hr(signal_engine):
+        assembler = FeatureAssembler(source, dataset,
+                                     signal_engine=signal_engine)
+        assembled = assembler.assemble()
+        model = make_model("snn", snn_config_for(assembled), seed=0)
+        Trainer(epochs=8, seed=0).fit(model, assembled.train,
+                                      assembled.validation)
+        return evaluate_scores(assembled.test,
+                               predict_scores(model, assembled.test))
+
+    base = train_hr(None)
+    aware = train_hr(SignalEngine.from_source(source))
+    elapsed = time.perf_counter() - started
+
+    lines = [
+        "phase-aware synthetic benchmark "
+        f"(tiny seed={LIFT_CONFIG.seed}, {LIFT_CONFIG.n_events} events, "
+        "snn epochs=8 seed=0)",
+        f"{'k':>4} {'heuristic':>10} {'message-only':>13} "
+        f"{'message+signal':>15} {'lift':>7}",
+    ]
+    for k in LIFT_KS:
+        lines.append(
+            f"{k:>4} {heuristic[k]:>10.3f} {base[k]:>13.3f} "
+            f"{aware[k]:>15.3f} {aware[k] - base[k]:>+7.3f}"
+        )
+    lines.append(f"measured in {elapsed:.1f}s — {machine_context()}")
+    report("bench_signal_ranker_lift", "\n".join(lines))
+
+    for k in LIFT_KS:
+        assert aware[k] >= base[k], f"signal features lost HR@{k}"
+    assert aware[1] > base[1], "no HR@1 lift from signal features"

@@ -257,7 +257,13 @@ def cmd_train(args) -> int:
         # A file dump with gaps surfaces here (collection, assembly or
         # scaler fitting query the candle grid) — diagnostic, not traceback.
         dataset = collect(source).dataset
-        assembler = FeatureAssembler(source, dataset)
+        signal_engine = None
+        if getattr(args, "signals", False):
+            from repro.signals import SignalEngine
+
+            signal_engine = SignalEngine.from_source(source)
+        assembler = FeatureAssembler(source, dataset,
+                                     signal_engine=signal_engine)
         assembled = assembler.assemble()
     except SourceDataError as exc:
         return _fail("train", str(exc))
@@ -279,6 +285,8 @@ def cmd_train(args) -> int:
         provenance = {
             "model": args.model, "epochs": args.epochs, "seed": args.seed,
             "data_source": source.descriptor(),
+            "signal_channels": list(signal_engine.feature_names)
+            if signal_engine is not None else [],
             "hr": {str(k): round(v, 4) for k, v in hr.items()},
         }
         if source.kind == "synthetic":
@@ -968,6 +976,8 @@ def cmd_models(args) -> int:
                 ["n_coin_ids",
                  manifest["model"]["config"].get("n_coin_ids", "?")],
                 ["sequence_length", manifest["features"]["sequence_length"]],
+                ["signal_channels",
+                 ",".join(manifest["features"]["signal_channels"]) or "-"],
             ]
             provenance = manifest.get("provenance")
             if isinstance(provenance, dict):
@@ -1035,7 +1045,12 @@ def cmd_ingest(args) -> int:
                 if args.horizon < 1:
                     return _fail("ingest", "--horizon must be >= 1")
                 config = config.with_(horizon_hours=args.horizon)
-            world = SyntheticWorld.generate(config)
+            if args.phases:
+                from repro.simulation import generate_phase_world
+
+                world = generate_phase_world(config)
+            else:
+                world = SyntheticWorld.generate(config)
             source = export_synthetic_dump(
                 world, args.out, hours=args.hours, compress=args.compress,
             )
@@ -1089,6 +1104,94 @@ def cmd_forecast(args) -> int:
     return 0
 
 
+def cmd_signals(args) -> int:
+    from repro.data import collect
+    from repro.signals import SignalEngine, SignalError, SignalRanker
+    from repro.signals.scorer import DEFAULT_INTERACTIONS
+    from repro.sources import SourceDataError
+
+    source, error = _build_source(args, "signals")
+    if error is not None:
+        return error
+    try:
+        # A recorded dump with candle holes fails here, up front, with the
+        # uncovered window named — never with NaN scores downstream.
+        engine = SignalEngine.from_source(source)
+        collection = collect(source)
+        ranker = SignalRanker(source, engine=engine)
+        heuristic_hr = ranker.evaluate(collection.dataset)
+    except (SourceDataError, SignalError) as exc:
+        return _fail("signals", str(exc))
+
+    scorer = engine.scorer
+    print(format_table(
+        ["signal", "weight", "scale"],
+        [[s.name, scorer.weight_of(s.name), scorer.scale_of(s.name)]
+         for s in engine.signals],
+        title=f"signal battery ({source.fingerprint()})",
+    ))
+    print(format_table(
+        ["interaction", "threshold", "bonus"],
+        [[f"{i.first} & {i.second}", i.threshold, i.bonus]
+         for i in DEFAULT_INTERACTIONS],
+        title="composite interaction bonuses",
+    ))
+    print(format_table(
+        ["metric", "value"],
+        [[f"HR@{k}", f"{v:.3f}"] for k, v in heuristic_hr.items()],
+        title="heuristic SignalRanker on the test split",
+    ))
+
+    if not (args.lift or args.require_lift is not None):
+        return 0
+
+    # Head-to-head: the same ranker architecture trained message-only vs
+    # with the signal channels appended — the ISSUE's HR@k lift measure.
+    from repro.core import (
+        Trainer,
+        evaluate_scores,
+        make_model,
+        predict_scores,
+        snn_config_for,
+    )
+    from repro.features import FeatureAssembler
+
+    results: dict[str, dict[int, float]] = {}
+    for label, eng in (("message-only", None), ("message+signal", engine)):
+        assembler = FeatureAssembler(source, collection.dataset,
+                                     signal_engine=eng)
+        assembled = assembler.assemble()
+        model = make_model(args.model, snn_config_for(assembled),
+                           seed=args.seed)
+        Trainer(epochs=args.epochs, seed=args.seed).fit(
+            model, assembled.train, assembled.validation
+        )
+        results[label] = evaluate_scores(
+            assembled.test, predict_scores(model, assembled.test)
+        )
+    base, aware = results["message-only"], results["message+signal"]
+    print(format_table(
+        ["k", "message-only", "message+signal", "lift"],
+        [[k, f"{base[k]:.3f}", f"{aware[k]:.3f}", f"{aware[k] - base[k]:+.3f}"]
+         for k in base],
+        title=f"{args.model} trained with vs without signal channels",
+    ))
+    if args.require_lift is not None:
+        k = args.require_lift
+        if k not in base:
+            return _fail("signals",
+                         f"--require-lift {k}: no HR@{k} in {sorted(base)}")
+        if aware[k] < base[k]:
+            return _fail(
+                "signals",
+                f"HR@{k} regression: message+signal {aware[k]:.3f} < "
+                f"message-only {base[k]:.3f}",
+            )
+        print(f"lift check passed: HR@{k} message+signal {aware[k]:.3f} >= "
+              f"message-only {base[k]:.3f}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.lint import cli as lint_cli
 
@@ -1118,6 +1221,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "--scale/--seed) or 'file:<dump-dir>'")
     p_train.add_argument("--model", default="snn", choices=DEEP_MODEL_CHOICES)
     p_train.add_argument("--epochs", type=int, default=8)
+    p_train.add_argument("--signals", action="store_true",
+                         help="append the repro.signals microstructure "
+                              "channels to the numeric features (recorded "
+                              "in the artifact manifest)")
     p_train.add_argument("--save", default="",
                          help="directory to save a full servable artifact "
                               "(weights + scalers + vocab + provenance)")
@@ -1341,6 +1448,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_ingest.add_argument("--horizon", type=int, default=None,
                           help="override the synthetic world's horizon "
                                "hours (smaller = smaller dump)")
+    p_ingest.add_argument("--phases", action="store_true",
+                          help="attach accumulation/ignition phase overlays "
+                               "to the synthetic world before export (see "
+                               "repro.simulation.phases)")
     p_ingest.add_argument("--hours", choices=("needed", "all"),
                           default="needed",
                           help="candle hours to export: only those the "
@@ -1372,6 +1483,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_lint_arguments(p_lint)
     p_lint.set_defaults(fn=cmd_lint)
+
+    p_signals = sub.add_parser(
+        "signals",
+        help="market-microstructure signal battery: heuristic HR@k and "
+             "trained-ranker lift (repro.signals)",
+    )
+    _add_common(p_signals)
+    p_signals.add_argument("--source", default="synthetic+phases",
+                           metavar="SPEC",
+                           help="data backend: 'synthetic', "
+                                "'synthetic+phases' (default — pumps with "
+                                "accumulation/ignition anatomy) or "
+                                "'file:<dump-dir>'")
+    p_signals.add_argument("--model", default="snn",
+                           choices=DEEP_MODEL_CHOICES,
+                           help="ranker architecture for the --lift "
+                                "head-to-head")
+    p_signals.add_argument("--epochs", type=int, default=8)
+    p_signals.add_argument("--lift", action="store_true",
+                           help="also train message-only vs message+signal "
+                                "rankers and print the HR@k lift table")
+    p_signals.add_argument("--require-lift", type=int, default=None,
+                           metavar="K",
+                           help="exit non-zero unless the message+signal "
+                                "ranker's HR@K is >= the message-only "
+                                "baseline's (implies --lift)")
+    p_signals.set_defaults(fn=cmd_signals)
 
     p_forecast = sub.add_parser("forecast", help="run the §7 comparison")
     _add_common(p_forecast)

@@ -44,7 +44,7 @@ def snn_config_for(assembled: AssembledDataset, **overrides) -> SNNConfig:
 
 def train_predictor(source, collection=None, *,
                     model: str = "snn", epochs: int = 8,
-                    seed: int = 0) -> "TargetCoinPredictor":
+                    seed: int = 0, signals: bool = False) -> "TargetCoinPredictor":
     """The standard source → collect → assemble → train → predictor wiring.
 
     ``source`` is any :class:`repro.sources.DataSource` backend (or a bare
@@ -52,6 +52,11 @@ def train_predictor(source, collection=None, *,
     live-monitoring example and the serving tests/benchmarks, so the
     training contract lives in one place.  Pass an existing
     :class:`CollectionResult` to skip re-running the data pipeline.
+
+    ``signals=True`` appends the :mod:`repro.signals` microstructure
+    channels to the numeric features (recorded in provenance and in the
+    saved artifact's manifest, so registry loads rebuild the same
+    feature space).
     """
     import time
 
@@ -62,7 +67,15 @@ def train_predictor(source, collection=None, *,
     source = as_source(source)
     if collection is None:
         collection = collect(source)
-    assembler = FeatureAssembler(source, collection.dataset)
+    signal_engine = None
+    if signals:
+        # Lazy: the signals package sits above features/core in the layer
+        # graph, so only this orchestration entry point may reach down.
+        from repro.signals import SignalEngine
+
+        signal_engine = SignalEngine.from_source(source)
+    assembler = FeatureAssembler(source, collection.dataset,
+                                 signal_engine=signal_engine)
     assembled = assembler.assemble()
     ranker = make_model(model, snn_config_for(assembled), seed=seed)
     started = time.perf_counter()
@@ -78,6 +91,8 @@ def train_predictor(source, collection=None, *,
         "seed": seed,
         "world_seed": source.seed,
         "data_source": source.descriptor(),
+        "signal_channels": list(signal_engine.feature_names)
+        if signal_engine is not None else [],
         "train_seconds": round(time.perf_counter() - started, 3),
     }
     return predictor

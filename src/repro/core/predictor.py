@@ -214,12 +214,21 @@ class TargetCoinPredictor:
 
         Channel-independent, so a serving layer can memoize it per
         (exchange, time) and share it across concurrent announcements.
+        When the assembler carries a signal engine (see
+        :mod:`repro.signals`), its channels are appended here — which is
+        the single choke point that makes signal-aware features flow
+        through scaler fitting, offline assembly, and the serving
+        feature cache without any of those layers changing.
         """
         market = self.source.market
-        return np.concatenate([
+        parts = [
             coin_feature_matrix(market, coins, time),
             market_feature_matrix(market, coins, time),
-        ], axis=1)
+        ]
+        engine = self.assembler.signal_engine
+        if engine is not None:
+            parts.append(engine.feature_block(coins, time))
+        return np.concatenate(parts, axis=1)
 
     def _raw_numeric(self, channel_id: int, coins: np.ndarray, time: float,
                      block: np.ndarray | None = None) -> np.ndarray:

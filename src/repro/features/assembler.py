@@ -82,11 +82,20 @@ class FeatureAssembler:
 
     ``source`` is any :class:`repro.sources.DataSource` backend (or a bare
     synthetic world, coerced for backward compatibility).
+
+    ``signal_engine`` optionally appends market-microstructure signal
+    channels (squashed per-signal scores plus the composite; see
+    :mod:`repro.signals`) to every example's numeric block.  It is duck
+    typed — anything with ``feature_names`` and
+    ``feature_block(coins, time)`` works — so this module never imports
+    the signals package (which sits above the feature layer).
     """
 
-    def __init__(self, source, dataset: TargetCoinDataset):
+    def __init__(self, source, dataset: TargetCoinDataset,
+                 signal_engine=None):
         self.source = as_source(source)
         self.dataset = dataset
+        self.signal_engine = signal_engine
         self.sequence_length = self.source.sequence_length
         # Channel vocabulary: every channel appearing anywhere in the data.
         channel_ids = sorted({e.channel_id for e in dataset.examples})
@@ -98,13 +107,21 @@ class FeatureAssembler:
             self.source.market, dataset.history_before, self.sequence_length
         )
 
+    @property
+    def numeric_feature_names(self) -> tuple[str, ...]:
+        """Numeric column names, signal channels (if any) last."""
+        names = NUMERIC_FEATURE_NAMES
+        if self.signal_engine is not None:
+            names = names + tuple(self.signal_engine.feature_names)
+        return names
+
     # -- assembly -------------------------------------------------------------
 
     def assemble(self) -> AssembledDataset:
         examples = self.dataset.examples
         market = self.source.market
         n = len(examples)
-        n_numeric = len(NUMERIC_FEATURE_NAMES)
+        n_numeric = len(self.numeric_feature_names)
         channel_idx = np.zeros(n, dtype=np.int64)
         coin_idx = np.zeros(n, dtype=np.int64)
         numeric = np.zeros((n, n_numeric))
@@ -180,10 +197,11 @@ class FeatureAssembler:
         channel_feature = np.log(self.subscribers.get(channel_id, 1000) + 1.0)
         coin_features = coin_feature_matrix(market, coins, time)
         movement = market_feature_matrix(market, coins, time)
-        block = np.concatenate(
-            [np.full((len(rows), 1), channel_feature), coin_features, movement],
-            axis=1,
-        )
+        parts = [np.full((len(rows), 1), channel_feature), coin_features,
+                 movement]
+        if self.signal_engine is not None:
+            parts.append(self.signal_engine.feature_block(coins, time))
+        block = np.concatenate(parts, axis=1)
         sequence = self.sequence_cache.get(channel_id, time)
         channel_idx[rows] = self.channel_index[channel_id]
         coin_idx[rows] = coins

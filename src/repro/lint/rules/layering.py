@@ -34,7 +34,10 @@ SERVING_STACK = (
 )
 
 #: Additionally decoupled from SyntheticWorld by PR 4's refactor.
-PIPELINE_LAYERS = SERVING_STACK + ("repro.features", "repro.core")
+#: repro.signals computes against the MarketDataSource protocol, so it is
+#: held to the same bar: backend-agnostic, never importing the simulator.
+PIPELINE_LAYERS = SERVING_STACK + ("repro.features", "repro.core",
+                                   "repro.signals")
 
 #: (importer prefixes, forbidden target prefix) — any import, even lazy.
 FORBIDDEN_EDGES: tuple[tuple[tuple[str, ...], str], ...] = (

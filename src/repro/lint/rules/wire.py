@@ -19,6 +19,9 @@ Two contracts are easy to break without failing any unit test:
   counters end ``_total``, duration histograms end ``_seconds``, gauges
   must *not* end ``_total`` (a gauge that looks like a counter breaks
   rate() queries).  f-string names are checked by their literal suffix.
+  Subsystems with a reserved series prefix (``repro.signals`` →
+  ``signal_*``) must register every metric under it, so their dashboards
+  can scrape one namespace and other subsystems cannot squat on it.
 """
 
 from __future__ import annotations
@@ -36,6 +39,9 @@ _GATEWAY_PREFIX = "repro.gateway"
 _SNAKE = re.compile(r"^[a-z][a-z0-9_]*$")
 
 _METRIC_METHODS = ("counter", "gauge", "gauge_fn", "histogram")
+
+#: Subsystems whose metric series live under a reserved name prefix.
+_SERIES_PREFIXES = {"repro.signals": "signal_"}
 
 
 def _schema_registry(module: ModuleInfo) -> tuple[dict[str, str], set[str]]:
@@ -155,6 +161,18 @@ class WireContractRule:
                                 f"([a-z][a-z0-9_]*)",
                     )
                     continue
+                if full is not None:
+                    for owner, prefix in _SERIES_PREFIXES.items():
+                        if (module.name == owner
+                                or module.name.startswith(owner + ".")) \
+                                and not full.startswith(prefix):
+                            yield Finding(
+                                path=module.relpath, line=node.lineno,
+                                rule="WIRE002",
+                                message=f"metric {full!r} registered in "
+                                        f"{owner} must use the reserved "
+                                        f"series prefix {prefix!r}",
+                            )
                 checked = full if full is not None else suffix or ""
                 if kind == "counter" and not checked.endswith("_total"):
                     yield Finding(

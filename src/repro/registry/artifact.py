@@ -65,7 +65,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.predictor import TargetCoinPredictor
     from repro.data.dataset import TargetCoinDataset
 
-SCHEMA_VERSION = 1
+# v2: the manifest's ``features`` section records ``signal_channels`` —
+# the microstructure signal columns (see repro.signals) appended to the
+# numeric block, empty for message-only models.  A v1 artifact cannot
+# express whether its scalers were fitted over signal columns, so it is
+# not silently loadable.
+SCHEMA_VERSION = 2
 ARTIFACT_KIND = "repro/predictor-artifact"
 
 MANIFEST_NAME = "manifest.json"
@@ -227,6 +232,7 @@ class PredictorArtifact:
     channel_index: dict[int, int]
     subscribers: dict[int, int]
     sequence_length: int
+    signal_channels: tuple[str, ...] = ()
     provenance: dict = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -249,6 +255,9 @@ class PredictorArtifact:
             channel_index=dict(predictor._channel_index),
             subscribers=dict(predictor._subscribers),
             sequence_length=predictor.assembler.sequence_length,
+            signal_channels=tuple(
+                predictor.assembler.signal_engine.feature_names
+            ) if predictor.assembler.signal_engine is not None else (),
             provenance=merged,
         )
 
@@ -327,6 +336,7 @@ class PredictorArtifact:
                                   for k, v in self.channel_index.items()},
                 "subscribers": {str(k): int(v)
                                 for k, v in self.subscribers.items()},
+                "signal_channels": [str(s) for s in self.signal_channels],
             },
             "provenance": self.provenance,
             "files": {
@@ -404,6 +414,9 @@ class PredictorArtifact:
                 subscribers={int(k): int(v)
                              for k, v in features["subscribers"].items()},
                 sequence_length=int(features["sequence_length"]),
+                signal_channels=tuple(
+                    str(s) for s in features["signal_channels"]
+                ),
                 provenance=dict(manifest.get("provenance", {})),
                 schema_version=int(manifest["schema_version"]),
             )
@@ -455,7 +468,25 @@ class PredictorArtifact:
         from repro.core.predictor import TargetCoinPredictor
         from repro.features.assembler import FeatureAssembler
 
-        assembler = FeatureAssembler(source, dataset)
+        signal_engine = None
+        if self.signal_channels:
+            # Lazy: repro.signals sits above the serving stack in the
+            # layer graph; only artifact rebinding reaches down into it.
+            from repro.signals import SignalEngine
+
+            signal_engine = SignalEngine.from_source(source)
+            if tuple(signal_engine.feature_names) != \
+                    tuple(self.signal_channels):
+                raise ArtifactError(
+                    "artifact/library signal drift: the artifact was "
+                    f"trained with signal channels {list(self.signal_channels)} "
+                    f"but this library's engine computes "
+                    f"{list(signal_engine.feature_names)}; the scalers "
+                    "would be applied to the wrong columns — regenerate "
+                    "the artifact"
+                )
+        assembler = FeatureAssembler(source, dataset,
+                                     signal_engine=signal_engine)
         if assembler.channel_index != self.channel_index:
             raise ArtifactError(
                 "artifact/source vocabulary drift: the dataset's channel "
@@ -500,6 +531,7 @@ class PredictorArtifact:
             "n_channels": len(self.channel_index),
             "n_coin_ids": self.config.n_coin_ids,
             "sequence_length": self.sequence_length,
+            "signal_channels": list(self.signal_channels),
         }
         for key, value in sorted(self.provenance.items()):
             out[f"provenance.{key}"] = value
@@ -547,7 +579,8 @@ def read_manifest(path: str | Path) -> dict:
     problems = []
     for section, keys in (("model", ("name", "config", "n_parameters")),
                           ("features", ("sequence_length", "n_channels",
-                                        "channel_index", "subscribers"))):
+                                        "channel_index", "subscribers",
+                                        "signal_channels"))):
         body = manifest.get(section)
         if not isinstance(body, dict):
             problems.append(f"section {section!r}")

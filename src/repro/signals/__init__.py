@@ -1,0 +1,71 @@
+"""repro.signals — market-microstructure signals over the data plane.
+
+A pluggable signal stage over :mod:`repro.sources` candle/volume data
+(ROADMAP item 3).  Three consumers:
+
+* **signal-aware features** — :meth:`SignalEngine.feature_block` columns
+  appended to the FeatureAssembler numerics (``repro train --signals``),
+  carried through registry artifacts and the serving gateway unchanged;
+* **heuristic baseline** — :class:`SignalRanker` ranks candidates by
+  composite score alone, comparable against trained rankers;
+* **ad-hoc inspection** — the ``repro signals`` CLI.
+
+Scores are deterministic and bit-for-bit identical across source
+backends: all window math reads integer-hour candles only (see
+:mod:`repro.signals.base`).
+"""
+
+from repro.signals.base import (
+    EPS,
+    SIGNAL_LOOKBACK_HOURS,
+    Signal,
+    SignalError,
+    anchor_hour,
+    lookback_hours,
+    signal_grids,
+)
+from repro.signals.engine import COMPOSITE_FEATURE, SignalEngine
+from repro.signals.library import (
+    SIGNAL_NAMES,
+    MomentumDivergence,
+    PriceRunup,
+    TurnoverImbalance,
+    VolatilityCompression,
+    VolumePriceDecoupling,
+    VolumeSurge,
+    default_signals,
+)
+from repro.signals.ranker import SignalRanker
+from repro.signals.scorer import (
+    DEFAULT_INTERACTIONS,
+    DEFAULT_SCALES,
+    DEFAULT_WEIGHTS,
+    CompositeScorer,
+    Interaction,
+)
+
+__all__ = [
+    "COMPOSITE_FEATURE",
+    "CompositeScorer",
+    "DEFAULT_INTERACTIONS",
+    "DEFAULT_SCALES",
+    "DEFAULT_WEIGHTS",
+    "EPS",
+    "Interaction",
+    "MomentumDivergence",
+    "PriceRunup",
+    "SIGNAL_LOOKBACK_HOURS",
+    "SIGNAL_NAMES",
+    "Signal",
+    "SignalEngine",
+    "SignalError",
+    "SignalRanker",
+    "TurnoverImbalance",
+    "VolatilityCompression",
+    "VolumePriceDecoupling",
+    "VolumeSurge",
+    "anchor_hour",
+    "default_signals",
+    "lookback_hours",
+    "signal_grids",
+]

@@ -1,0 +1,105 @@
+"""Signal plumbing: the grid contract and the ``Signal`` protocol.
+
+Every signal consumes the same two arrays — per-coin hourly **log-close**
+and **volume** grids covering the :data:`SIGNAL_LOOKBACK_HOURS` hours
+strictly before an announcement — and returns one raw score per coin.
+
+The grid is anchored on *integer* hours (``anchor = floor(t) - 1``, the
+last fully closed candle before the announcement) because that is the
+resolution both source backends agree on bit-for-bit: synthetic dumps
+record candles at integer hours and :class:`repro.sources.FileMarketData`
+floors lookups to the recorded hour, so querying only integer hours makes
+signal scores identical across a :class:`SyntheticWorldSource` and its
+exported dump (pinned by tests/signals/test_engine.py).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+#: Hours of hourly candles every signal window fits inside.  Matches the
+#: stable-feature lead (repro.features.coin.STABLE_LEAD_HOURS) and stays
+#: under the ingest margin (repro.sources.ingest.NEEDED_HOURS_MARGIN), so
+#: any dump that supports the paper features also supports signals.
+SIGNAL_LOOKBACK_HOURS = 72
+
+#: Guard against divide-by-zero on dead markets; small enough to never
+#: move a score on live ones.
+EPS = 1e-9
+
+#: Canonical log-close precision for signal inputs.  A recorded dump
+#: stores ``close = exp(log_close)`` as text and the file backend takes
+#: ``log`` again, so the reread value differs from the simulator's by a
+#: ulp (``log(exp(x)) != x``).  Rounding the grid to nanolog precision
+#: absorbs that roundtrip, making scores bit-for-bit identical across
+#: backends without losing any market structure (hourly moves are
+#: ~1e-2 .. 1e-1 in log space).
+LOG_CLOSE_DECIMALS = 9
+
+
+class SignalError(ValueError):
+    """A signal could not be computed (bad window, malformed grid)."""
+
+
+@runtime_checkable
+class Signal(Protocol):
+    """One market-microstructure signal over the pre-announcement window.
+
+    ``compute`` receives ``(n_coins, SIGNAL_LOOKBACK_HOURS)`` log-close and
+    volume grids (column ``-1`` is the anchor hour) and returns a raw
+    ``(n_coins,)`` float64 score, higher = more pump-like.  Implementations
+    must be pure array math — no RNG, no wall clock, no per-coin loops —
+    so scores are deterministic and cheap at serving time.
+    """
+
+    name: str
+
+    def compute(self, log_close: np.ndarray,
+                volume: np.ndarray) -> np.ndarray: ...
+
+
+def anchor_hour(time: float) -> int:
+    """Last fully closed integer hour strictly before ``time``."""
+    return int(np.floor(time)) - 1
+
+
+def lookback_hours(time: float) -> np.ndarray:
+    """The integer hour grid a signal evaluation at ``time`` reads."""
+    anchor = anchor_hour(time)
+    return np.arange(anchor - SIGNAL_LOOKBACK_HOURS + 1, anchor + 1,
+                     dtype=np.int64)
+
+
+def signal_grids(market, coins: np.ndarray,
+                 time: float) -> tuple[np.ndarray, np.ndarray]:
+    """Fetch the ``(n_coins, 72)`` log-close and volume grids for ``time``.
+
+    Queries the market oracle only at integer hours (see module docstring)
+    and validates the result: a grid with NaNs would silently poison every
+    downstream score, so it fails loudly instead.
+    """
+    coins = np.asarray(coins, dtype=np.int64)
+    hours = lookback_hours(time).astype(np.float64)
+    log_close = np.round(np.asarray(
+        market.log_close(coins[:, None], hours[None, :]), dtype=np.float64
+    ), LOG_CLOSE_DECIMALS)
+    volume = np.asarray(
+        market.hourly_volume(coins[:, None], hours[None, :]), dtype=np.float64
+    )
+    shape = (len(coins), SIGNAL_LOOKBACK_HOURS)
+    if log_close.shape != shape or volume.shape != shape:
+        raise SignalError(
+            f"market returned grids {log_close.shape}/{volume.shape}, "
+            f"expected {shape}"
+        )
+    bad = ~(np.isfinite(log_close) & np.isfinite(volume))
+    if bad.any():
+        coin_rows = np.unique(coins[np.nonzero(bad)[0]])[:4]
+        raise SignalError(
+            f"non-finite candles in signal window "
+            f"[{int(hours[0])}, {int(hours[-1])}] for coins "
+            f"{coin_rows.tolist()} at t={time:.2f}"
+        )
+    return log_close, volume

@@ -1,0 +1,125 @@
+"""SignalEngine — per-coin, per-time signal scores over any market source.
+
+The engine owns a battery of :class:`Signal` implementations and a
+:class:`CompositeScorer`.  One :meth:`evaluate` call fetches the shared
+candle grids once (see :func:`repro.signals.base.signal_grids`) and runs
+every signal over them — vectorized across coins, no per-coin Python.
+
+``feature_block`` is the FeatureAssembler/predictor hook: squashed
+per-signal channels plus the composite, as extra numeric feature columns.
+Evaluations are counted and timed in the process-wide telemetry registry
+(``signal_evaluations_total`` / ``signal_compute_seconds``).
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+import numpy as np
+
+from repro.signals.base import SignalError, signal_grids
+from repro.signals.library import default_signals
+from repro.signals.scorer import CompositeScorer
+from repro.telemetry import default_registry
+
+#: Suffix column appended after the per-signal channels in feature blocks.
+COMPOSITE_FEATURE = "signal_composite"
+
+
+def _record_evaluation(started: float, coins: int, signals: int) -> None:
+    """Count one engine evaluation in the process-wide registry.
+
+    Instruments are (re-)resolved per call — registration is idempotent
+    and this keeps working when tests swap the default registry.
+    """
+    registry = default_registry()
+    registry.counter(
+        "signal_evaluations_total",
+        "SignalEngine evaluations (one per announcement scored).",
+    ).inc()
+    registry.counter(
+        "signal_coin_scores_total",
+        "Per-coin signal score rows computed across all evaluations.",
+    ).inc(coins * signals)
+    registry.histogram(
+        "signal_compute_seconds",
+        "Wall time of one SignalEngine evaluation.",
+    ).observe(_time.perf_counter() - started)
+
+
+class SignalEngine:
+    """Compute signal scores for candidate coins at an announcement time.
+
+    Parameters
+    ----------
+    market:
+        Any market oracle exposing broadcastable ``log_close`` /
+        ``hourly_volume`` (both source backends qualify).
+    signals:
+        The signal battery; defaults to the standard six
+        (:func:`repro.signals.library.default_signals`).
+    scorer:
+        Composite scorer; defaults to :class:`CompositeScorer` over the
+        battery's names with library weights/interactions.
+    """
+
+    def __init__(self, market, signals=None, scorer=None):
+        self.market = market
+        self.signals = tuple(signals) if signals is not None \
+            else default_signals()
+        if not self.signals:
+            raise SignalError("signal battery must not be empty")
+        self.signal_names = tuple(s.name for s in self.signals)
+        if len(set(self.signal_names)) != len(self.signal_names):
+            raise SignalError("signal names must be unique")
+        self.scorer = scorer or CompositeScorer(self.signal_names)
+
+    @classmethod
+    def from_source(cls, source, signals=None,
+                    scorer=None) -> "SignalEngine":
+        """Build over a :class:`repro.sources.DataSource` backend.
+
+        File-backed sources validate candle coverage for the signal
+        lookback windows up front (see
+        :meth:`repro.sources.FileDatasetSource.validate_signal_coverage`),
+        so a dump with holes fails at construction with the uncovered
+        window named — never with NaN scores at serve time.
+        """
+        validate = getattr(source, "validate_signal_coverage", None)
+        if validate is not None:
+            validate()
+        return cls(source.market, signals=signals, scorer=scorer)
+
+    @property
+    def feature_names(self) -> tuple:
+        """Column names of :meth:`feature_block`."""
+        return tuple(f"signal_{name}" for name in self.signal_names) \
+            + (COMPOSITE_FEATURE,)
+
+    def evaluate(self, coins: np.ndarray, time: float) -> np.ndarray:
+        """Raw per-signal scores, ``(n_coins, n_signals)``."""
+        started = _time.perf_counter()
+        coins = np.asarray(coins, dtype=np.int64)
+        log_close, volume = signal_grids(self.market, coins, time)
+        raw = np.empty((len(coins), len(self.signals)))
+        for column, signal in enumerate(self.signals):
+            raw[:, column] = signal.compute(log_close, volume)
+        _record_evaluation(started, len(coins), len(self.signals))
+        return raw
+
+    def composite(self, coins: np.ndarray, time: float) -> np.ndarray:
+        """Composite scores, ``(n_coins,)`` — the heuristic ranking key."""
+        return self.scorer.composite(self.evaluate(coins, time))
+
+    def feature_block(self, coins: np.ndarray, time: float) -> np.ndarray:
+        """Signal feature columns: squashed signals + composite.
+
+        ``(n_coins, n_signals + 1)``, aligned with :attr:`feature_names`.
+        Squashed (not raw) channels keep the columns on a bounded scale so
+        train-split standardization stays well-conditioned.
+        """
+        raw = self.evaluate(coins, time)
+        squashed = self.scorer.squash(raw)
+        return np.concatenate(
+            [squashed, self.scorer.composite(raw)[:, None]], axis=1
+        )

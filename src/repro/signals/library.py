@@ -1,0 +1,152 @@
+"""The built-in signal library (~6 pre-pump microstructure signals).
+
+Each signal is a frozen dataclass implementing the :class:`Signal`
+protocol with pure vectorized window math over the shared
+``(n_coins, 72)`` grids.  Raw scores are unbounded; the
+:class:`~repro.signals.scorer.CompositeScorer` squashes and weighs them.
+
+The set follows the pre-pump patterns of the real-time detection
+literature (ROADMAP item 3): accumulation-phase run-up and turnover
+imbalance, ignition-phase volume surge, volume-price decoupling and
+volatility compression, plus cross-window momentum divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.signals.base import EPS
+
+
+def _mean(grid: np.ndarray, hours: int) -> np.ndarray:
+    """Mean of the trailing ``hours`` columns (whole grid when 0)."""
+    window = grid if hours == 0 else grid[:, -hours:]
+    return window.mean(axis=1)
+
+
+def _returns(log_close: np.ndarray) -> np.ndarray:
+    """Hourly log returns, ``(n_coins, 71)``."""
+    return np.diff(log_close, axis=1)
+
+
+@dataclass(frozen=True)
+class VolumeSurge:
+    """Recent volume elevated against the coin's own 72 h norm.
+
+    ``log((mean vol over last `recent` h) / (mean vol over 72 h))`` — the
+    ignition tell: pumps announce themselves with turnover before price.
+    """
+
+    name: str = "volume_surge"
+    recent_hours: int = 6
+
+    def compute(self, log_close, volume):
+        return np.log(
+            (_mean(volume, self.recent_hours) + EPS) / (_mean(volume, 0) + EPS)
+        )
+
+
+@dataclass(frozen=True)
+class VolumePriceDecoupling:
+    """Volume elevation *not* explained by a price move.
+
+    Volume-surge minus ``price_scale`` × |log-price change| over the same
+    recent window: organic rallies move price with volume, accumulation
+    and wash-trading move volume while price is pinned.
+    """
+
+    name: str = "volume_price_decoupling"
+    recent_hours: int = 6
+    price_scale: float = 12.0
+
+    def compute(self, log_close, volume):
+        surge = np.log(
+            (_mean(volume, self.recent_hours) + EPS) / (_mean(volume, 0) + EPS)
+        )
+        move = np.abs(log_close[:, -1] - log_close[:, -self.recent_hours - 1])
+        return surge - self.price_scale * move
+
+@dataclass(frozen=True)
+class VolatilityCompression:
+    """Recent return volatility compressed below the 72 h baseline.
+
+    ``log(std(returns over 72 h) / std(returns over last `recent` h))`` —
+    positive when the book has gone quiet (the pre-ignition squeeze).
+    """
+
+    name: str = "volatility_compression"
+    recent_hours: int = 12
+
+    def compute(self, log_close, volume):
+        returns = _returns(log_close)
+        recent = returns[:, -self.recent_hours:].std(axis=1)
+        baseline = returns.std(axis=1)
+        return np.log((baseline + EPS) / (recent + EPS))
+
+
+@dataclass(frozen=True)
+class PriceRunup:
+    """Slow pre-pump accumulation: log-price drift over the long window."""
+
+    name: str = "price_runup"
+    window_hours: int = 60
+
+    def compute(self, log_close, volume):
+        return log_close[:, -1] - log_close[:, -self.window_hours - 1]
+
+
+@dataclass(frozen=True)
+class TurnoverImbalance:
+    """Buy-side turnover dominance over the last day.
+
+    Net signed volume share: volume traded in up-hours minus down-hours,
+    normalized by total — a depth/turnover imbalance proxy on hourly
+    candles (accumulation buys the book lopsided long before ignition).
+    """
+
+    name: str = "turnover_imbalance"
+    window_hours: int = 24
+
+    def compute(self, log_close, volume):
+        returns = _returns(log_close)[:, -self.window_hours:]
+        recent_volume = volume[:, -self.window_hours:]
+        signed = np.where(returns > 0.0, recent_volume, -recent_volume)
+        return signed.sum(axis=1) / (recent_volume.sum(axis=1) + EPS)
+
+
+@dataclass(frozen=True)
+class MomentumDivergence:
+    """Short-horizon momentum pulling away from the long-horizon trend.
+
+    Per-hour momentum over the short window minus per-hour momentum over
+    the long window: flat coins that suddenly start climbing score high,
+    coins merely continuing an old trend do not.
+    """
+
+    name: str = "momentum_divergence"
+    short_hours: int = 6
+    long_hours: int = 48
+
+    def compute(self, log_close, volume):
+        short = (log_close[:, -1] - log_close[:, -self.short_hours - 1]) \
+            / self.short_hours
+        long = (log_close[:, -1] - log_close[:, -self.long_hours - 1]) \
+            / self.long_hours
+        return short - long
+
+
+def default_signals() -> tuple:
+    """The standard six-signal battery, in canonical order."""
+    return (
+        VolumeSurge(),
+        VolumePriceDecoupling(),
+        VolatilityCompression(),
+        PriceRunup(),
+        TurnoverImbalance(),
+        MomentumDivergence(),
+    )
+
+
+SIGNAL_NAMES = tuple(s.name for s in default_signals())

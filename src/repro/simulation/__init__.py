@@ -20,9 +20,17 @@ from repro.simulation.messages import (
     Message,
     MessageGenerator,
 )
+from repro.simulation.phases import (
+    PhaseProfile,
+    generate_phase_world,
+    phase_profiles_for,
+)
 from repro.simulation.world import SyntheticWorld
 
 __all__ = [
+    "PhaseProfile",
+    "generate_phase_world",
+    "phase_profiles_for",
     "CoinUniverse",
     "EXCHANGE_NAMES",
     "PAIR_SYMBOLS",

@@ -196,6 +196,10 @@ class MarketSimulator:
         self._volume_sigma = rng.uniform(0.4, 0.8, n)
         self._profiles: dict[int, list[PumpProfile]] = {}
         self._overlay_index: _OverlayIndex | None = None
+        # Accumulation/ignition phase overlays (repro.simulation.phases);
+        # None for every world that never calls attach_phases, keeping the
+        # base simulation bit-for-bit unchanged.
+        self._phases = None
 
     # -- event registration -----------------------------------------------------
 
@@ -204,6 +208,22 @@ class MarketSimulator:
         for event in events:
             self._profiles.setdefault(int(event.coin_id), []).append(event.profile)
         self._overlay_index = None  # flattened table rebuilt lazily
+
+    def attach_phases(self, profiles: Iterable) -> None:
+        """Register accumulation/ignition phase profiles.
+
+        ``profiles`` are :class:`repro.simulation.phases.PhaseProfile`
+        rows; the import is lazy so the (phases → market) module edge
+        stays acyclic at import time.
+        """
+        from repro.simulation.phases import PhaseIndex
+
+        self._phases = PhaseIndex(self.universe.n_coins, profiles)
+
+    @property
+    def has_phases(self) -> bool:
+        """True when phase overlays are attached (phase-aware worlds)."""
+        return self._phases is not None
 
     def _overlays(self) -> _OverlayIndex:
         if self._overlay_index is None:
@@ -324,6 +344,12 @@ class MarketSimulator:
             self._add_price_overlay(flat_out, coin_ids.reshape(-1),
                                     hours.reshape(-1))
             out = flat_out.reshape(out.shape)
+        if self._phases is not None:
+            flat_out = np.ascontiguousarray(out).reshape(-1)
+            self._phases.add_price_overlay(self, flat_out,
+                                           coin_ids.reshape(-1),
+                                           hours.reshape(-1))
+            out = flat_out.reshape(out.shape)
         return out
 
     def close_price(self, coin_ids, hours) -> np.ndarray:
@@ -390,6 +416,12 @@ class MarketSimulator:
             flat = np.ascontiguousarray(log_volume).reshape(-1)
             self._add_volume_overlay(flat, coin_ids.reshape(-1),
                                      hours.reshape(-1))
+            log_volume = flat.reshape(log_volume.shape)
+        if self._phases is not None:
+            flat = np.ascontiguousarray(log_volume).reshape(-1)
+            self._phases.add_volume_overlay(self, flat,
+                                            coin_ids.reshape(-1),
+                                            hours.reshape(-1))
             log_volume = flat.reshape(log_volume.shape)
         return np.exp(log_volume)
 

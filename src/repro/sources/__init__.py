@@ -33,20 +33,28 @@ def parse_source_spec(spec: str, *, config=None) -> DataSource:
     """Resolve a ``--source`` specifier into a backend.
 
     ``synthetic`` generates a world from ``config`` (defaulting to the
-    small scale); ``file:<dir>`` loads a recorded dump.
+    small scale); ``synthetic+phases`` additionally attaches the
+    accumulation/ignition phase overlays (see
+    :mod:`repro.simulation.phases`); ``file:<dir>`` loads a recorded
+    dump.
     """
     spec = (spec or "synthetic").strip()
     if spec == "synthetic":
         from repro.simulation.world import SyntheticWorld
 
         return SyntheticWorldSource(SyntheticWorld.generate(config))
+    if spec == "synthetic+phases":
+        from repro.simulation.phases import generate_phase_world
+
+        return SyntheticWorldSource(generate_phase_world(config))
     if spec.startswith("file:"):
         path = spec[len("file:"):]
         if not path:
             raise SourceDataError("--source file: needs a dump directory path")
         return FileDatasetSource(path)
     raise SourceDataError(
-        f"unknown source spec {spec!r}; expected 'synthetic' or 'file:<dir>'"
+        f"unknown source spec {spec!r}; expected 'synthetic', "
+        f"'synthetic+phases' or 'file:<dir>'"
     )
 
 

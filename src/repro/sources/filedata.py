@@ -374,6 +374,48 @@ class FileMarketData:
             )
         return values.reshape(coin_ids.shape)
 
+    def require_window(self, coin_ids: np.ndarray, window_hours: np.ndarray,
+                       context: str) -> None:
+        """Assert every (coin, hour) cell of a window is recorded.
+
+        Raises :class:`SourceDataError` naming the uncovered window —
+        the up-front form of the per-query diagnostic in :meth:`_lookup`,
+        used to reject dumps that cannot support signal lookbacks before
+        any score is computed.
+        """
+        coin_ids = np.asarray(coin_ids, dtype=np.int64)
+        window_hours = np.asarray(window_hours, dtype=np.int64)
+        lo, hi = int(window_hours[0]), int(window_hours[-1])
+        columns = np.searchsorted(self._hours, window_hours)
+        in_range = columns < len(self._hours)
+        matched = np.zeros(len(window_hours), dtype=bool)
+        matched[in_range] = \
+            self._hours[columns[in_range]] == window_hours[in_range]
+        if not matched.all():
+            missing = window_hours[~matched]
+            rec_lo, rec_hi = self.hour_range
+            raise SourceDataError(
+                f"{self._path}: {context} window [{lo}, {hi}] is not "
+                f"covered: {len(missing)} hour(s) unrecorded (first: hour "
+                f"{int(missing[0])}); the dump covers hours "
+                f"[{rec_lo}, {rec_hi}] — re-ingest with wider coverage"
+            )
+        cells = self._log_close[np.ix_(coin_ids, columns)]
+        gaps = np.isnan(cells) | np.isnan(self._volume[np.ix_(coin_ids,
+                                                              columns)])
+        if gaps.any():
+            row, col = np.nonzero(gaps)
+            examples = ", ".join(
+                f"({self.universe.symbols[coin_ids[r]]}, hour "
+                f"{int(window_hours[c])})"
+                for r, c in list(zip(row, col))[:4]
+            )
+            raise SourceDataError(
+                f"{self._path}: {context} window [{lo}, {hi}] has "
+                f"{int(gaps.sum())} uncovered (coin, hour) cell(s), e.g. "
+                f"{examples} — re-ingest with wider coverage"
+            )
+
     # -- MarketDataSource protocol -------------------------------------------
 
     def log_close(self, coin_ids, hours) -> np.ndarray:
@@ -586,6 +628,64 @@ class FileDatasetSource(DataSource):
 
     def messages(self) -> Sequence[Message]:
         return self._messages
+
+    def validate_signal_coverage(self, times: Sequence[float] | None = None,
+                                 lookback_hours: int | None = None) -> int:
+        """Check candle coverage for every signal lookback window up front.
+
+        Signals are only ever evaluated at announcement times — the
+        detected release messages with a parseable symbol (the same set
+        ``repro ingest`` budgets candle coverage for).  For each such
+        time the ``lookback_hours`` integer hours ending at
+        ``floor(t) - 1`` must be recorded for every listed tradable
+        coin.  Raises :class:`SourceDataError` naming the first
+        uncovered window, so a dump with holes fails at
+        :class:`~repro.signals.SignalEngine` construction instead of
+        producing NaN scores mid-serve.
+
+        Returns the number of distinct anchor windows checked.
+        """
+        from repro.markets import PAIR_SYMBOLS
+
+        if lookback_hours is None:
+            from repro.signals.base import SIGNAL_LOOKBACK_HOURS
+
+            lookback_hours = SIGNAL_LOOKBACK_HOURS
+        if times is None:
+            # Mirror ingest's coverage budget (`_needed_hours`): re-run the
+            # §3 pipeline and take sample times plus detected release
+            # messages with a resolvable symbol.
+            from repro.data.pipeline import collect
+            from repro.data.sessions import parse_release_symbol
+
+            collection = collect(self)
+            symbol_map = self.coins.symbol_to_id()
+            needed = {s.time for s in collection.samples}
+            needed |= {
+                m.time for m in collection.detection.detected
+                if parse_release_symbol(m.text, symbol_map) is not None
+            }
+            times = sorted(needed)
+        listing = self.coins.listing_hour
+        checked: set[int] = set()
+        for time in sorted({float(t) for t in times}):
+            anchor = int(np.floor(time)) - 1
+            if anchor in checked:
+                continue
+            checked.add(anchor)
+            window = np.arange(anchor - lookback_hours + 1, anchor + 1,
+                               dtype=np.int64)
+            listed = np.flatnonzero(
+                ((listing >= 0) & (listing <= time)).any(axis=0)
+            )
+            listed = listed[listed >= len(PAIR_SYMBOLS)]
+            if len(listed) == 0:
+                continue
+            self.market.require_window(
+                listed, window,
+                f"signal lookback (announcement at t={time:.2f})",
+            )
+        return len(checked)
 
     def fingerprint(self) -> str:
         if self._fingerprint is None:

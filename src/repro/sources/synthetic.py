@@ -49,11 +49,18 @@ class SyntheticWorldSource(DataSource):
         return self.world.messages
 
     def fingerprint(self) -> str:
-        """Worlds are pure functions of their config — hash the knobs."""
+        """Worlds are pure functions of their config — hash the knobs.
+
+        Phase-aware worlds (accumulation/ignition overlays attached, see
+        :mod:`repro.simulation.phases`) produce different candles from
+        the same config, so they fingerprint distinctly.
+        """
         config = self.world.config
+        phases = ",phases=1" if self.market.has_phases else ""
         return (
             f"synthetic:seed={config.seed},coins={config.n_coins},"
             f"events={config.n_events},horizon={config.horizon_hours}"
+            f"{phases}"
         )
 
     def descriptor(self) -> dict:
@@ -65,6 +72,7 @@ class SyntheticWorldSource(DataSource):
             "n_coins": config.n_coins,
             "n_events": config.n_events,
             "horizon_hours": config.horizon_hours,
+            "phases": bool(self.market.has_phases),
         }
 
     def repro_config(self):

@@ -1,0 +1,6 @@
+"""Fixture: a repro.signals module squatting outside its series prefix."""
+
+
+def instrument(metrics):
+    metrics.counter("evaluations_total")
+    metrics.histogram("signal_compute_seconds")

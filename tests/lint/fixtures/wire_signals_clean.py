@@ -1,0 +1,7 @@
+"""Fixture: conforming repro.signals metrics — all under signal_*."""
+
+
+def instrument(metrics):
+    metrics.counter("signal_evaluations_total")
+    metrics.histogram("signal_compute_seconds")
+    metrics.gauge("signal_batteries")

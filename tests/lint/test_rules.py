@@ -175,6 +175,29 @@ def test_wire002_fires_on_nonconforming_metric_names(make_tree):
     ]
 
 
+def test_wire002_enforces_signal_series_prefix(make_tree):
+    # repro.signals owns the signal_* namespace: an off-prefix metric in
+    # the subsystem fires even though its suffix conventions are fine.
+    root = make_tree({"repro/signals/metrics.py": "wire_signals_bad.py"})
+    report = run_lint(root, rule_ids_filter=["WIRE002"])
+    assert hits(report) == [("WIRE002", "repro/signals/metrics.py", 5)]
+    assert "signal_" in report.findings[0].message
+
+
+def test_wire002_silent_on_prefixed_signal_metrics(make_tree):
+    root = make_tree({"repro/signals/metrics.py": "wire_signals_clean.py"})
+    report = run_lint(root, rule_ids_filter=["WIRE002"])
+    assert report.findings == []
+
+
+def test_wire002_prefix_not_enforced_outside_the_owner(make_tree):
+    # The same off-prefix metric elsewhere is fine — the reservation only
+    # binds the owning subsystem.
+    root = make_tree({"repro/serving/metrics.py": "wire_signals_bad.py"})
+    report = run_lint(root, rule_ids_filter=["WIRE002"])
+    assert report.findings == []
+
+
 def test_wire_rules_silent_on_conforming_module(make_tree):
     root = make_tree({
         "repro/gateway/schema.py": "wire_schema.py",

@@ -1,0 +1,73 @@
+"""Shared fixtures for the signal-engine tests.
+
+``GridMarket`` serves hand-built ``(n_coins, H)`` candle tables so the
+golden-value tests control every cell; the phase-world fixtures build the
+accumulation/ignition scenario (short horizon keeps the exported dump
+small) once per session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import collect
+from repro.simulation import generate_phase_world
+from repro.sources import SyntheticWorldSource, export_synthetic_dump
+from repro.utils import ReproConfig
+
+
+class GridMarket:
+    """A market oracle backed by explicit hour-indexed candle tables."""
+
+    def __init__(self, log_close, volume, first_hour: int = 0):
+        self._log_close = np.asarray(log_close, dtype=np.float64)
+        self._volume = np.asarray(volume, dtype=np.float64)
+        self.first_hour = first_hour
+
+    def _columns(self, hours):
+        return (np.asarray(hours) - self.first_hour).astype(np.int64)
+
+    def log_close(self, coin_ids, hours):
+        return self._log_close[np.asarray(coin_ids, dtype=np.int64),
+                               self._columns(hours)]
+
+    def hourly_volume(self, coin_ids, hours):
+        return self._volume[np.asarray(coin_ids, dtype=np.int64),
+                            self._columns(hours)]
+
+
+@pytest.fixture
+def grid_market_factory():
+    """Build a GridMarket whose hours 0..H-1 map to table columns.
+
+    Evaluating at ``time = H + 0.5`` makes the signal window exactly the
+    last 72 columns (anchor ``H - 1``).
+    """
+
+    def build(log_close, volume):
+        return GridMarket(log_close, volume)
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def phase_world():
+    return generate_phase_world(ReproConfig.tiny().with_(horizon_hours=2600))
+
+
+@pytest.fixture(scope="session")
+def phase_source(phase_world):
+    return SyntheticWorldSource(phase_world)
+
+
+@pytest.fixture(scope="session")
+def phase_collection(phase_source):
+    return collect(phase_source)
+
+
+@pytest.fixture(scope="session")
+def phase_dump(phase_world, phase_collection, tmp_path_factory):
+    out = tmp_path_factory.mktemp("signal-dump") / "dump"
+    export_synthetic_dump(phase_world, out, collection=phase_collection)
+    return out

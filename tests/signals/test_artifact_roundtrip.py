@@ -1,0 +1,146 @@
+"""Signal-aware predictors through the registry: schema v2 roundtrips.
+
+A model trained with signal channels must record them in its manifest,
+rebuild its engine on load (against either backend), and rank announce-
+ments bit-for-bit identically to the in-process original.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TargetCoinPredictor,
+    Trainer,
+    make_model,
+    snn_config_for,
+)
+from repro.features import FeatureAssembler
+from repro.registry import (
+    SCHEMA_VERSION,
+    ArtifactError,
+    ArtifactIntegrityError,
+    PredictorArtifact,
+)
+from repro.signals import SignalEngine
+from repro.sources import FileDatasetSource
+
+
+@pytest.fixture(scope="module")
+def signal_predictor(phase_source, phase_collection):
+    engine = SignalEngine.from_source(phase_source)
+    assembler = FeatureAssembler(phase_source, phase_collection.dataset,
+                                 signal_engine=engine)
+    assembled = assembler.assemble()
+    model = make_model("snn", snn_config_for(assembled), seed=0)
+    Trainer(epochs=1, seed=0).fit(model, assembled.train,
+                                  assembled.validation)
+    return TargetCoinPredictor(phase_source, phase_collection.dataset,
+                               model, assembler)
+
+
+@pytest.fixture(scope="module")
+def request_args(phase_collection):
+    example = next(e for e in phase_collection.dataset.examples
+                   if e.split == "test")
+    return example.channel_id, 0, example.time
+
+
+class TestManifest:
+    def test_signal_channels_recorded(self, signal_predictor, tmp_path):
+        artifact = signal_predictor.to_artifact()
+        assert artifact.signal_channels \
+            == signal_predictor.assembler.signal_engine.feature_names
+        path = artifact.save(tmp_path / "aware")
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["features"]["signal_channels"] \
+            == list(artifact.signal_channels)
+
+    def test_message_only_records_empty_channels(self, phase_source,
+                                                 phase_collection, tmp_path):
+        assembler = FeatureAssembler(phase_source, phase_collection.dataset)
+        assembled = assembler.assemble()
+        model = make_model("snn", snn_config_for(assembled), seed=0)
+        Trainer(epochs=1, seed=0).fit(model, assembled.train,
+                                      assembled.validation)
+        predictor = TargetCoinPredictor(
+            phase_source, phase_collection.dataset, model, assembler
+        )
+        path = predictor.to_artifact().save(tmp_path / "message-only")
+        loaded = PredictorArtifact.load(path)
+        assert loaded.signal_channels == ()
+        rebuilt = loaded.to_predictor(phase_source, phase_collection.dataset)
+        assert rebuilt.assembler.signal_engine is None
+
+    def test_missing_signal_channels_is_structural_corruption(
+            self, signal_predictor, tmp_path):
+        path = signal_predictor.to_artifact().save(tmp_path / "tampered")
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["features"]["signal_channels"]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactIntegrityError,
+                           match="signal_channels"):
+            PredictorArtifact.load(path)
+
+
+class TestRoundtrip:
+    def test_rankings_bit_identical_after_reload(self, signal_predictor,
+                                                 phase_source,
+                                                 phase_collection,
+                                                 request_args, tmp_path):
+        channel_id, exchange_id, time = request_args
+        before = signal_predictor.rank(channel_id, exchange_id, time)
+        path = signal_predictor.to_artifact().save(tmp_path / "aware")
+        rebuilt = PredictorArtifact.load(path).to_predictor(
+            phase_source, phase_collection.dataset
+        )
+        assert rebuilt.assembler.signal_engine is not None
+        after = rebuilt.rank(channel_id, exchange_id, time)
+        assert [s.coin_id for s in after.scores] \
+            == [s.coin_id for s in before.scores]
+        assert [s.probability for s in after.scores] \
+            == [s.probability for s in before.scores]
+
+    def test_loads_against_the_file_backend(self, signal_predictor,
+                                            phase_collection, phase_dump,
+                                            request_args, tmp_path):
+        # An artifact trained against the synthetic world must serve from
+        # the exported dump: the rebuilt engine computes bit-identical
+        # signal channels (the subsystem's parity guarantee — base market
+        # features go through the dump's decimal prices and are only
+        # float-text close) and produces a full ranking.
+        channel_id, exchange_id, time = request_args
+        path = signal_predictor.to_artifact().save(tmp_path / "aware")
+        rebuilt = PredictorArtifact.load(path).to_predictor(
+            FileDatasetSource(phase_dump), phase_collection.dataset
+        )
+        before = signal_predictor.rank(channel_id, exchange_id, time)
+        after = rebuilt.rank(channel_id, exchange_id, time)
+        assert after.scores and len(after.scores) == len(before.scores)
+        coins = np.array(sorted(s.coin_id for s in before.scores))
+        assert np.array_equal(
+            rebuilt.assembler.signal_engine.feature_block(coins, time),
+            signal_predictor.assembler.signal_engine.feature_block(coins,
+                                                                   time),
+        )
+
+    def test_signal_channel_drift_fails_loudly(self, signal_predictor,
+                                               phase_source,
+                                               phase_collection, tmp_path):
+        artifact = signal_predictor.to_artifact()
+        artifact.signal_channels = tuple(reversed(artifact.signal_channels))
+        with pytest.raises(ArtifactError, match="signal drift"):
+            artifact.to_predictor(phase_source, phase_collection.dataset)
+
+    def test_scalers_cover_the_signal_columns(self, signal_predictor):
+        assembler = signal_predictor.assembler
+        n_numeric = len(assembler.numeric_feature_names)
+        assert n_numeric == len(
+            signal_predictor._numeric_scaler.mean_
+        )
+        assert assembler.numeric_feature_names[-1] == "signal_composite"

@@ -1,0 +1,141 @@
+"""SignalEngine — battery validation, grids, determinism, telemetry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    COMPOSITE_FEATURE,
+    SIGNAL_LOOKBACK_HOURS,
+    SIGNAL_NAMES,
+    SignalEngine,
+    SignalError,
+    VolumeSurge,
+    anchor_hour,
+    lookback_hours,
+)
+from repro.telemetry import MetricsRegistry, set_default_registry
+
+H = SIGNAL_LOOKBACK_HOURS
+
+
+@pytest.fixture
+def market(grid_market_factory):
+    rng = np.random.default_rng(3)
+    log_close = np.cumsum(rng.normal(0.0, 0.01, size=(4, H)), axis=1)
+    volume = np.exp(rng.normal(0.0, 0.3, size=(4, H)))
+    return grid_market_factory(np.round(log_close, 9), volume)
+
+
+class TestAnchoring:
+    def test_anchor_is_last_closed_hour(self):
+        # An announcement inside hour 100 must only see candles through
+        # hour 99 — the paper's "one hour before the pump" discipline.
+        assert anchor_hour(100.7) == 99
+        assert anchor_hour(100.0) == 99
+
+    def test_lookback_grid_is_integer_hours(self):
+        hours = lookback_hours(100.7)
+        assert len(hours) == H
+        assert hours[-1] == 99
+        assert hours[0] == 99 - H + 1
+        assert np.array_equal(hours, np.sort(hours))
+
+
+class TestBattery:
+    def test_empty_battery_rejected(self, market):
+        with pytest.raises(SignalError, match="empty"):
+            SignalEngine(market, signals=())
+
+    def test_duplicate_names_rejected(self, market):
+        with pytest.raises(SignalError, match="unique"):
+            SignalEngine(market, signals=(VolumeSurge(), VolumeSurge()))
+
+    def test_feature_names_are_prefixed_and_end_with_composite(self, market):
+        engine = SignalEngine(market)
+        assert engine.feature_names == tuple(
+            f"signal_{name}" for name in SIGNAL_NAMES
+        ) + (COMPOSITE_FEATURE,)
+
+
+class TestEvaluate:
+    def test_shapes(self, market):
+        engine = SignalEngine(market)
+        coins = np.array([0, 2, 3])
+        assert engine.evaluate(coins, H + 0.5).shape == (3, 6)
+        assert engine.composite(coins, H + 0.5).shape == (3,)
+        assert engine.feature_block(coins, H + 0.5).shape == (3, 7)
+
+    def test_deterministic_bit_for_bit(self, market):
+        engine = SignalEngine(market)
+        coins = np.arange(4)
+        first = engine.feature_block(coins, H + 0.5)
+        second = SignalEngine(market).feature_block(coins, H + 0.5)
+        assert np.array_equal(first, second)
+
+    def test_nan_candles_fail_loudly(self, grid_market_factory):
+        log_close = np.zeros((2, H))
+        volume = np.ones((2, H))
+        log_close[1, 10] = np.nan
+        engine = SignalEngine(grid_market_factory(log_close, volume))
+        with pytest.raises(SignalError, match="non-finite"):
+            engine.evaluate(np.array([0, 1]), H + 0.5)
+        # The clean coin alone stays evaluable.
+        assert np.isfinite(engine.evaluate(np.array([0]), H + 0.5)).all()
+
+    def test_misshapen_market_fails_loudly(self):
+        class Scalar:
+            def log_close(self, coin_ids, hours):
+                return np.float64(0.0)
+
+            def hourly_volume(self, coin_ids, hours):
+                return np.float64(1.0)
+
+        with pytest.raises(SignalError, match="expected"):
+            SignalEngine(Scalar()).evaluate(np.array([0]), H + 0.5)
+
+
+class TestFromSource:
+    def test_calls_coverage_validation(self, market):
+        class Source:
+            def __init__(self):
+                self.market = market
+                self.validated = 0
+
+            def validate_signal_coverage(self):
+                self.validated += 1
+
+        source = Source()
+        SignalEngine.from_source(source)
+        assert source.validated == 1
+
+    def test_validation_failure_propagates(self, market):
+        class Holey:
+            def __init__(self):
+                self.market = market
+
+            def validate_signal_coverage(self):
+                raise SignalError("window [1, 72] is not covered")
+
+        with pytest.raises(SignalError, match="not covered"):
+            SignalEngine.from_source(Holey())
+
+
+class TestTelemetry:
+    def test_evaluations_are_counted_and_timed(self, market):
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        try:
+            engine = SignalEngine(market)
+            engine.feature_block(np.arange(3), H + 0.5)
+            assert registry.counter(
+                "signal_evaluations_total", ""
+            ).value == 1
+            assert registry.counter(
+                "signal_coin_scores_total", ""
+            ).value == 3 * 6
+            histogram = registry.histogram("signal_compute_seconds", "")
+            assert histogram.count == 1
+        finally:
+            set_default_registry(previous)

@@ -1,0 +1,152 @@
+"""Per-signal golden values on hand-built 72-hour candle grids."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    EPS,
+    SIGNAL_LOOKBACK_HOURS,
+    SIGNAL_NAMES,
+    MomentumDivergence,
+    PriceRunup,
+    TurnoverImbalance,
+    VolatilityCompression,
+    VolumePriceDecoupling,
+    VolumeSurge,
+    default_signals,
+)
+
+H = SIGNAL_LOOKBACK_HOURS  # 72
+
+
+def flat_grids(price: float = 0.0, volume: float = 1.0):
+    return (np.full((1, H), price), np.full((1, H), volume))
+
+
+class TestVolumeSurge:
+    def test_flat_volume_scores_zero(self):
+        log_close, volume = flat_grids()
+        assert VolumeSurge().compute(log_close, volume) == pytest.approx(0.0)
+
+    def test_recent_surge_is_log_ratio_to_own_norm(self):
+        log_close, volume = flat_grids()
+        volume[0, -6:] = 3.0
+        overall = (66 * 1.0 + 6 * 3.0) / H
+        expected = np.log((3.0 + EPS) / (overall + EPS))
+        assert VolumeSurge().compute(log_close, volume)[0] \
+            == pytest.approx(expected)
+
+    def test_dead_market_is_finite(self):
+        log_close, volume = flat_grids(volume=0.0)
+        score = VolumeSurge().compute(log_close, volume)
+        assert np.isfinite(score).all() and score[0] == pytest.approx(0.0)
+
+
+class TestVolumePriceDecoupling:
+    def test_surge_with_pinned_price_equals_volume_surge(self):
+        log_close, volume = flat_grids()
+        volume[0, -6:] = 3.0
+        surge = VolumeSurge().compute(log_close, volume)
+        assert VolumePriceDecoupling().compute(log_close, volume)[0] \
+            == pytest.approx(surge[0])
+
+    def test_price_move_discounts_the_surge(self):
+        log_close, volume = flat_grids()
+        volume[0, -6:] = 3.0
+        log_close[0, -6:] = np.linspace(0.01, 0.06, 6)  # 6 % rally
+        surge = VolumeSurge().compute(log_close, volume)[0]
+        expected = surge - 12.0 * 0.06
+        assert VolumePriceDecoupling().compute(log_close, volume)[0] \
+            == pytest.approx(expected)
+
+
+class TestVolatilityCompression:
+    def test_flat_series_scores_zero(self):
+        log_close, volume = flat_grids()
+        assert VolatilityCompression().compute(log_close, volume)[0] \
+            == pytest.approx(0.0)
+
+    def test_quiet_recent_window_scores_positive(self):
+        log_close, volume = flat_grids()
+        # Alternating +-1 % returns early on, dead flat for the final 12
+        # return columns (the pre-ignition squeeze).
+        wiggle = 0.01 * (np.arange(H) % 2)
+        wiggle[-13:] = wiggle[-13]
+        log_close[0] = wiggle
+        returns = np.diff(log_close[0])
+        expected = np.log((returns.std() + EPS) / (0.0 + EPS))
+        score = VolatilityCompression().compute(log_close, volume)[0]
+        assert score == pytest.approx(expected)
+        assert score > 5.0
+
+    def test_noisy_recent_window_scores_negative(self):
+        log_close, volume = flat_grids()
+        noisy = np.zeros(H)
+        noisy[-12:] = 0.05 * (np.arange(12) % 2)
+        log_close[0] = noisy
+        assert VolatilityCompression().compute(log_close, volume)[0] < 0.0
+
+
+class TestPriceRunup:
+    def test_linear_ramp_measures_window_drift(self):
+        log_close, volume = flat_grids()
+        log_close[0] = 0.01 * np.arange(H)
+        assert PriceRunup().compute(log_close, volume)[0] \
+            == pytest.approx(0.01 * 60)
+
+    def test_flat_price_scores_zero(self):
+        log_close, volume = flat_grids()
+        assert PriceRunup().compute(log_close, volume)[0] == 0.0
+
+
+class TestTurnoverImbalance:
+    def test_buy_heavy_tape_scores_positive_share(self):
+        log_close, volume = flat_grids()
+        # Up-hours (odd columns) carry 3x the volume of down-hours.
+        log_close[0] = 0.01 * (np.arange(H) % 2)
+        volume[0] = np.where(np.arange(H) % 2 == 1, 3.0, 1.0)
+        # Last 24 pairs: 12 up-hours at 3.0, 12 down-hours at 1.0.
+        expected = (12 * 3.0 - 12 * 1.0) / (12 * 3.0 + 12 * 1.0 + EPS)
+        assert TurnoverImbalance().compute(log_close, volume)[0] \
+            == pytest.approx(expected)
+
+    def test_flat_price_counts_as_sell_side(self):
+        log_close, volume = flat_grids()
+        assert TurnoverImbalance().compute(log_close, volume)[0] \
+            == pytest.approx(-1.0, abs=1e-6)
+
+
+class TestMomentumDivergence:
+    def test_fresh_breakout_beats_old_trend(self):
+        log_close, volume = flat_grids()
+        ramp = np.zeros(H)
+        ramp[-6:] = 0.02 * np.arange(1, 7)  # climbing only in the last 6 h
+        log_close[0] = ramp
+        short = 0.12 / 6
+        long = 0.12 / 48
+        assert MomentumDivergence().compute(log_close, volume)[0] \
+            == pytest.approx(short - long)
+
+    def test_steady_trend_scores_zero(self):
+        log_close, volume = flat_grids()
+        log_close[0] = 0.01 * np.arange(H)
+        assert MomentumDivergence().compute(log_close, volume)[0] \
+            == pytest.approx(0.0)
+
+
+def test_default_battery_order_and_names():
+    battery = default_signals()
+    assert tuple(s.name for s in battery) == SIGNAL_NAMES
+    assert SIGNAL_NAMES == (
+        "volume_surge", "volume_price_decoupling", "volatility_compression",
+        "price_runup", "turnover_imbalance", "momentum_divergence",
+    )
+
+
+def test_signals_are_vectorized_over_coins():
+    log_close = np.tile(0.01 * np.arange(H), (5, 1))
+    volume = np.ones((5, H))
+    for signal in default_signals():
+        assert signal.compute(log_close, volume).shape == (5,)

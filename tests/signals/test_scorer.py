@@ -1,0 +1,86 @@
+"""CompositeScorer — squashing, weighting, interaction bonuses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    DEFAULT_INTERACTIONS,
+    DEFAULT_SCALES,
+    DEFAULT_WEIGHTS,
+    SIGNAL_NAMES,
+    CompositeScorer,
+    Interaction,
+)
+
+
+@pytest.fixture
+def scorer():
+    return CompositeScorer(
+        ("a", "b"),
+        weights={"a": 2.0, "b": 0.5},
+        scales={"a": 1.0, "b": 2.0},
+        interactions=(Interaction("a", "b", 0.5, 10.0),),
+    )
+
+
+class TestSquash:
+    def test_is_tanh_over_per_signal_scales(self, scorer):
+        raw = np.array([[1.0, 2.0], [-3.0, 0.0]])
+        expected = np.tanh(raw / np.array([1.0, 2.0]))
+        assert np.array_equal(scorer.squash(raw), expected)
+
+    def test_bounded(self, scorer):
+        raw = np.array([[1e9, -1e9]])
+        squashed = scorer.squash(raw)
+        assert (np.abs(squashed) <= 1.0).all()
+
+
+class TestComposite:
+    def test_weighted_sum_without_bonus(self, scorer):
+        raw = np.array([[0.2, -0.4]])
+        squashed = np.tanh(raw / np.array([1.0, 2.0]))
+        expected = 2.0 * squashed[0, 0] + 0.5 * squashed[0, 1]
+        assert scorer.composite(raw)[0] == pytest.approx(expected)
+
+    def test_bonus_applies_only_when_both_clear_threshold(self, scorer):
+        both_high = np.array([[2.0, 4.0]])    # tanh(2), tanh(2) > 0.5
+        one_high = np.array([[2.0, 0.0]])
+        base = CompositeScorer(("a", "b"),
+                               weights={"a": 2.0, "b": 0.5},
+                               scales={"a": 1.0, "b": 2.0},
+                               interactions=())
+        assert scorer.composite(both_high)[0] == pytest.approx(
+            base.composite(both_high)[0] + 10.0
+        )
+        assert scorer.composite(one_high)[0] == pytest.approx(
+            base.composite(one_high)[0]
+        )
+
+    def test_vectorized_over_coins(self, scorer):
+        raw = np.random.default_rng(0).normal(size=(50, 2))
+        assert scorer.composite(raw).shape == (50,)
+
+
+class TestValidation:
+    def test_unknown_interaction_signal_rejected(self):
+        with pytest.raises(ValueError, match="unknown signal"):
+            CompositeScorer(("a",),
+                            interactions=(Interaction("a", "ghost", 0.1, 1.0),))
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            CompositeScorer(("a",), scales={"a": 0.0}, interactions=())
+
+    def test_accessors_report_effective_values(self):
+        scorer = CompositeScorer(SIGNAL_NAMES)
+        assert scorer.weight_of("volume_surge") \
+            == DEFAULT_WEIGHTS["volume_surge"]
+        assert scorer.scale_of("price_runup") == DEFAULT_SCALES["price_runup"]
+
+
+def test_default_interactions_reference_real_signals():
+    for interaction in DEFAULT_INTERACTIONS:
+        assert interaction.first in SIGNAL_NAMES
+        assert interaction.second in SIGNAL_NAMES

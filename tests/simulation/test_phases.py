@@ -1,0 +1,184 @@
+"""Phase overlays: base-world pin, target anatomy, determinism.
+
+The load-bearing promise (stated in :mod:`repro.simulation.phases`): a
+world generated *without* phases is bit-for-bit identical to before the
+module existed — phase parameters come from the counter-based hash, so
+no RNG stream is perturbed — and within a phase world only the profiled
+coins change, only inside their phase windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.markets import PAIR_SYMBOLS
+from repro.simulation import SyntheticWorld, generate_phase_world
+from repro.simulation.phases import (
+    ACCUMULATION_START,
+    DECOY_SCALE,
+    DECOYS_PER_EVENT,
+    IGNITION_START,
+    phase_profiles_for,
+)
+from repro.sources import SyntheticWorldSource
+from repro.utils import ReproConfig
+
+CFG = ReproConfig.tiny().with_(horizon_hours=2600)
+
+
+@pytest.fixture(scope="module")
+def plain_world():
+    return SyntheticWorld.generate(CFG)
+
+
+@pytest.fixture(scope="module")
+def phase_world():
+    return generate_phase_world(CFG)
+
+
+@pytest.fixture(scope="module")
+def profiles(phase_world):
+    return phase_profiles_for(phase_world.events.events,
+                              phase_world.coins.n_coins, CFG.seed)
+
+
+def _grid(market, coins, hours):
+    coins = np.asarray(coins, dtype=np.int64)
+    hours = np.asarray(hours, dtype=np.float64)
+    return (market.log_close(coins[:, None], hours[None, :]),
+            market.hourly_volume(coins[:, None], hours[None, :]))
+
+
+class TestBaseWorldPin:
+    def test_plain_generation_is_phase_free(self, plain_world):
+        assert not plain_world.market.has_phases
+
+    def test_attach_flips_the_flag(self, profiles):
+        world = SyntheticWorld.generate(CFG)
+        assert not world.market.has_phases
+        world.market.attach_phases(profiles)
+        assert world.market.has_phases
+
+    def test_unprofiled_coins_are_bit_identical(self, plain_world,
+                                                phase_world, profiles):
+        profiled = {p.coin_id for p in profiles}
+        spared = [c for c in range(phase_world.coins.n_coins)
+                  if c not in profiled][:10]
+        assert spared, "phase world profiled every coin; shrink the config"
+        hours = np.arange(100.0, 2500.0, 37.0)
+        before = _grid(plain_world.market, spared, hours)
+        after = _grid(phase_world.market, spared, hours)
+        assert np.array_equal(before[0], after[0])
+        assert np.array_equal(before[1], after[1])
+
+    def test_targets_untouched_before_accumulation(self, plain_world,
+                                                   phase_world, profiles):
+        # A coin can carry profiles from several events (decoy picks
+        # collide), so "untouched" only holds before its EARLIEST window.
+        first_window = {}
+        for p in profiles:
+            first_window[p.coin_id] = min(first_window.get(p.coin_id,
+                                                           np.inf), p.time)
+        coin, start = max(first_window.items(), key=lambda kv: kv[1])
+        hours = np.arange(100.0, start + ACCUMULATION_START - 2.0, 11.0)
+        assert len(hours) > 10
+        before = _grid(plain_world.market, [coin], hours)
+        after = _grid(phase_world.market, [coin], hours)
+        assert np.array_equal(before[0], after[0])
+        assert np.array_equal(before[1], after[1])
+
+    def test_worlds_share_events_and_messages(self, plain_world, phase_world):
+        assert [e.event_id for e in plain_world.events.events] \
+            == [e.event_id for e in phase_world.events.events]
+        assert [m.text for m in plain_world.messages] \
+            == [m.text for m in phase_world.messages]
+
+
+def _target_profiles(profiles, phase_world):
+    targets = {(e.coin_id, e.time) for e in phase_world.events.events}
+    chosen = [p for p in profiles if (p.coin_id, p.time) in targets]
+    # Keep events away from the horizon edges and other events' windows.
+    return [p for p in chosen
+            if 200.0 < p.time < CFG.horizon_hours - 100.0]
+
+
+class TestTargetAnatomy:
+    def test_ignition_volume_is_elevated(self, plain_world, phase_world,
+                                         profiles):
+        hits = 0
+        for profile in _target_profiles(profiles, phase_world)[:8]:
+            hours = np.arange(np.floor(profile.time) + IGNITION_START,
+                              np.floor(profile.time))
+            _, before = _grid(plain_world.market, [profile.coin_id], hours)
+            _, after = _grid(phase_world.market, [profile.coin_id], hours)
+            hits += after.mean() > before.mean()
+        assert hits >= 6
+
+    def test_accumulated_price_premium(self, plain_world, phase_world,
+                                       profiles):
+        # Measure at 20h out — two thirds through accumulation but still
+        # outside the quiet-squeeze window, where the overlay is the pure
+        # smoothstep drift (~0.74 of the full run-up).
+        hits = 0
+        chosen = _target_profiles(profiles, phase_world)[:8]
+        for profile in chosen:
+            hour = np.floor(profile.time) - 20.0
+            before, _ = _grid(plain_world.market, [profile.coin_id], [hour])
+            after, _ = _grid(phase_world.market, [profile.coin_id], [hour])
+            premium = float(after[0, 0] - before[0, 0])
+            hits += premium > 0.5 * profile.runup_log
+        assert hits >= len(chosen) - 2
+
+    def test_pre_pump_volatility_is_damped(self, plain_world, phase_world,
+                                           profiles):
+        hits = 0
+        chosen = _target_profiles(profiles, phase_world)[:8]
+        for profile in chosen:
+            hours = np.arange(np.floor(profile.time) - 16.0,
+                              np.floor(profile.time))
+            before, _ = _grid(plain_world.market, [profile.coin_id], hours)
+            after, _ = _grid(phase_world.market, [profile.coin_id], hours)
+            hits += np.diff(after[0]).std() < np.diff(before[0]).std()
+        assert hits >= len(chosen) - 2
+
+
+class TestProfiles:
+    def test_deterministic(self, phase_world, profiles):
+        again = phase_profiles_for(phase_world.events.events,
+                                   phase_world.coins.n_coins, CFG.seed)
+        assert again == profiles
+
+    def test_one_target_and_two_decoys_per_event(self, phase_world,
+                                                 profiles):
+        assert len(profiles) \
+            == len(phase_world.events.events) * (1 + DECOYS_PER_EVENT)
+
+    def test_decoys_are_weaker_and_tradable(self, phase_world, profiles):
+        targets = {(e.coin_id, e.time) for e in phase_world.events.events}
+        decoys = [p for p in profiles if (p.coin_id, p.time) not in targets]
+        assert len(decoys) \
+            == DECOYS_PER_EVENT * len(phase_world.events.events)
+        for decoy in decoys:
+            assert decoy.coin_id >= len(PAIR_SYMBOLS)
+            # Full-strength run-up starts at 0.05; decoys cap below it.
+            assert decoy.runup_log <= DECOY_SCALE * 0.09 < 0.05
+
+    def test_rejects_universe_without_tradable_coins(self, phase_world):
+        with pytest.raises(ValueError, match="tradable"):
+            phase_profiles_for(phase_world.events.events,
+                               len(PAIR_SYMBOLS), CFG.seed)
+
+
+class TestSourceMarkers:
+    def test_fingerprints_differ(self, plain_world, phase_world):
+        plain = SyntheticWorldSource(plain_world)
+        phased = SyntheticWorldSource(phase_world)
+        assert "phases=1" in phased.fingerprint()
+        assert "phases" not in plain.fingerprint()
+        assert plain.fingerprint() != phased.fingerprint()
+
+    def test_descriptor_records_the_phase_flag(self, plain_world,
+                                               phase_world):
+        assert SyntheticWorldSource(phase_world).descriptor()["phases"] is True
+        assert SyntheticWorldSource(plain_world).descriptor()["phases"] is False
